@@ -1,0 +1,425 @@
+package reldiv
+
+// One benchmark per paper table, plus ablation benches for the design
+// choices DESIGN.md calls out. Simulated-I/O and counted-CPU milliseconds
+// are attached as custom metrics (sim-io-ms/op, counted-cpu-ms/op) so the
+// paper-style cost figures appear alongside Go wall time.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/buffer"
+	"repro/internal/costmodel"
+	"repro/internal/disk"
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1CostUnits exercises the cost-unit pricing path (Table 1).
+func BenchmarkTable1CostUnits(b *testing.B) {
+	u := costmodel.PaperUnits()
+	c := exec.Counters{Comp: 1000, Hash: 500, Move: 10, Bit: 2000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c.CostMS(u.Comp, u.Hash, u.Move, u.Bit) <= 0 {
+			b.Fatal("bad cost")
+		}
+	}
+}
+
+// BenchmarkTable2Analytic regenerates the full analytical grid (Table 2).
+func BenchmarkTable2Analytic(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := costmodel.Table2()
+		if len(rows) != 9 {
+			b.Fatal("bad grid")
+		}
+	}
+}
+
+// BenchmarkTable3IOModel exercises the Table 3 I/O pricing on a live scan.
+func BenchmarkTable3IOModel(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(25, 100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := buffer.New(buffer.PaperPoolBytes)
+	rel, err := workload.Load(pool, inst, disk.PaperPageSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := disk.PaperCost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Drain(exec.NewTableScan(rel.Dividend, false)); err != nil {
+			b.Fatal(err)
+		}
+		_ = rel.DividendDev.Stats().TotalCostMS(cost)
+	}
+}
+
+// BenchmarkTable4 reruns the experimental grid, one sub-benchmark per
+// (algorithm, |S|, |Q|) cell, reporting the deterministic paper-style costs
+// as custom metrics.
+func BenchmarkTable4(b *testing.B) {
+	cfg := bench.PaperConfig()
+	for _, s := range []int{25, 100, 400} {
+		for _, q := range []int{25, 100, 400} {
+			for _, alg := range division.Algorithms {
+				name := fmt.Sprintf("S=%d/Q=%d/%s", s, q, alg)
+				b.Run(name, func(b *testing.B) {
+					var last bench.Cell
+					for i := 0; i < b.N; i++ {
+						cell, err := bench.RunCell(alg, s, q, cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = cell
+					}
+					b.ReportMetric(last.SimulatedIO, "sim-io-ms/op")
+					b.ReportMetric(last.CountedCPUMS, "counted-cpu-ms/op")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable4AnalyticGeometry is the grid under the §4.6 page geometry
+// (5 dividend tuples per page), the regime where the paper's "within ~10%"
+// claim lives. Reduced sizes keep it affordable.
+func BenchmarkTable4AnalyticGeometry(b *testing.B) {
+	cfg := bench.AnalyticGeometryConfig()
+	for _, sq := range [][2]int{{25, 25}, {100, 100}} {
+		for _, alg := range division.Algorithms {
+			name := fmt.Sprintf("S=%d/Q=%d/%s", sq[0], sq[1], alg)
+			b.Run(name, func(b *testing.B) {
+				var last bench.Cell
+				for i := 0; i < b.N; i++ {
+					cell, err := bench.RunCell(alg, sq[0], sq[1], cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = cell
+				}
+				b.ReportMetric(last.TotalMS(), "paper-total-ms/op")
+			})
+		}
+	}
+}
+
+// BenchmarkDuplicateSweep measures the duplicate-handling claim (hash-
+// division ignores duplicates; all other algorithms pay preprocessing).
+func BenchmarkDuplicateSweep(b *testing.B) {
+	cfg := bench.AnalyticGeometryConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.DuplicateSweep(25, 100, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDilutionSweep measures the §4.6 speculation workloads.
+func BenchmarkDilutionSweep(b *testing.B) {
+	cfg := bench.AnalyticGeometryConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.DilutionSweep(50, 200, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSpec(b *testing.B, inst *workload.Instance) division.Spec {
+	b.Helper()
+	return division.Spec{
+		Dividend:    exec.NewMemScan(workload.TranscriptSchema, inst.Dividend),
+		Divisor:     exec.NewMemScan(workload.CourseSchema, inst.Divisor),
+		DivisorCols: []int{1},
+	}
+}
+
+// BenchmarkBitmapVsCounter ablates §3.3's sixth observation: bit maps vs
+// plain counters in the quotient table (counters need duplicate-free
+// dividends).
+func BenchmarkBitmapVsCounter(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(100, 400, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts division.HashDivisionOptions
+	}{
+		{"bitmap", division.HashDivisionOptions{}},
+		{"counter", division.HashDivisionOptions{CountersOnly: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op := division.NewHashDivision(benchSpec(b, inst), division.Env{}, mode.opts)
+				n, err := exec.Drain(op)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != 400 {
+					b.Fatalf("quotient = %d", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEarlyEmit ablates the §3.3 streaming modification against the
+// stop-and-go original.
+func BenchmarkEarlyEmit(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(100, 400, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts division.HashDivisionOptions
+	}{
+		{"stop-and-go", division.HashDivisionOptions{}},
+		{"early-emit", division.HashDivisionOptions{EarlyEmit: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op := division.NewHashDivision(benchSpec(b, inst), division.Env{}, mode.opts)
+				if _, err := exec.Drain(op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSortEarlyAgg ablates duplicate elimination inside the sort
+// (no intermediate run contains duplicates) against deduplicating after the
+// sort, on a dividend with 4× duplication.
+func BenchmarkSortEarlyAgg(b *testing.B) {
+	cfg := workload.PaperCase(25, 100, 1)
+	cfg.DuplicateFactor = 4
+	inst, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := []int{0, 1}
+	newEnv := func() (*buffer.Pool, *disk.Device) {
+		return buffer.New(1 << 20), disk.NewDevice("runs", disk.PaperRunPageSize)
+	}
+	b.Run("dedup-inside-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool, dev := newEnv()
+			s := exec.NewSort(exec.NewMemScan(workload.TranscriptSchema, inst.Dividend), exec.SortConfig{
+				Keys: keys, Dedup: true, MemoryBytes: 16 * 1024, Pool: pool, TempDev: dev,
+			})
+			n, err := exec.Drain(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != 2500 {
+				b.Fatalf("dedup kept %d", n)
+			}
+		}
+	})
+	b.Run("dedup-after-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool, dev := newEnv()
+			s := exec.NewSort(exec.NewMemScan(workload.TranscriptSchema, inst.Dividend), exec.SortConfig{
+				Keys: keys, MemoryBytes: 16 * 1024, Pool: pool, TempDev: dev,
+			})
+			d := exec.NewHashDedup(s, nil)
+			n, err := exec.Drain(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != 2500 {
+				b.Fatalf("dedup kept %d", n)
+			}
+		}
+	})
+}
+
+// BenchmarkHashLoad ablates the average-bucket-size parameter hbs (§4.6 uses
+// 2): longer chains trade memory for comparisons.
+func BenchmarkHashLoad(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(100, 400, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, hbs := range []float64{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("hbs=%g", hbs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := division.Env{HBS: hbs, ExpectedDivisor: 100, ExpectedQuotient: 400}
+				op := division.NewHashDivision(benchSpec(b, inst), env, division.HashDivisionOptions{})
+				if _, err := exec.Drain(op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitioning compares the two §3.4 overflow strategies at the
+// same cluster count.
+func BenchmarkPartitioning(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(100, 400, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []division.PartitionStrategy{
+		division.QuotientPartitioning, division.DivisorPartitioning,
+	} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := division.Env{
+					Pool:    buffer.New(1 << 20),
+					TempDev: disk.NewDevice("temp", disk.PaperRunPageSize),
+				}
+				op := division.NewPartitionedHashDivision(benchSpec(b, inst), env, strat, 4, division.HashDivisionOptions{})
+				n, err := exec.Drain(op)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != 400 {
+					b.Fatalf("quotient = %d", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelWorkers measures §6 scaling for both strategies.
+func BenchmarkParallelWorkers(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(100, 2000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []division.PartitionStrategy{
+		division.QuotientPartitioning, division.DivisorPartitioning,
+	} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", strat, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := parallel.Divide(benchSpec(b, inst), parallel.Config{
+						Workers: workers, Strategy: strat,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Quotient) != 2000 {
+						b.Fatalf("quotient = %d", len(res.Quotient))
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBitVectorFilter ablates Babb filtering on a noisy dividend (most
+// tuples match nothing and can be dropped before shipping).
+func BenchmarkBitVectorFilter(b *testing.B) {
+	inst, err := workload.Generate(workload.Config{
+		DivisorTuples:      100,
+		QuotientCandidates: 500,
+		FullFraction:       0.5,
+		MatchFraction:      0.3,
+		NoisePerCandidate:  50,
+		Shuffle:            true,
+		Seed:               1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, filter := range []bool{false, true} {
+		name := "filter=off"
+		if filter {
+			name = "filter=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var net parallel.NetworkStats
+			for i := 0; i < b.N; i++ {
+				res, err := parallel.Divide(benchSpec(b, inst), parallel.Config{
+					Workers: 4, Strategy: division.QuotientPartitioning, BitVectorFilter: filter,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				net = res.Network
+			}
+			b.ReportMetric(float64(net.BytesShipped), "net-bytes/op")
+			b.ReportMetric(float64(net.TuplesFiltered), "filtered/op")
+		})
+	}
+}
+
+// BenchmarkBufferPolicy ablates LRU against second-chance Clock on a mixed
+// workload: a hot set re-fixed continuously while a sequential scan streams
+// past, the pattern where a scan can flush an LRU cache. The hit ratio is
+// reported as a custom metric.
+func BenchmarkBufferPolicy(b *testing.B) {
+	const pageSize = 1024
+	for _, pol := range []buffer.Policy{buffer.LRU, buffer.Clock} {
+		b.Run(pol.String(), func(b *testing.B) {
+			dev := disk.NewDevice("b", pageSize)
+			dev.AllocExtent(256)
+			var hits, total int
+			for i := 0; i < b.N; i++ {
+				pool := buffer.NewWithPolicy(16*pageSize, pol)
+				for round := 0; round < 50; round++ {
+					// Touch the 4-page hot set (kept), then 8 scan pages
+					// (release hint).
+					for pg := disk.PageID(0); pg < 4; pg++ {
+						h, err := pool.Fix(dev, pg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						h.Unfix(true)
+					}
+					for k := 0; k < 8; k++ {
+						pg := disk.PageID(4 + (round*8+k)%252)
+						h, err := pool.Fix(dev, pg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						h.Unfix(false)
+					}
+				}
+				s := pool.Stats()
+				hits += s.Hits
+				total += s.Hits + s.Misses
+			}
+			b.ReportMetric(float64(hits)/float64(total), "hit-ratio")
+		})
+	}
+}
+
+// BenchmarkPublicAPI measures the end-to-end façade.
+func BenchmarkPublicAPI(b *testing.B) {
+	orders := NewRelation("orders", Int64Col("customer"), Int64Col("product"))
+	products := NewRelation("products", Int64Col("product"))
+	for p := 0; p < 50; p++ {
+		products.MustInsert(p)
+	}
+	for c := 0; c < 200; c++ {
+		for p := 0; p < 50; p++ {
+			orders.MustInsert(c, p)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := Divide(orders, products, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if q.NumRows() != 200 {
+			b.Fatalf("quotient = %d", q.NumRows())
+		}
+	}
+}

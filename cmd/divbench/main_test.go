@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	sizes, err := parseSizes("25, 100,400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 25 || sizes[2] != 400 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if _, err := parseSizes("25,x"); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	paper, err := configFor("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.PageSize != 8192 {
+		t.Errorf("paper page size = %d", paper.PageSize)
+	}
+	analytic, err := configFor("analytic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytic.PageSize != 84 {
+		t.Errorf("analytic page size = %d", analytic.PageSize)
+	}
+	if _, err := configFor("weird"); err == nil {
+		t.Error("unknown geometry accepted")
+	}
+}
+
+func TestRunExample(t *testing.T) {
+	if err := runExample(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSubcommandsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subcommand smoke in short mode")
+	}
+	if err := runTable4([]string{"-sizes", "25", "-geometry", "analytic"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runOverflow([]string{"-q", "500", "-budget", "12"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep([]string{"-s", "10", "-q", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runParallel([]string{"-s", "20", "-q", "50", "-noise", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+// Command divgen generates division workloads as CSV files, for use with
+// divql or external tools.
+//
+//	divgen -s 25 -q 100 -o .              # R = Q × S, the paper's case
+//	divgen -s 10 -q 50 -full 0.4 -noise 3 # diluted instance
+//
+// It writes transcript.csv (student_id, course_no), courses.csv (course_no),
+// and quotient.csv (the ground-truth student ids).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "divgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("divgen", flag.ContinueOnError)
+	s := fs.Int("s", 25, "divisor tuples |S|")
+	q := fs.Int("q", 100, "quotient candidates")
+	full := fs.Float64("full", 1.0, "fraction of candidates in the quotient")
+	match := fs.Float64("match", 0.5, "match probability for non-full candidates")
+	noise := fs.Int("noise", 0, "non-matching tuples per candidate")
+	dup := fs.Int("dup", 1, "dividend duplication factor")
+	zipf := fs.Float64("zipf", 0, "course popularity Zipf skew (>1 to enable)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", ".", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := workload.Generate(workload.Config{
+		DivisorTuples:      *s,
+		QuotientCandidates: *q,
+		FullFraction:       *full,
+		MatchFraction:      *match,
+		NoisePerCandidate:  *noise,
+		DuplicateFactor:    *dup,
+		CourseZipfS:        *zipf,
+		Shuffle:            true,
+		Seed:               *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	write := func(name string, rows func(w io.Writer) error) error {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := rows(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+		return nil
+	}
+
+	if err := write("transcript.csv", func(w io.Writer) error {
+		for _, t := range inst.Dividend {
+			if _, err := fmt.Fprintf(w, "%d,%d\n",
+				workload.TranscriptSchema.Int64(t, 0), workload.TranscriptSchema.Int64(t, 1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := write("courses.csv", func(w io.Writer) error {
+		for _, t := range inst.Divisor {
+			if _, err := fmt.Fprintf(w, "%d\n", workload.CourseSchema.Int64(t, 0)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := write("quotient.csv", func(w io.Writer) error {
+		for _, id := range inst.QuotientIDs {
+			if _, err := fmt.Fprintf(w, "%d\n", id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "|R|=%d |S|=%d quotient=%d\n",
+		len(inst.Dividend), len(inst.Divisor), len(inst.QuotientIDs))
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	reldiv "repro"
+)
+
+func TestGenerateAndDivideRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-s", "6", "-q", "30", "-full", "0.5", "-match", "0.6", "-o", dir, "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"transcript.csv", "courses.csv", "quotient.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	if !strings.Contains(out.String(), "|S|=6") {
+		t.Errorf("summary missing: %s", out.String())
+	}
+
+	// The generated quotient.csv must equal an actual division of the
+	// generated CSVs.
+	load := func(name string, cols ...reldiv.Column) *reldiv.Relation {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rel, err := reldiv.FromCSV(f, name, cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	transcript := load("transcript.csv", reldiv.Int64Col("student"), reldiv.Int64Col("course"))
+	courses := load("courses.csv", reldiv.Int64Col("course"))
+	truth := load("quotient.csv", reldiv.Int64Col("student"))
+
+	q, err := reldiv.Divide(transcript, courses, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRows() != truth.NumRows() {
+		t.Fatalf("division found %d students, ground truth %d", q.NumRows(), truth.NumRows())
+	}
+	want := make(map[int64]bool)
+	for _, row := range truth.Rows() {
+		want[row[0].(int64)] = true
+	}
+	for _, row := range q.Rows() {
+		if !want[row[0].(int64)] {
+			t.Fatalf("student %d not in ground truth", row[0])
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-s", "-5"}, &out); err == nil {
+		t.Error("negative |S| accepted")
+	}
+	if err := run([]string{"-o", "/nonexistent-dir-xyz/abc"}, &out); err == nil {
+		t.Error("unwritable output dir accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package reldiv_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sort"
+
+	reldiv "repro"
+)
+
+// The basic pattern: build two relations, divide, read the quotient.
+func ExampleDivide() {
+	orders := reldiv.NewRelation("orders",
+		reldiv.Int64Col("customer"), reldiv.Int64Col("product"))
+	promotion := reldiv.NewRelation("promotion", reldiv.Int64Col("product"))
+
+	promotion.MustInsert(1)
+	promotion.MustInsert(2)
+	orders.MustInsert(100, 1)
+	orders.MustInsert(100, 2) // customer 100 bought both
+	orders.MustInsert(200, 1) // customer 200 missed product 2
+
+	quotient, err := reldiv.Divide(orders, promotion, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range quotient.Rows() {
+		fmt.Println(row[0])
+	}
+	// Output: 100
+}
+
+// Forcing an algorithm and matching differently named columns.
+func ExampleDivide_options() {
+	taken := reldiv.NewRelation("taken",
+		reldiv.StringCol("student", 8), reldiv.Int64Col("cno"))
+	required := reldiv.NewRelation("required", reldiv.Int64Col("course_no"))
+
+	required.MustInsert(101)
+	taken.MustInsert("Ann", 101)
+	taken.MustInsert("Barb", 999)
+
+	q, err := reldiv.Divide(taken, required,
+		[]string{"cno"}, // dividend column matched against required.course_no
+		&reldiv.Options{Algorithm: reldiv.HashDivision})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.Row(0)[0])
+	// Output: Ann
+}
+
+// Explain shows the cost-based plan without executing it.
+func ExampleExplain() {
+	orders := reldiv.NewRelation("orders",
+		reldiv.Int64Col("customer"), reldiv.Int64Col("product"))
+	products := reldiv.NewRelation("products", reldiv.Int64Col("product"))
+	for p := 0; p < 100; p++ {
+		products.MustInsert(p)
+		for c := 0; c < 200; c++ {
+			orders.MustInsert(c, p)
+		}
+	}
+	plan, err := reldiv.Explain(orders, products, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.Chosen)
+	// Output: hash-division
+}
+
+// Streaming division over inputs too large to materialize, with quotient
+// rows emitted as soon as they complete.
+func ExampleDivideStream() {
+	dividendRows := [][]any{
+		{int64(1), int64(10)},
+		{int64(1), int64(20)},
+		{int64(2), int64(10)},
+	}
+	divisorRows := [][]any{{int64(10)}, {int64(20)}}
+
+	dividend := reldiv.StreamInput{
+		Columns: []reldiv.Column{reldiv.Int64Col("user"), reldiv.Int64Col("feature")},
+		Open: func() (reldiv.RowReader, error) {
+			return reldiv.SliceReader(dividendRows), nil
+		},
+	}
+	divisor := reldiv.StreamInput{
+		Columns: []reldiv.Column{reldiv.Int64Col("feature")},
+		Open: func() (reldiv.RowReader, error) {
+			return reldiv.SliceReader(divisorRows), nil
+		},
+	}
+	var users []int64
+	err := reldiv.DivideStream(dividend, divisor, nil,
+		&reldiv.Options{EarlyEmit: true},
+		func(row []any) error {
+			users = append(users, row[0].(int64))
+			return nil
+		})
+	if err != nil && err != io.EOF {
+		log.Fatal(err)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	fmt.Println(users)
+	// Output: [1]
+}
+
+// DivideWithStats reports what the run did, EXPLAIN ANALYZE-style.
+func ExampleDivideWithStats() {
+	orders := reldiv.NewRelation("orders",
+		reldiv.Int64Col("customer"), reldiv.Int64Col("product"))
+	products := reldiv.NewRelation("products", reldiv.Int64Col("product"))
+	products.MustInsert(1)
+	orders.MustInsert(7, 1)
+	orders.MustInsert(7, 99) // no divisor match: discarded in step 2
+
+	_, stats, err := reldiv.DivideWithStats(orders, products, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(stats.DividendTuples, stats.DiscardedNoMatch, stats.QuotientRows)
+	// Output: 2 1 1
+}

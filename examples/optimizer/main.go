@@ -1,0 +1,92 @@
+// Optimizer: the rewrite rule from the paper's conclusion in action.
+//
+// A system without a division operator evaluates "students who took all
+// database courses" as GROUP BY + HAVING COUNT(*) = (SELECT COUNT(*) ...)
+// over a semi-join. The rewrite detects that pattern and replaces it with
+// relational division, which compiles to hash-division — and does strictly
+// less work (§5.2: an optimizer that fails to rewrite "may be evaluated
+// using an inferior strategy").
+//
+// Run with:
+//
+//	go run ./examples/optimizer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/rewrite"
+	"repro/internal/workload"
+)
+
+func main() {
+	inst, err := workload.Generate(workload.Config{
+		DivisorTuples:      50,
+		QuotientCandidates: 500,
+		FullFraction:       0.3,
+		MatchFraction:      0.8,
+		NoisePerCandidate:  5,
+		Shuffle:            true,
+		Seed:               11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	transcript := rewrite.NewRel("transcript", workload.TranscriptSchema, func() exec.Operator {
+		return exec.NewMemScan(workload.TranscriptSchema, inst.Dividend)
+	})
+	courses := rewrite.NewRel("courses", workload.CourseSchema, func() exec.Operator {
+		return exec.NewMemScan(workload.CourseSchema, inst.Divisor)
+	})
+
+	// The aggregate encoding the application (or SQL frontend) produced.
+	query := &rewrite.CountEqCard{
+		Input: &rewrite.GroupCount{
+			Input: &rewrite.SemiJoin{
+				Left:      transcript,
+				Right:     courses,
+				LeftCols:  []int{1},
+				RightCols: []int{0},
+			},
+			GroupCols: []int{0},
+		},
+		Of: courses,
+	}
+
+	fmt.Println("original plan (aggregate encoding of the for-all query):")
+	fmt.Print(rewrite.Format(query))
+
+	run := func(name string, plan rewrite.Node) int {
+		var c exec.Counters
+		op, err := rewrite.Compile(plan, division.Env{Counters: &c})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := exec.Drain(op)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s -> %4d rows, counted CPU %8.1f ms (Table 1 units)\n",
+			name, n, c.CostMS(0.03, 0.03, 0.4, 0.003))
+		return n
+	}
+	before := run("aggregate plan", query)
+
+	rewritten, changed := rewrite.Rewrite(query)
+	if !changed {
+		log.Fatal("pattern not detected")
+	}
+	fmt.Println("\nrewritten plan (for-all detected):")
+	fmt.Print(rewrite.Format(rewritten))
+	after := run("division plan", rewritten)
+
+	if before != after {
+		log.Fatalf("rewrite changed the answer: %d vs %d", before, after)
+	}
+	fmt.Printf("\nground truth: %d students take all %d courses\n",
+		len(inst.QuotientIDs), len(inst.Divisor))
+}

@@ -1,0 +1,105 @@
+// University: the paper's two running examples (§2) end to end.
+//
+//  1. Students who have taken ALL courses offered by the university.
+//  2. Students who have taken all DATABASE courses — the restricted-divisor
+//     case where aggregation-based division needs a preceding semi-join,
+//     while hash-division handles it directly.
+//
+// Run with:
+//
+//	go run ./examples/university
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	reldiv "repro"
+)
+
+func main() {
+	courses := reldiv.NewRelation("courses",
+		reldiv.Int64Col("course_no"), reldiv.StringCol("title", 24))
+	transcript := reldiv.NewRelation("transcript",
+		reldiv.StringCol("student", 8), reldiv.Int64Col("course_no"))
+
+	courseList := []struct {
+		no    int
+		title string
+	}{
+		{101, "database systems 1"},
+		{102, "database systems 2"},
+		{201, "optics"},
+		{202, "mechanics"},
+	}
+	for _, c := range courseList {
+		courses.MustInsert(c.no, c.title)
+	}
+
+	take := func(student string, nos ...int) {
+		for _, no := range nos {
+			transcript.MustInsert(student, no)
+		}
+	}
+	take("Ann", 101, 102, 201, 202) // everything
+	take("Barb", 101, 102, 202)     // all database courses, no optics
+	take("Carl", 101, 201, 202)     // misses database systems 2
+	take("Dave", 101, 102)          // all database courses only
+
+	// Example 1: students who have taken all courses offered.
+	allCourses, err := courses.Project("course_no")
+	if err != nil {
+		log.Fatal(err)
+	}
+	q1, err := reldiv.Divide(transcript, allCourses, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("students who have taken ALL courses:")
+	printStudents(q1)
+
+	// Example 2: the divisor is restricted by a prior selection — courses
+	// whose title contains "database".
+	dbCourses, err := courses.
+		Filter(func(row []any) bool { return strings.Contains(row[1].(string), "database") }).
+		Project("course_no")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndatabase courses in the divisor: %d\n", dbCourses.NumRows())
+
+	fmt.Println("students who have taken all DATABASE courses, per algorithm:")
+	for _, alg := range []reldiv.Algorithm{
+		reldiv.Naive, reldiv.SortAggregationJoin, reldiv.HashAggregationJoin, reldiv.HashDivision,
+	} {
+		q2, err := reldiv.Divide(transcript, dbCourses, nil, &reldiv.Options{Algorithm: alg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, 0, q2.NumRows())
+		for _, row := range q2.Rows() {
+			names = append(names, row[0].(string))
+		}
+		fmt.Printf("  %-20s -> %v\n", alg, names)
+	}
+
+	// The no-join aggregation variants count ALL of a student's rows, not
+	// just database courses: Ann's optics row pushes her count past |S|
+	// (missed), and a student with exactly |S| unrelated courses would be
+	// falsely included. Only Dave's total happens to equal |S| here.
+	wrong, err := reldiv.Divide(transcript, dbCourses, nil,
+		&reldiv.Options{Algorithm: reldiv.HashAggregation, AssumeUniqueInputs: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhash aggregation WITHOUT the semi-join returns %d student(s) — wrong!\n", wrong.NumRows())
+	fmt.Println("-> \"it is important to count only those tuples ... which refer to database")
+	fmt.Println("   courses\" (§2.2): the aggregate needs a semi-join; hash-division does not.")
+}
+
+func printStudents(q *reldiv.Relation) {
+	for _, row := range q.Rows() {
+		fmt.Printf("  %s\n", row[0])
+	}
+}

@@ -1,0 +1,217 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		b := New(n)
+		if b.Len() != n {
+			t.Errorf("Len = %d, want %d", b.Len(), n)
+		}
+		if b.Count() != 0 {
+			t.Errorf("n=%d: new bitmap has %d set bits", n, b.Count())
+		}
+		if n > 0 && !b.HasZero() {
+			t.Errorf("n=%d: new bitmap should have zeros", n)
+		}
+		if n == 0 && b.HasZero() {
+			t.Error("empty bitmap should report no zeros (vacuously all set)")
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Errorf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Test(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, f := range map[string]func(){
+		"Set":  func() { b.Set(10) },
+		"Test": func() { b.Test(-1) },
+	} {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestSetAndReport(t *testing.T) {
+	b := New(5)
+	if b.SetAndReport(3) {
+		t.Error("first SetAndReport reported already-set")
+	}
+	if !b.SetAndReport(3) {
+		t.Error("second SetAndReport did not report already-set")
+	}
+	if b.Count() != 1 {
+		t.Errorf("Count = %d, want 1", b.Count())
+	}
+}
+
+func TestAllSetAndHasZeroBoundaries(t *testing.T) {
+	// Exercise partial-word masking at several sizes.
+	for _, n := range []int{1, 2, 63, 64, 65, 127, 128, 400} {
+		b := New(n)
+		for i := 0; i < n-1; i++ {
+			b.Set(i)
+		}
+		if b.AllSet() {
+			t.Errorf("n=%d: AllSet with one bit missing", n)
+		}
+		if got := b.FirstZero(); got != n-1 {
+			t.Errorf("n=%d: FirstZero = %d, want %d", n, got, n-1)
+		}
+		b.Set(n - 1)
+		if !b.AllSet() {
+			t.Errorf("n=%d: AllSet false with all bits set", n)
+		}
+		if got := b.FirstZero(); got != -1 {
+			t.Errorf("n=%d: FirstZero = %d, want -1", n, got)
+		}
+	}
+}
+
+func TestFirstZeroSkipsFullWords(t *testing.T) {
+	b := New(200)
+	for i := 0; i < 100; i++ {
+		b.Set(i)
+	}
+	if got := b.FirstZero(); got != 100 {
+		t.Errorf("FirstZero = %d, want 100", got)
+	}
+}
+
+func TestOr(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Set(1)
+	b.Set(69)
+	a.Or(b)
+	if !a.Test(1) || !a.Test(69) {
+		t.Error("Or lost bits")
+	}
+	if a.Count() != 2 {
+		t.Errorf("Count = %d, want 2", a.Count())
+	}
+}
+
+func TestOrSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+func TestReset(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count after Reset = %d", b.Count())
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(4)
+	b.Set(0)
+	b.Set(2)
+	if got := b.String(); got != "1010" {
+		t.Errorf("String = %q, want 1010", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(64).SizeBytes(); got != 8 {
+		t.Errorf("SizeBytes(64) = %d, want 8", got)
+	}
+	if got := New(65).SizeBytes(); got != 16 {
+		t.Errorf("SizeBytes(65) = %d, want 16", got)
+	}
+	if got := New(0).SizeBytes(); got != 0 {
+		t.Errorf("SizeBytes(0) = %d, want 0", got)
+	}
+}
+
+// Property: Count equals the size of the set of indices set; AllSet iff every
+// index was set.
+func TestQuickCountMatchesModel(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		b := New(n)
+		model := make(map[int]bool)
+		rng := rand.New(rand.NewSource(seed))
+		for k := 0; k < n; k++ {
+			i := rng.Intn(n)
+			was := b.SetAndReport(i)
+			if was != model[i] {
+				return false
+			}
+			model[i] = true
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		return b.AllSet() == (len(model) == n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHasZeroDense(b *testing.B) {
+	bm := New(4096)
+	for i := 0; i < 4096; i++ {
+		bm.Set(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if bm.HasZero() {
+			b.Fatal("unexpected zero")
+		}
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	bm := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bm.Set(i % 4096)
+	}
+}

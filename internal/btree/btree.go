@@ -1,0 +1,586 @@
+// Package btree implements a paged B+-tree over the buffer manager — one of
+// the substrate services the paper's file system provides ("extent-based
+// files, records, B+-trees, scans, a fast buffer manager", §5.1).
+//
+// Keys are fixed-width tuples (typically a projection of a heap file's
+// schema) and values are record ids into that heap file. Duplicate keys are
+// allowed, so the tree can serve as a secondary index, e.g. Transcript
+// indexed by course-no for index joins. Deletion is lazy (no rebalancing),
+// which matches the read-mostly workloads of the experiments.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+const (
+	nodeInternal = 0
+	nodeLeaf     = 1
+
+	// header: type(1) + count(2) + sibling/leftmost child(4)
+	headerLen = 7
+
+	noPage = uint32(0xFFFFFFFF)
+)
+
+// ErrTreeFull is returned when a node cannot hold even the minimum fan-out.
+var ErrTreeFull = errors.New("btree: page too small for key width")
+
+// Tree is a B+-tree of fixed-width keys mapping to storage record ids.
+type Tree struct {
+	pool      *buffer.Pool
+	dev       *disk.Device
+	keySchema *tuple.Schema
+	keyWidth  int
+	leafEnt   int // bytes per leaf entry: key + RID(8)
+	intEnt    int // bytes per internal entry: key + child(4)
+	leafCap   int
+	intCap    int
+	root      disk.PageID
+	height    int
+	numKeys   int
+}
+
+// New creates an empty tree whose keys follow keySchema, stored on dev
+// through pool.
+func New(pool *buffer.Pool, dev *disk.Device, keySchema *tuple.Schema) (*Tree, error) {
+	t := &Tree{
+		pool:      pool,
+		dev:       dev,
+		keySchema: keySchema,
+		keyWidth:  keySchema.Width(),
+	}
+	t.leafEnt = t.keyWidth + 8
+	t.intEnt = t.keyWidth + 4
+	t.leafCap = (dev.PageSize() - headerLen) / t.leafEnt
+	t.intCap = (dev.PageSize() - headerLen) / t.intEnt
+	if t.leafCap < 3 || t.intCap < 3 {
+		return nil, fmt.Errorf("%w: key width %d on %d-byte pages", ErrTreeFull, t.keyWidth, dev.PageSize())
+	}
+	root, h, err := pool.NewPage(dev)
+	if err != nil {
+		return nil, err
+	}
+	initNode(h.Bytes(), nodeLeaf)
+	h.MarkDirty()
+	if err := h.Unfix(true); err != nil {
+		return nil, err
+	}
+	t.root = root
+	t.height = 1
+	return t, nil
+}
+
+// Height returns the number of levels (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.numKeys }
+
+func initNode(data []byte, typ byte) {
+	data[0] = typ
+	binary.LittleEndian.PutUint16(data[1:3], 0)
+	binary.LittleEndian.PutUint32(data[3:7], noPage)
+}
+
+func nodeType(data []byte) byte { return data[0] }
+func nodeCount(data []byte) int { return int(binary.LittleEndian.Uint16(data[1:3])) }
+func setNodeCount(data []byte, n int) {
+	binary.LittleEndian.PutUint16(data[1:3], uint16(n))
+}
+
+// For leaves link is the right sibling; for internals it is the leftmost
+// child (subtree of keys below the first separator).
+func nodeLink(data []byte) disk.PageID {
+	v := binary.LittleEndian.Uint32(data[3:7])
+	if v == noPage {
+		return disk.InvalidPage
+	}
+	return disk.PageID(v)
+}
+
+func setNodeLink(data []byte, p disk.PageID) {
+	if p == disk.InvalidPage {
+		binary.LittleEndian.PutUint32(data[3:7], noPage)
+		return
+	}
+	binary.LittleEndian.PutUint32(data[3:7], uint32(p))
+}
+
+func (t *Tree) leafKey(data []byte, i int) tuple.Tuple {
+	off := headerLen + i*t.leafEnt
+	return tuple.Tuple(data[off : off+t.keyWidth])
+}
+
+func (t *Tree) leafRID(data []byte, i int) storage.RID {
+	off := headerLen + i*t.leafEnt + t.keyWidth
+	page := binary.LittleEndian.Uint32(data[off : off+4])
+	slot := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	return storage.RID{Page: disk.PageID(int32(page)), Slot: int(slot)}
+}
+
+func (t *Tree) setLeafEntry(data []byte, i int, key tuple.Tuple, rid storage.RID) {
+	off := headerLen + i*t.leafEnt
+	copy(data[off:off+t.keyWidth], key)
+	binary.LittleEndian.PutUint32(data[off+t.keyWidth:off+t.keyWidth+4], uint32(rid.Page))
+	binary.LittleEndian.PutUint32(data[off+t.keyWidth+4:off+t.keyWidth+8], uint32(rid.Slot))
+}
+
+func (t *Tree) intKey(data []byte, i int) tuple.Tuple {
+	off := headerLen + i*t.intEnt
+	return tuple.Tuple(data[off : off+t.keyWidth])
+}
+
+func (t *Tree) intChild(data []byte, i int) disk.PageID {
+	off := headerLen + i*t.intEnt + t.keyWidth
+	return disk.PageID(int32(binary.LittleEndian.Uint32(data[off : off+4])))
+}
+
+func (t *Tree) setIntEntry(data []byte, i int, key tuple.Tuple, child disk.PageID) {
+	off := headerLen + i*t.intEnt
+	copy(data[off:off+t.keyWidth], key)
+	binary.LittleEndian.PutUint32(data[off+t.keyWidth:off+t.keyWidth+4], uint32(child))
+}
+
+// shift moves entries [i, count) one slot right (making room at i) in a node
+// with entry size entSize.
+func shiftRight(data []byte, i, count, entSize int) {
+	start := headerLen + i*entSize
+	end := headerLen + count*entSize
+	copy(data[start+entSize:end+entSize], data[start:end])
+}
+
+func shiftLeft(data []byte, i, count, entSize int) {
+	start := headerLen + i*entSize
+	end := headerLen + count*entSize
+	copy(data[start:end-entSize], data[start+entSize:end])
+}
+
+// lowerBound returns the first index in the leaf whose key is >= key.
+func (t *Tree) leafLowerBound(data []byte, key tuple.Tuple) int {
+	lo, hi := 0, nodeCount(data)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.keySchema.CompareAll(t.leafKey(data, mid), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childFor returns the child subtree to descend into for inserting key:
+// among equal separators it goes right, appending new duplicates after
+// existing ones.
+func (t *Tree) childFor(data []byte, key tuple.Tuple) disk.PageID {
+	n := nodeCount(data)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.keySchema.CompareAll(t.intKey(data, mid), key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo = number of separators <= key; child index lo-1, or leftmost.
+	if lo == 0 {
+		return nodeLink(data)
+	}
+	return t.intChild(data, lo-1)
+}
+
+// childForFirst returns the child subtree holding the FIRST occurrence of
+// key: a separator equal to key sends the search left, because duplicates of
+// a split separator also live in the left sibling.
+func (t *Tree) childForFirst(data []byte, key tuple.Tuple) disk.PageID {
+	n := nodeCount(data)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.keySchema.CompareAll(t.intKey(data, mid), key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo = number of separators strictly < key.
+	if lo == 0 {
+		return nodeLink(data)
+	}
+	return t.intChild(data, lo-1)
+}
+
+type splitResult struct {
+	split    bool
+	sepKey   tuple.Tuple
+	newChild disk.PageID
+}
+
+// Insert adds (key, rid). Duplicate keys are allowed; duplicates preserve no
+// particular order among themselves.
+func (t *Tree) Insert(key tuple.Tuple, rid storage.RID) error {
+	if len(key) != t.keyWidth {
+		return fmt.Errorf("btree: key width %d, want %d", len(key), t.keyWidth)
+	}
+	res, err := t.insertAt(t.root, key, rid)
+	if err != nil {
+		return err
+	}
+	if res.split {
+		// Grow a new root.
+		newRoot, h, err := t.pool.NewPage(t.dev)
+		if err != nil {
+			return err
+		}
+		data := h.Bytes()
+		initNode(data, nodeInternal)
+		setNodeLink(data, t.root)
+		t.setIntEntry(data, 0, res.sepKey, res.newChild)
+		setNodeCount(data, 1)
+		h.MarkDirty()
+		if err := h.Unfix(true); err != nil {
+			return err
+		}
+		t.root = newRoot
+		t.height++
+	}
+	t.numKeys++
+	return nil
+}
+
+func (t *Tree) insertAt(page disk.PageID, key tuple.Tuple, rid storage.RID) (splitResult, error) {
+	h, err := t.pool.Fix(t.dev, page)
+	if err != nil {
+		return splitResult{}, err
+	}
+	data := h.Bytes()
+
+	if nodeType(data) == nodeLeaf {
+		res, err := t.insertLeaf(h, key, rid)
+		if uerr := h.Unfix(true); err == nil {
+			err = uerr
+		}
+		return res, err
+	}
+
+	child := t.childFor(data, key)
+	// Unfix before recursing so deep trees do not pin a whole root-to-leaf
+	// path beyond what splitting needs.
+	if err := h.Unfix(true); err != nil {
+		return splitResult{}, err
+	}
+	childRes, err := t.insertAt(child, key, rid)
+	if err != nil || !childRes.split {
+		return splitResult{}, err
+	}
+
+	h, err = t.pool.Fix(t.dev, page)
+	if err != nil {
+		return splitResult{}, err
+	}
+	res, err := t.insertInternal(h, childRes.sepKey, childRes.newChild)
+	if uerr := h.Unfix(true); err == nil {
+		err = uerr
+	}
+	return res, err
+}
+
+func (t *Tree) insertLeaf(h *buffer.Handle, key tuple.Tuple, rid storage.RID) (splitResult, error) {
+	data := h.Bytes()
+	n := nodeCount(data)
+	pos := t.leafLowerBound(data, key)
+	if n < t.leafCap {
+		shiftRight(data, pos, n, t.leafEnt)
+		t.setLeafEntry(data, pos, key, rid)
+		setNodeCount(data, n+1)
+		h.MarkDirty()
+		return splitResult{}, nil
+	}
+
+	// Split: left keeps [0, mid), right gets [mid, n); insert into the side
+	// the position falls in.
+	mid := n / 2
+	newPage, nh, err := t.pool.NewPage(t.dev)
+	if err != nil {
+		return splitResult{}, err
+	}
+	defer nh.Unfix(true)
+	nd := nh.Bytes()
+	initNode(nd, nodeLeaf)
+	moved := n - mid
+	copy(nd[headerLen:headerLen+moved*t.leafEnt], data[headerLen+mid*t.leafEnt:headerLen+n*t.leafEnt])
+	setNodeCount(nd, moved)
+	setNodeLink(nd, nodeLink(data))
+	setNodeCount(data, mid)
+	setNodeLink(data, newPage)
+
+	if pos <= mid {
+		nLeft := mid
+		shiftRight(data, pos, nLeft, t.leafEnt)
+		t.setLeafEntry(data, pos, key, rid)
+		setNodeCount(data, nLeft+1)
+	} else {
+		rpos := pos - mid
+		shiftRight(nd, rpos, moved, t.leafEnt)
+		t.setLeafEntry(nd, rpos, key, rid)
+		setNodeCount(nd, moved+1)
+	}
+	h.MarkDirty()
+	nh.MarkDirty()
+	return splitResult{split: true, sepKey: t.leafKey(nd, 0).Clone(), newChild: newPage}, nil
+}
+
+func (t *Tree) insertInternal(h *buffer.Handle, sepKey tuple.Tuple, newChild disk.PageID) (splitResult, error) {
+	data := h.Bytes()
+	n := nodeCount(data)
+
+	// Position by separator key.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.keySchema.CompareAll(t.intKey(data, mid), sepKey) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := lo
+
+	if n < t.intCap {
+		shiftRight(data, pos, n, t.intEnt)
+		t.setIntEntry(data, pos, sepKey, newChild)
+		setNodeCount(data, n+1)
+		h.MarkDirty()
+		return splitResult{}, nil
+	}
+
+	// Split the internal node. Build the full ordered entry list, push the
+	// middle separator up.
+	type entry struct {
+		key   tuple.Tuple
+		child disk.PageID
+	}
+	entries := make([]entry, 0, n+1)
+	for i := 0; i < n; i++ {
+		entries = append(entries, entry{key: t.intKey(data, i).Clone(), child: t.intChild(data, i)})
+	}
+	entries = append(entries[:pos], append([]entry{{key: sepKey.Clone(), child: newChild}}, entries[pos:]...)...)
+
+	mid := len(entries) / 2
+	up := entries[mid]
+
+	newPage, nh, err := t.pool.NewPage(t.dev)
+	if err != nil {
+		return splitResult{}, err
+	}
+	defer nh.Unfix(true)
+	nd := nh.Bytes()
+	initNode(nd, nodeInternal)
+	setNodeLink(nd, up.child) // middle entry's child becomes right node's leftmost
+	right := entries[mid+1:]
+	for i, e := range right {
+		t.setIntEntry(nd, i, e.key, e.child)
+	}
+	setNodeCount(nd, len(right))
+
+	left := entries[:mid]
+	for i, e := range left {
+		t.setIntEntry(data, i, e.key, e.child)
+	}
+	setNodeCount(data, len(left))
+
+	h.MarkDirty()
+	nh.MarkDirty()
+	return splitResult{split: true, sepKey: up.key, newChild: newPage}, nil
+}
+
+// findLeaf descends to the leaf holding the first occurrence of key.
+func (t *Tree) findLeaf(key tuple.Tuple) (disk.PageID, error) {
+	page := t.root
+	for {
+		h, err := t.pool.Fix(t.dev, page)
+		if err != nil {
+			return disk.InvalidPage, err
+		}
+		data := h.Bytes()
+		if nodeType(data) == nodeLeaf {
+			if err := h.Unfix(true); err != nil {
+				return disk.InvalidPage, err
+			}
+			return page, nil
+		}
+		next := t.childForFirst(data, key)
+		if err := h.Unfix(true); err != nil {
+			return disk.InvalidPage, err
+		}
+		page = next
+	}
+}
+
+// Delete removes one entry matching (key, rid) exactly. It reports whether an
+// entry was removed. Removal is lazy: leaves may underflow.
+func (t *Tree) Delete(key tuple.Tuple, rid storage.RID) (bool, error) {
+	page, err := t.findLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	for page != disk.InvalidPage {
+		h, err := t.pool.Fix(t.dev, page)
+		if err != nil {
+			return false, err
+		}
+		data := h.Bytes()
+		n := nodeCount(data)
+		i := t.leafLowerBound(data, key)
+		for ; i < n; i++ {
+			c := t.keySchema.CompareAll(t.leafKey(data, i), key)
+			if c > 0 {
+				// Past all duplicates of key.
+				return false, h.Unfix(true)
+			}
+			if t.leafRID(data, i) == rid {
+				shiftLeft(data, i, n, t.leafEnt)
+				setNodeCount(data, n-1)
+				h.MarkDirty()
+				t.numKeys--
+				return true, h.Unfix(true)
+			}
+		}
+		next := nodeLink(data)
+		if err := h.Unfix(true); err != nil {
+			return false, err
+		}
+		page = next // duplicates may spill into the next leaf
+	}
+	return false, nil
+}
+
+// Iterator walks leaf entries in key order.
+type Iterator struct {
+	t      *Tree
+	page   disk.PageID
+	idx    int
+	hiKey  tuple.Tuple // exclusive upper bound, nil = none
+	closed bool
+}
+
+// SeekFirst positions an iterator at the smallest key >= key. A nil key
+// starts at the beginning.
+func (t *Tree) SeekFirst(key tuple.Tuple) (*Iterator, error) {
+	if key == nil {
+		// Descend along leftmost pointers.
+		page := t.root
+		for {
+			h, err := t.pool.Fix(t.dev, page)
+			if err != nil {
+				return nil, err
+			}
+			data := h.Bytes()
+			if nodeType(data) == nodeLeaf {
+				if err := h.Unfix(true); err != nil {
+					return nil, err
+				}
+				return &Iterator{t: t, page: page}, nil
+			}
+			next := nodeLink(data)
+			if err := h.Unfix(true); err != nil {
+				return nil, err
+			}
+			page = next
+		}
+	}
+	page, err := t.findLeaf(key)
+	if err != nil {
+		return nil, err
+	}
+	h, err := t.pool.Fix(t.dev, page)
+	if err != nil {
+		return nil, err
+	}
+	idx := t.leafLowerBound(h.Bytes(), key)
+	if err := h.Unfix(true); err != nil {
+		return nil, err
+	}
+	return &Iterator{t: t, page: page, idx: idx}, nil
+}
+
+// Range returns an iterator over keys in [lo, hi); nil bounds are open.
+func (t *Tree) Range(lo, hi tuple.Tuple) (*Iterator, error) {
+	it, err := t.SeekFirst(lo)
+	if err != nil {
+		return nil, err
+	}
+	if hi != nil {
+		it.hiKey = hi.Clone()
+	}
+	return it, nil
+}
+
+// Next returns the next key (a copy) and record id, or io.EOF.
+func (it *Iterator) Next() (tuple.Tuple, storage.RID, error) {
+	if it.closed {
+		return nil, storage.RID{}, io.EOF
+	}
+	for {
+		if it.page == disk.InvalidPage {
+			it.closed = true
+			return nil, storage.RID{}, io.EOF
+		}
+		h, err := it.t.pool.Fix(it.t.dev, it.page)
+		if err != nil {
+			return nil, storage.RID{}, err
+		}
+		data := h.Bytes()
+		if it.idx < nodeCount(data) {
+			key := it.t.leafKey(data, it.idx).Clone()
+			rid := it.t.leafRID(data, it.idx)
+			if err := h.Unfix(true); err != nil {
+				return nil, storage.RID{}, err
+			}
+			if it.hiKey != nil && it.t.keySchema.CompareAll(key, it.hiKey) >= 0 {
+				it.closed = true
+				return nil, storage.RID{}, io.EOF
+			}
+			it.idx++
+			return key, rid, nil
+		}
+		next := nodeLink(data)
+		if err := h.Unfix(true); err != nil {
+			return nil, storage.RID{}, err
+		}
+		it.page = next
+		it.idx = 0
+	}
+}
+
+// Lookup returns the record ids of every entry whose key equals key.
+func (t *Tree) Lookup(key tuple.Tuple) ([]storage.RID, error) {
+	it, err := t.SeekFirst(key)
+	if err != nil {
+		return nil, err
+	}
+	var out []storage.RID
+	for {
+		k, rid, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if t.keySchema.CompareAll(k, key) != 0 {
+			return out, nil
+		}
+		out = append(out, rid)
+	}
+}

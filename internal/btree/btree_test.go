@@ -1,0 +1,328 @@
+package btree
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+func newTree(t testing.TB, pageSize int) *Tree {
+	t.Helper()
+	dev := disk.NewDevice("idx", pageSize)
+	pool := buffer.New(1 << 20)
+	schema := tuple.NewSchema(tuple.Int64Field("k"))
+	tr, err := New(pool, dev, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func keyOf(tr *Tree, v int64) tuple.Tuple {
+	return tr.keySchema.MustMake(v)
+}
+
+func collect(t testing.TB, it *Iterator) []int64 {
+	t.Helper()
+	var out []int64
+	s := tuple.NewSchema(tuple.Int64Field("k"))
+	for {
+		k, _, err := it.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s.Int64(k, 0))
+	}
+}
+
+func TestInsertAndScanSorted(t *testing.T) {
+	tr := newTree(t, 64) // tiny pages force splits: leafCap=(64-7)/16=3
+	const n = 500
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, v := range perm {
+		if err := tr.Insert(keyOf(tr, int64(v)), storage.RID{Page: disk.PageID(v), Slot: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Errorf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("Height = %d; tiny pages should force a multi-level tree", tr.Height())
+	}
+	it, err := tr.SeekFirst(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it)
+	if len(got) != n {
+		t.Fatalf("scan returned %d keys, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("scan[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestLookupFindsRID(t *testing.T) {
+	tr := newTree(t, 64)
+	for v := 0; v < 100; v++ {
+		if err := tr.Insert(keyOf(tr, int64(v)), storage.RID{Page: disk.PageID(v), Slot: v * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rids, err := tr.Lookup(keyOf(tr, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 1 || rids[0] != (storage.RID{Page: 42, Slot: 84}) {
+		t.Errorf("Lookup(42) = %v", rids)
+	}
+	rids, err = tr.Lookup(keyOf(tr, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 0 {
+		t.Errorf("Lookup(missing) = %v", rids)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTree(t, 64)
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(keyOf(tr, 7), storage.RID{Page: 0, Slot: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Insert(keyOf(tr, 3), storage.RID{Page: 0, Slot: 999}); err != nil {
+		t.Fatal(err)
+	}
+	rids, err := tr.Lookup(keyOf(tr, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 50 {
+		t.Errorf("Lookup(dup) returned %d rids, want 50", len(rids))
+	}
+	slots := make(map[int]bool)
+	for _, r := range rids {
+		slots[r.Slot] = true
+	}
+	if len(slots) != 50 {
+		t.Error("duplicate lookups lost distinct rids")
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := newTree(t, 64)
+	for v := 0; v < 100; v += 2 { // even keys 0..98
+		if err := tr.Insert(keyOf(tr, int64(v)), storage.RID{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := tr.Range(keyOf(tr, 10), keyOf(tr, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it)
+	want := []int64{10, 12, 14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+
+	// Bounds that fall between keys.
+	it, err = tr.Range(keyOf(tr, 11), keyOf(tr, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = collect(t, it)
+	if len(got) != 2 || got[0] != 12 || got[1] != 14 {
+		t.Errorf("Range(11,15) = %v, want [12 14]", got)
+	}
+}
+
+func TestSeekFirstMidTree(t *testing.T) {
+	tr := newTree(t, 64)
+	for v := 0; v < 300; v++ {
+		if err := tr.Insert(keyOf(tr, int64(v)), storage.RID{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := tr.SeekFirst(keyOf(tr, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it)
+	if len(got) != 50 || got[0] != 250 || got[49] != 299 {
+		t.Errorf("SeekFirst(250): len=%d first=%v", len(got), got[:min(3, len(got))])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 64)
+	for v := 0; v < 100; v++ {
+		if err := tr.Insert(keyOf(tr, int64(v)), storage.RID{Slot: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := tr.Delete(keyOf(tr, 50), storage.RID{Slot: 50})
+	if err != nil || !ok {
+		t.Fatalf("Delete(50) = %v, %v", ok, err)
+	}
+	if tr.Len() != 99 {
+		t.Errorf("Len = %d, want 99", tr.Len())
+	}
+	rids, err := tr.Lookup(keyOf(tr, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 0 {
+		t.Error("deleted key still found")
+	}
+	// Deleting again reports not found.
+	ok, err = tr.Delete(keyOf(tr, 50), storage.RID{Slot: 50})
+	if err != nil || ok {
+		t.Errorf("second Delete = %v, %v", ok, err)
+	}
+	// Delete with wrong rid does not remove.
+	ok, err = tr.Delete(keyOf(tr, 51), storage.RID{Slot: 9999})
+	if err != nil || ok {
+		t.Errorf("Delete wrong rid = %v, %v", ok, err)
+	}
+}
+
+func TestDeleteAmongDuplicates(t *testing.T) {
+	tr := newTree(t, 64)
+	for i := 0; i < 40; i++ {
+		if err := tr.Insert(keyOf(tr, 5), storage.RID{Slot: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := tr.Delete(keyOf(tr, 5), storage.RID{Slot: 33})
+	if err != nil || !ok {
+		t.Fatalf("Delete dup = %v, %v", ok, err)
+	}
+	rids, err := tr.Lookup(keyOf(tr, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 39 {
+		t.Errorf("after delete: %d rids, want 39", len(rids))
+	}
+	for _, r := range rids {
+		if r.Slot == 33 {
+			t.Error("deleted rid still present")
+		}
+	}
+}
+
+func TestKeyWidthMismatch(t *testing.T) {
+	tr := newTree(t, 64)
+	if err := tr.Insert(make(tuple.Tuple, 3), storage.RID{}); err == nil {
+		t.Error("Insert with wrong key width should fail")
+	}
+}
+
+func TestPageTooSmall(t *testing.T) {
+	dev := disk.NewDevice("idx", 32)
+	pool := buffer.New(1 << 16)
+	schema := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"), tuple.Int64Field("c"))
+	if _, err := New(pool, dev, schema); err == nil {
+		t.Error("expected ErrTreeFull for oversized keys")
+	}
+}
+
+// Property: the tree sorts any multiset of int64 keys.
+func TestQuickSortsAnyInput(t *testing.T) {
+	f := func(vals []int16) bool {
+		tr := newTree(t, 128)
+		for i, v := range vals {
+			if err := tr.Insert(keyOf(tr, int64(v)), storage.RID{Slot: i}); err != nil {
+				return false
+			}
+		}
+		it, err := tr.SeekFirst(nil)
+		if err != nil {
+			return false
+		}
+		got := collect(t, it)
+		want := make([]int64, len(vals))
+		for i, v := range vals {
+			want[i] = int64(v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoFrameLeaks(t *testing.T) {
+	tr := newTree(t, 64)
+	for v := 0; v < 1000; v++ {
+		if err := tr.Insert(keyOf(tr, int64(v%100)), storage.RID{Slot: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := tr.SeekFirst(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, it)
+	if got := tr.pool.FixedFrames(); got != 0 {
+		t.Errorf("leaked %d fixed frames", got)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := newTree(b, disk.PaperPageSize)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(keyOf(tr, rng.Int63()), storage.RID{Slot: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tr := newTree(b, disk.PaperPageSize)
+	for v := 0; v < 100000; v++ {
+		if err := tr.Insert(keyOf(tr, int64(v)), storage.RID{Slot: v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Lookup(keyOf(tr, int64(i%100000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// Entry is one (key, record id) pair for bulk loading.
+type Entry struct {
+	Key tuple.Tuple
+	RID storage.RID
+}
+
+// BulkLoad builds a tree bottom-up from entries already sorted by key
+// (duplicates allowed, adjacent). It writes leaves sequentially at the
+// chosen fill factor and then each internal level in one pass — the standard
+// way to index an existing sorted file, far cheaper than repeated Insert.
+// fill is the leaf/internal fill fraction in (0, 1]; 0 picks 1.0 (packed).
+func BulkLoad(pool *buffer.Pool, dev *disk.Device, keySchema *tuple.Schema, entries []Entry, fill float64) (*Tree, error) {
+	if fill <= 0 || fill > 1 {
+		fill = 1
+	}
+	t := &Tree{
+		pool:      pool,
+		dev:       dev,
+		keySchema: keySchema,
+		keyWidth:  keySchema.Width(),
+	}
+	t.leafEnt = t.keyWidth + 8
+	t.intEnt = t.keyWidth + 4
+	t.leafCap = (dev.PageSize() - headerLen) / t.leafEnt
+	t.intCap = (dev.PageSize() - headerLen) / t.intEnt
+	if t.leafCap < 3 || t.intCap < 3 {
+		return nil, fmt.Errorf("%w: key width %d on %d-byte pages", ErrTreeFull, t.keyWidth, dev.PageSize())
+	}
+
+	// Validate ordering and key widths up front.
+	for i, e := range entries {
+		if len(e.Key) != t.keyWidth {
+			return nil, fmt.Errorf("btree: bulk entry %d has key width %d, want %d", i, len(e.Key), t.keyWidth)
+		}
+		if i > 0 && keySchema.CompareAll(entries[i-1].Key, e.Key) > 0 {
+			return nil, fmt.Errorf("btree: bulk entries not sorted at %d", i)
+		}
+	}
+
+	leafTarget := int(float64(t.leafCap) * fill)
+	if leafTarget < 1 {
+		leafTarget = 1
+	}
+	intTarget := int(float64(t.intCap) * fill)
+	if intTarget < 1 {
+		intTarget = 1
+	}
+
+	type child struct {
+		firstKey tuple.Tuple
+		page     disk.PageID
+	}
+
+	// Level 0: leaves.
+	var level []child
+	if len(entries) == 0 {
+		// Empty tree: a single empty leaf root.
+		root, h, err := pool.NewPage(dev)
+		if err != nil {
+			return nil, err
+		}
+		initNode(h.Bytes(), nodeLeaf)
+		h.MarkDirty()
+		if err := h.Unfix(true); err != nil {
+			return nil, err
+		}
+		t.root = root
+		t.height = 1
+		return t, nil
+	}
+	var prevLeaf *buffer.Handle
+	var prevLeafData []byte
+	for start := 0; start < len(entries); start += leafTarget {
+		end := start + leafTarget
+		if end > len(entries) {
+			end = len(entries)
+		}
+		page, h, err := pool.NewPage(dev)
+		if err != nil {
+			if prevLeaf != nil {
+				prevLeaf.Unfix(true)
+			}
+			return nil, err
+		}
+		data := h.Bytes()
+		initNode(data, nodeLeaf)
+		for i, e := range entries[start:end] {
+			t.setLeafEntry(data, i, e.Key, e.RID)
+		}
+		setNodeCount(data, end-start)
+		h.MarkDirty()
+		if prevLeaf != nil {
+			setNodeLink(prevLeafData, page)
+			prevLeaf.MarkDirty()
+			if err := prevLeaf.Unfix(true); err != nil {
+				h.Unfix(true)
+				return nil, err
+			}
+		}
+		prevLeaf, prevLeafData = h, data
+		level = append(level, child{firstKey: entries[start].Key.Clone(), page: page})
+	}
+	if prevLeaf != nil {
+		if err := prevLeaf.Unfix(true); err != nil {
+			return nil, err
+		}
+	}
+	t.numKeys = len(entries)
+	t.height = 1
+
+	// Build internal levels until one node remains.
+	for len(level) > 1 {
+		var next []child
+		// Each internal node holds 1 leftmost child + up to intTarget
+		// separators.
+		perNode := intTarget + 1
+		for start := 0; start < len(level); start += perNode {
+			end := start + perNode
+			if end > len(level) {
+				end = len(level)
+			}
+			// A trailing singleton becomes a one-child internal node
+			// (count 0, leftmost pointer only) — valid for search, slightly
+			// under-filled, and eliminated by the next level up.
+			page, h, err := pool.NewPage(dev)
+			if err != nil {
+				return nil, err
+			}
+			data := h.Bytes()
+			initNode(data, nodeInternal)
+			setNodeLink(data, level[start].page)
+			for i, c := range level[start+1 : end] {
+				t.setIntEntry(data, i, c.firstKey, c.page)
+			}
+			setNodeCount(data, end-start-1)
+			h.MarkDirty()
+			if err := h.Unfix(true); err != nil {
+				return nil, err
+			}
+			next = append(next, child{firstKey: level[start].firstKey, page: page})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].page
+	return t, nil
+}

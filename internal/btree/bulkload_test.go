@@ -1,0 +1,255 @@
+package btree
+
+import (
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+func bulkEnv() (*buffer.Pool, *disk.Device, *tuple.Schema) {
+	return buffer.New(1 << 20), disk.NewDevice("idx", 128), tuple.NewSchema(tuple.Int64Field("k"))
+}
+
+func sortedEntries(s *tuple.Schema, n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{Key: s.MustMake(int64(i)), RID: storage.RID{Slot: i}}
+	}
+	return out
+}
+
+func scanAll(t testing.TB, tr *Tree) []int64 {
+	t.Helper()
+	it, err := tr.SeekFirst(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tuple.NewSchema(tuple.Int64Field("k"))
+	var out []int64
+	for {
+		k, _, err := it.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s.Int64(k, 0))
+	}
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	pool, dev, s := bulkEnv()
+	tr, err := BulkLoad(pool, dev, s, sortedEntries(s, 1000), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := scanAll(t, tr)
+	if len(got) != 1000 {
+		t.Fatalf("scan = %d keys", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("key %d = %d", i, v)
+		}
+	}
+	// Point lookups.
+	for _, k := range []int64{0, 1, 499, 998, 999} {
+		rids, err := tr.Lookup(s.MustMake(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rids) != 1 || rids[0].Slot != int(k) {
+			t.Errorf("Lookup(%d) = %v", k, rids)
+		}
+	}
+	if rids, _ := tr.Lookup(s.MustMake(5000)); len(rids) != 0 {
+		t.Error("found a missing key")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	pool, dev, s := bulkEnv()
+	tr, err := BulkLoad(pool, dev, s, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scanAll(t, tr); len(got) != 0 {
+		t.Errorf("empty tree scan = %v", got)
+	}
+	// The tree stays usable for inserts.
+	if err := tr.Insert(s.MustMake(7), storage.RID{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := scanAll(t, tr); len(got) != 1 {
+		t.Errorf("insert after empty bulk load failed: %v", got)
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	pool, dev, s := bulkEnv()
+	entries := []Entry{
+		{Key: s.MustMake(2)},
+		{Key: s.MustMake(1)},
+	}
+	if _, err := BulkLoad(pool, dev, s, entries, 1); err == nil {
+		t.Error("unsorted entries accepted")
+	}
+	bad := []Entry{{Key: make(tuple.Tuple, 3)}}
+	if _, err := BulkLoad(pool, dev, s, bad, 1); err == nil {
+		t.Error("bad key width accepted")
+	}
+}
+
+func TestBulkLoadDuplicates(t *testing.T) {
+	pool, dev, s := bulkEnv()
+	var entries []Entry
+	for i := 0; i < 100; i++ {
+		entries = append(entries, Entry{Key: s.MustMake(int64(i / 10)), RID: storage.RID{Slot: i}})
+	}
+	tr, err := BulkLoad(pool, dev, s, entries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids, err := tr.Lookup(s.MustMake(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 10 {
+		t.Errorf("Lookup(dup) = %d rids, want 10", len(rids))
+	}
+}
+
+func TestBulkLoadFillFactor(t *testing.T) {
+	pool, dev, s := bulkEnv()
+	packed, err := BulkLoad(pool, dev, s, sortedEntries(s, 500), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev2 := disk.NewDevice("idx2", 128)
+	loose, err := BulkLoad(pool, dev2, s, sortedEntries(s, 500), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev2.NumPages() <= dev.NumPages() {
+		t.Errorf("half-fill tree (%d pages) not larger than packed (%d pages)",
+			dev2.NumPages(), dev.NumPages())
+	}
+	// Loose trees absorb inserts without splitting existing leaves as
+	// often, but both must stay correct.
+	if got := scanAll(t, packed); len(got) != 500 {
+		t.Error("packed scan lost keys")
+	}
+	if got := scanAll(t, loose); len(got) != 500 {
+		t.Error("loose scan lost keys")
+	}
+}
+
+func TestBulkLoadThenInsert(t *testing.T) {
+	pool, dev, s := bulkEnv()
+	// Even keys bulk-loaded, odd keys inserted afterwards.
+	var entries []Entry
+	for i := 0; i < 400; i += 2 {
+		entries = append(entries, Entry{Key: s.MustMake(int64(i)), RID: storage.RID{Slot: i}})
+	}
+	tr, err := BulkLoad(pool, dev, s, entries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 400; i += 2 {
+		if err := tr.Insert(s.MustMake(int64(i)), storage.RID{Slot: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := scanAll(t, tr)
+	if len(got) != 400 {
+		t.Fatalf("scan = %d keys, want 400", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("key %d = %d", i, v)
+		}
+	}
+}
+
+// Property: bulk load of any sorted multiset equals insert-loop results.
+func TestQuickBulkLoadEqualsInserts(t *testing.T) {
+	f := func(rawKeys []uint8, fillRaw uint8) bool {
+		s := tuple.NewSchema(tuple.Int64Field("k"))
+		keys := make([]int64, len(rawKeys))
+		for i, k := range rawKeys {
+			keys[i] = int64(k)
+		}
+		// Sort.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		entries := make([]Entry, len(keys))
+		for i, k := range keys {
+			entries[i] = Entry{Key: s.MustMake(k), RID: storage.RID{Slot: i}}
+		}
+		fill := 0.3 + float64(fillRaw%70)/100
+		bulk, err := BulkLoad(buffer.New(1<<20), disk.NewDevice("a", 128), s, entries, fill)
+		if err != nil {
+			return false
+		}
+		ins, err := New(buffer.New(1<<20), disk.NewDevice("b", 128), s)
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			if err := ins.Insert(s.MustMake(k), storage.RID{Slot: i}); err != nil {
+				return false
+			}
+		}
+		a := scanAll(t, bulk)
+		b := scanAll(t, ins)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	s := tuple.NewSchema(tuple.Int64Field("k"))
+	entries := sortedEntries(s, 50000)
+	b.Run("bulk-load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BulkLoad(buffer.New(8<<20), disk.NewDevice("a", disk.PaperPageSize), s, entries, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := New(buffer.New(8<<20), disk.NewDevice("b", disk.PaperPageSize), s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range entries {
+				if err := tr.Insert(e.Key, e.RID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,378 @@
+// Package buffer implements the buffer manager of the paper's substrate
+// (§5.1): a pool of page frames with a fix/unfix interface, LRU replacement,
+// dynamic growth up to a memory limit, write-back of dirty pages, and
+// "virtual" frames for intermediate results that live only in the pool and
+// disappear when evicted.
+//
+// Scans and operators above receive direct references into the pool
+// ("copying is avoided as scans give memory addresses to records fixed in the
+// buffer pool"), so a frame's bytes stay valid exactly while it is fixed.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/disk"
+)
+
+// Errors reported by the pool.
+var (
+	// ErrNoMemory means every frame is fixed and the pool is at its limit.
+	ErrNoMemory = errors.New("buffer: pool exhausted, all frames fixed")
+	// ErrEvicted means a virtual page was evicted and its data is gone.
+	ErrEvicted = errors.New("buffer: virtual page was evicted")
+	// ErrNotFixed is returned when releasing a handle twice.
+	ErrNotFixed = errors.New("buffer: page not fixed")
+)
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// LRU replaces the least recently unfixed frame, honoring the unfix
+	// hint (immediately-replaceable frames go to the front of the queue).
+	// It is the paper's policy ("inserted into an LRU list").
+	LRU Policy = iota
+	// Clock is the second-chance policy: frames carry a reference bit set
+	// on unfix-with-keep; the evicting sweep clears set bits and evicts
+	// the first frame found clear. Cheaper bookkeeping per hit in real
+	// systems, provided as an ablation here.
+	Clock
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// PaperPoolBytes is the paper's initial 256 KB buffer size.
+const PaperPoolBytes = 256 * 1024
+
+// PaperSortBytes is the paper's 100 KB sort space.
+const PaperSortBytes = 100 * 1024
+
+type frameKey struct {
+	dev  *disk.Device // nil for virtual frames
+	page disk.PageID
+}
+
+type frame struct {
+	key      frameKey
+	data     []byte
+	fixCount int
+	dirty    bool
+	virtual  bool
+	ref      bool          // Clock reference bit
+	lruElem  *list.Element // non-nil iff on the victim list (fixCount == 0)
+}
+
+// Stats describe pool behaviour since creation or the last ResetStats.
+type Stats struct {
+	Hits        int // Fix found the page resident
+	Misses      int // Fix had to read the page from its device
+	Evictions   int // frames pushed out to make room
+	WriteBacks  int // dirty frames written to their device on eviction/flush
+	PeakBytes   int // high-water mark of pool memory
+	LiveBytes   int // current pool memory
+	VirtualLost int // virtual frames discarded by eviction
+	_           [0]byte
+}
+
+// Pool is the buffer manager. It is safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	maxBytes int
+	policy   Policy
+	frames   map[frameKey]*frame
+	lru      *list.List // unpinned frames; front = next eviction candidate
+	nextVirt disk.PageID
+	curBytes int
+	stats    Stats
+}
+
+// New creates an LRU pool limited to maxBytes of frame memory. The pool
+// starts empty and grows on demand ("the buffer pool grows dynamically until
+// the main memory pool is exhausted, and shrinks as buffer slots are
+// unfixed").
+func New(maxBytes int) *Pool {
+	return NewWithPolicy(maxBytes, LRU)
+}
+
+// NewWithPolicy creates a pool with an explicit replacement policy.
+func NewWithPolicy(maxBytes int, policy Policy) *Pool {
+	if maxBytes <= 0 {
+		panic(fmt.Sprintf("buffer: pool size must be positive, got %d", maxBytes))
+	}
+	return &Pool{
+		maxBytes: maxBytes,
+		policy:   policy,
+		frames:   make(map[frameKey]*frame),
+		lru:      list.New(),
+	}
+}
+
+// PolicyName reports the configured replacement policy.
+func (p *Pool) PolicyName() Policy { return p.policy }
+
+// MaxBytes returns the configured memory limit.
+func (p *Pool) MaxBytes() int { return p.maxBytes }
+
+// Handle is a fixed page. Bytes stay valid until Unfix.
+type Handle struct {
+	pool *Pool
+	f    *frame
+}
+
+// Bytes returns the frame contents. The slice aliases pool memory; it must
+// not be used after Unfix.
+func (h *Handle) Bytes() []byte { return h.f.data }
+
+// Page returns the backing page id (InvalidPage for virtual frames).
+func (h *Handle) Page() disk.PageID {
+	if h.f.virtual {
+		return disk.InvalidPage
+	}
+	return h.f.key.page
+}
+
+// MarkDirty records that the frame was modified and must be written back.
+func (h *Handle) MarkDirty() {
+	h.pool.mu.Lock()
+	h.f.dirty = true
+	h.pool.mu.Unlock()
+}
+
+// Unfix releases the handle. keepLRU=true inserts the frame into the LRU
+// list for possible reuse; keepLRU=false marks it immediately replaceable
+// (front of the list), the paper's "can be replaced immediately" hint.
+func (h *Handle) Unfix(keepLRU bool) error {
+	p := h.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := h.f
+	if f.fixCount <= 0 {
+		return ErrNotFixed
+	}
+	f.fixCount--
+	if f.fixCount == 0 {
+		switch p.policy {
+		case Clock:
+			f.ref = keepLRU // second chance iff the caller wants it kept
+			f.lruElem = p.lru.PushBack(f)
+		default:
+			if keepLRU {
+				f.lruElem = p.lru.PushBack(f)
+			} else {
+				f.lruElem = p.lru.PushFront(f)
+			}
+		}
+	}
+	return nil
+}
+
+// ensureRoomLocked evicts unpinned frames until need more bytes fit, writing
+// back dirty real frames and discarding virtual ones.
+func (p *Pool) ensureRoomLocked(need int) error {
+	if need > p.maxBytes {
+		return fmt.Errorf("%w: frame of %d bytes exceeds pool of %d", ErrNoMemory, need, p.maxBytes)
+	}
+	for p.curBytes+need > p.maxBytes {
+		el := p.lru.Front()
+		if el == nil {
+			return fmt.Errorf("%w: need %d bytes, %d in use", ErrNoMemory, need, p.curBytes)
+		}
+		f := el.Value.(*frame)
+		if p.policy == Clock && f.ref {
+			// Second chance: clear the bit and move on. The sweep
+			// terminates because each pass clears bits.
+			f.ref = false
+			p.lru.MoveToBack(el)
+			continue
+		}
+		p.lru.Remove(el)
+		f.lruElem = nil
+		if f.dirty && !f.virtual {
+			if err := f.key.dev.Write(f.key.page, f.data); err != nil {
+				return fmt.Errorf("buffer: write-back: %w", err)
+			}
+			p.stats.WriteBacks++
+		}
+		if f.virtual {
+			p.stats.VirtualLost++
+		}
+		delete(p.frames, f.key)
+		p.curBytes -= len(f.data)
+		p.stats.Evictions++
+	}
+	return nil
+}
+
+func (p *Pool) addFrameLocked(f *frame) {
+	p.frames[f.key] = f
+	p.curBytes += len(f.data)
+	if p.curBytes > p.stats.PeakBytes {
+		p.stats.PeakBytes = p.curBytes
+	}
+}
+
+// pinLocked marks an existing frame fixed, removing it from the LRU list.
+func (p *Pool) pinLocked(f *frame) {
+	if f.lruElem != nil {
+		p.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+	f.fixCount++
+}
+
+// Fix pins the given device page in the pool, reading it from the device if
+// it is not resident, and returns a handle to its bytes.
+func (p *Pool) Fix(dev *disk.Device, page disk.PageID) (*Handle, error) {
+	key := frameKey{dev: dev, page: page}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[key]; ok {
+		p.stats.Hits++
+		p.pinLocked(f)
+		return &Handle{pool: p, f: f}, nil
+	}
+	p.stats.Misses++
+	if err := p.ensureRoomLocked(dev.PageSize()); err != nil {
+		return nil, err
+	}
+	f := &frame{key: key, data: make([]byte, dev.PageSize())}
+	if err := dev.Read(page, f.data); err != nil {
+		return nil, err
+	}
+	p.addFrameLocked(f)
+	f.fixCount = 1
+	return &Handle{pool: p, f: f}, nil
+}
+
+// NewPage allocates a fresh page on the device and fixes a zeroed frame for
+// it without reading (the page is new, so its device content is irrelevant).
+// The frame starts dirty so it reaches the device on eviction or flush.
+func (p *Pool) NewPage(dev *disk.Device) (disk.PageID, *Handle, error) {
+	page := dev.Alloc()
+	key := frameKey{dev: dev, page: page}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ensureRoomLocked(dev.PageSize()); err != nil {
+		return disk.InvalidPage, nil, err
+	}
+	f := &frame{key: key, data: make([]byte, dev.PageSize()), dirty: true}
+	p.addFrameLocked(f)
+	f.fixCount = 1
+	return page, &Handle{pool: p, f: f}, nil
+}
+
+// FixVirtual creates an anonymous frame of the given size that exists only in
+// the pool. Re-fixing it after eviction returns ErrEvicted; virtual frames
+// model the paper's virtual devices for intermediate results.
+func (p *Pool) FixVirtual(size int) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ensureRoomLocked(size); err != nil {
+		return nil, err
+	}
+	key := frameKey{dev: nil, page: p.nextVirt}
+	p.nextVirt++
+	f := &frame{key: key, data: make([]byte, size), virtual: true}
+	p.addFrameLocked(f)
+	f.fixCount = 1
+	return &Handle{pool: p, f: f}, nil
+}
+
+// Refix pins a handle's frame again if it is still resident. For virtual
+// frames that were evicted it returns ErrEvicted.
+func (p *Pool) Refix(h *Handle) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[h.f.key]
+	if !ok || f != h.f {
+		if h.f.virtual {
+			return nil, ErrEvicted
+		}
+		return nil, fmt.Errorf("buffer: page %d no longer resident", h.f.key.page)
+	}
+	p.pinLocked(f)
+	return &Handle{pool: p, f: f}, nil
+}
+
+// FlushAll writes every dirty real frame back to its device. Fixed frames are
+// flushed but stay resident and fixed.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty && !f.virtual {
+			if err := f.key.dev.Write(f.key.page, f.data); err != nil {
+				return fmt.Errorf("buffer: flush: %w", err)
+			}
+			f.dirty = false
+			p.stats.WriteBacks++
+		}
+	}
+	return nil
+}
+
+// DropClean discards every unfixed frame without write-back accounting
+// changes (dirty unfixed frames are written back first). Used between
+// experiment runs to cold-start the cache.
+func (p *Pool) DropClean() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for el := p.lru.Front(); el != nil; {
+		next := el.Next()
+		f := el.Value.(*frame)
+		if f.dirty && !f.virtual {
+			if err := f.key.dev.Write(f.key.page, f.data); err != nil {
+				return fmt.Errorf("buffer: drop: %w", err)
+			}
+			p.stats.WriteBacks++
+		}
+		p.lru.Remove(el)
+		delete(p.frames, f.key)
+		p.curBytes -= len(f.data)
+		el = next
+	}
+	return nil
+}
+
+// Stats returns a snapshot of pool statistics.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.LiveBytes = p.curBytes
+	return s
+}
+
+// ResetStats zeroes the counters (resident pages stay).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// FixedFrames reports how many frames are currently pinned, for leak checks
+// in tests.
+func (p *Pool) FixedFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.fixCount > 0 {
+			n++
+		}
+	}
+	return n
+}

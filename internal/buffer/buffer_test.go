@@ -1,0 +1,424 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func newDev(pageSize, pages int) *disk.Device {
+	d := disk.NewDevice("t", pageSize)
+	if pages > 0 {
+		d.AllocExtent(pages)
+	}
+	return d
+}
+
+func TestFixReadsAndCaches(t *testing.T) {
+	dev := newDev(16, 2)
+	payload := make([]byte, 16)
+	payload[0] = 42
+	if err := dev.Write(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	devReads := dev.Stats().Reads
+
+	p := New(1024)
+	h, err := p.Fix(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bytes()[0] != 42 {
+		t.Error("Fix did not read page content")
+	}
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second fix must be a cache hit with no device read.
+	h2, err := p.Fix(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Unfix(true)
+	if got := dev.Stats().Reads - devReads; got != 1 {
+		t.Errorf("device reads = %d, want 1 (second fix should hit)", got)
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", s.Hits, s.Misses)
+	}
+}
+
+func TestDirtyWriteBackOnEviction(t *testing.T) {
+	dev := newDev(16, 4)
+	p := New(32) // room for exactly 2 frames
+
+	h, err := p.Fix(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Bytes()[0] = 7
+	h.MarkDirty()
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch two other pages to force eviction of page 0.
+	for _, pg := range []disk.PageID{1, 2} {
+		hh, err := p.Fix(dev, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hh.Unfix(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	buf := make([]byte, 16)
+	if err := dev.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Error("dirty page was not written back on eviction")
+	}
+	if s := p.Stats(); s.WriteBacks != 1 || s.Evictions != 1 {
+		t.Errorf("writebacks=%d evictions=%d, want 1/1", s.WriteBacks, s.Evictions)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	dev := newDev(16, 4)
+	p := New(32)
+	h1, err := p.Fix(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := p.Fix(dev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Fix(dev, 2); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("expected ErrNoMemory with all frames fixed, got %v", err)
+	}
+	// Unfixing one frame makes room again.
+	if err := h1.Unfix(false); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := p.Fix(dev, 2)
+	if err != nil {
+		t.Fatalf("Fix after unfix: %v", err)
+	}
+	h3.Unfix(true)
+	h2.Unfix(true)
+}
+
+func TestFrameLargerThanPool(t *testing.T) {
+	dev := newDev(64, 1)
+	p := New(32)
+	if _, err := p.Fix(dev, 0); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("want ErrNoMemory, got %v", err)
+	}
+}
+
+func TestUnfixKeepHintControlsVictimOrder(t *testing.T) {
+	dev := newDev(16, 4)
+	p := New(48) // 3 frames
+
+	fix := func(pg disk.PageID, keep bool) {
+		h, err := p.Fix(dev, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Unfix(keep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fix(0, true)
+	fix(1, false) // immediately replaceable
+	fix(2, true)
+
+	// Page 3 should evict page 1 (front of LRU), leaving 0 and 2 resident.
+	fix(3, true)
+	r := dev.Stats().Reads
+	fix(0, true)
+	fix(2, true)
+	if got := dev.Stats().Reads - r; got != 0 {
+		t.Errorf("pages 0/2 were evicted (%d extra reads); victim hint ignored", got)
+	}
+}
+
+func TestMultipleFixCount(t *testing.T) {
+	dev := newDev(16, 1)
+	p := New(64)
+	h1, err := p.Fix(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := p.Fix(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FixedFrames() != 1 {
+		t.Errorf("FixedFrames = %d, want 1", p.FixedFrames())
+	}
+	if err := h1.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+	if p.FixedFrames() != 1 {
+		t.Error("frame released too early with outstanding fix")
+	}
+	if err := h2.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+	if p.FixedFrames() != 0 {
+		t.Error("frame still fixed after final unfix")
+	}
+	if err := h2.Unfix(true); !errors.Is(err, ErrNotFixed) {
+		t.Errorf("double unfix: %v", err)
+	}
+}
+
+func TestNewPage(t *testing.T) {
+	dev := newDev(16, 0)
+	p := New(64)
+	pg, h, err := p.NewPage(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Bytes()[3] = 9
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if err := dev.Read(pg, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[3] != 9 {
+		t.Error("NewPage content did not reach device after flush")
+	}
+	// NewPage must not read from the device.
+	if got := dev.Stats().Reads; got != 1 { // only our own verification read
+		t.Errorf("device reads = %d, want 1", got)
+	}
+}
+
+func TestVirtualFramesDisappearOnEviction(t *testing.T) {
+	p := New(32)
+	h, err := p.FixVirtual(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Bytes()[0] = 1
+	if h.Page() != disk.InvalidPage {
+		t.Error("virtual frame should have no page id")
+	}
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Refix while resident works.
+	h2, err := p.Refix(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Bytes()[0] != 1 {
+		t.Error("virtual content lost while resident")
+	}
+	if err := h2.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force eviction with other virtual frames.
+	for i := 0; i < 2; i++ {
+		hh, err := p.FixVirtual(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hh.Unfix(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Refix(h); !errors.Is(err, ErrEvicted) {
+		t.Errorf("refix of evicted virtual frame: %v", err)
+	}
+	if s := p.Stats(); s.VirtualLost == 0 {
+		t.Error("VirtualLost not counted")
+	}
+}
+
+func TestDropClean(t *testing.T) {
+	dev := newDev(16, 2)
+	p := New(64)
+	h, err := p.Fix(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Bytes()[0] = 5
+	h.MarkDirty()
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropClean(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().LiveBytes; got != 0 {
+		t.Errorf("LiveBytes after DropClean = %d", got)
+	}
+	buf := make([]byte, 16)
+	if err := dev.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 5 {
+		t.Error("DropClean lost dirty data")
+	}
+}
+
+func TestPeakBytesTracksHighWater(t *testing.T) {
+	dev := newDev(16, 4)
+	p := New(64)
+	hs := make([]*Handle, 0, 3)
+	for pg := disk.PageID(0); pg < 3; pg++ {
+		h, err := p.Fix(dev, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		h.Unfix(false)
+	}
+	if got := p.Stats().PeakBytes; got != 48 {
+		t.Errorf("PeakBytes = %d, want 48", got)
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	dev := newDev(16, 4)
+	p := NewWithPolicy(48, Clock) // 3 frames
+	if p.PolicyName() != Clock {
+		t.Fatal("policy not set")
+	}
+
+	fix := func(pg disk.PageID, keep bool) {
+		h, err := p.Fix(dev, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Unfix(keep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pages 0 and 2 referenced (keep=true), page 1 not.
+	fix(0, true)
+	fix(1, false)
+	fix(2, true)
+
+	// Page 3 forces one eviction: the sweep must skip 0 (clearing its
+	// bit), evict 1 (bit clear), leaving 0 and 2 resident.
+	fix(3, true)
+	r := dev.Stats().Reads
+	fix(0, true)
+	fix(2, true)
+	if got := dev.Stats().Reads - r; got != 0 {
+		t.Errorf("referenced pages were evicted (%d extra reads)", got)
+	}
+	fix(1, true)
+	if got := dev.Stats().Reads - r; got != 1 {
+		t.Errorf("page 1 should have been the victim (extra reads = %d, want 1)", got)
+	}
+}
+
+func TestClockSweepTerminatesWhenAllReferenced(t *testing.T) {
+	dev := newDev(16, 4)
+	p := NewWithPolicy(32, Clock) // 2 frames
+	for pg := disk.PageID(0); pg < 2; pg++ {
+		h, err := p.Fix(dev, pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Unfix(true); err != nil { // both referenced
+			t.Fatal(err)
+		}
+	}
+	// Eviction must clear bits and still find a victim.
+	h, err := p.Fix(dev, 2)
+	if err != nil {
+		t.Fatalf("clock sweep failed with all bits set: %v", err)
+	}
+	h.Unfix(true)
+	if s := p.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestClockBehavesOnScanWorkload(t *testing.T) {
+	// A pure sequential scan (keep=false) must evict in arrival order under
+	// both policies, so neither policy retains scan pages.
+	for _, pol := range []Policy{LRU, Clock} {
+		dev := newDev(16, 8)
+		p := NewWithPolicy(32, pol)
+		for pg := disk.PageID(0); pg < 8; pg++ {
+			h, err := p.Fix(dev, pg)
+			if err != nil {
+				t.Fatalf("%v: %v", pol, err)
+			}
+			if err := h.Unfix(false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s := p.Stats(); s.Misses != 8 {
+			t.Errorf("%v: misses = %d, want 8", pol, s.Misses)
+		}
+	}
+}
+
+func TestConcurrentFixUnfix(t *testing.T) {
+	dev := newDev(64, 8)
+	p := New(8 * 64)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(seed int) {
+			for i := 0; i < 200; i++ {
+				pg := disk.PageID((seed + i) % 8)
+				h, err := p.Fix(dev, pg)
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := h.Unfix(i%2 == 0); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.FixedFrames() != 0 {
+		t.Errorf("leaked %d fixed frames", p.FixedFrames())
+	}
+}
+
+func BenchmarkFixHit(b *testing.B) {
+	dev := newDev(disk.PaperPageSize, 1)
+	p := New(PaperPoolBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, err := p.Fix(dev, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Unfix(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

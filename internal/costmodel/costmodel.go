@@ -1,0 +1,329 @@
+// Package costmodel implements the analytical comparison of Section 4: the
+// Table 1 cost units, the sort cost formulas of §4.1, the per-algorithm
+// costs of §4.2–4.5, and the Table 2 grid of §4.6.
+//
+// All costs are in milliseconds for the assumed case R = Q × S with
+// duplicate-free inputs, exactly as the paper analyzes.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Units are the Table 1 cost units, in milliseconds.
+type Units struct {
+	RIO  float64 // random I/O, one page from or to disk
+	SIO  float64 // sequential I/O, one page from or to disk
+	Comp float64 // comparison of two tuples
+	Hash float64 // calculation of a hash value from a tuple
+	Move float64 // memory-to-memory copy of one page
+	Bit  float64 // setting/clearing/scanning a bit in a bit map
+}
+
+// PaperUnits returns Table 1's values.
+func PaperUnits() Units {
+	return Units{RIO: 30, SIO: 15, Comp: 0.03, Hash: 0.03, Move: 0.4, Bit: 0.003}
+}
+
+// MergePassMode selects how the number of external-sort merge passes is
+// derived from the formula term log_m(r/m).
+type MergePassMode int
+
+const (
+	// PaperPasses reproduces Table 2: max(1, round(log_m(r/m))). The
+	// paper's own numbers behave as if exactly one merge pass happens even
+	// at |S|=|Q|=400 where ⌈log_m(r/m)⌉ would be 2; rounding the real-
+	// valued term matches every printed row.
+	PaperPasses MergePassMode = iota
+	// CeilPasses is the textbook ⌈log_m(r/m)⌉, the faithful reading of the
+	// formula.
+	CeilPasses
+)
+
+// Params fix one analysis point of §4.6.
+type Params struct {
+	STuples int // |S|
+	QTuples int // |Q|
+	RTuples int // |R|; 0 means the assumed case |Q|·|S|
+
+	SQPerPage int // divisor/quotient tuples per page (paper: 10)
+	RPerPage  int // dividend tuples per page (paper: 5)
+
+	MemoryPages int     // m (paper: 100)
+	HBS         float64 // average hash bucket size (paper: 2)
+
+	Units Units
+	Mode  MergePassMode
+}
+
+// PaperParams returns the §4.6 configuration for a grid point.
+func PaperParams(s, q int) Params {
+	return Params{
+		STuples:     s,
+		QTuples:     q,
+		SQPerPage:   10,
+		RPerPage:    5,
+		MemoryPages: 100,
+		HBS:         2,
+		Units:       PaperUnits(),
+		Mode:        PaperPasses,
+	}
+}
+
+func (p Params) rTuples() int {
+	if p.RTuples > 0 {
+		return p.RTuples
+	}
+	return p.QTuples * p.STuples
+}
+
+// rPages, sPages, qPages are fractional page cardinalities, as the paper's
+// arithmetic uses (s = 2.5 pages for 25 tuples at 10 per page).
+func (p Params) rPages() float64 { return float64(p.rTuples()) / float64(p.RPerPage) }
+func (p Params) sPages() float64 { return float64(p.STuples) / float64(p.SQPerPage) }
+
+func log2(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// QuicksortCost is the §4.1 in-memory cost 2·n·log2(n)·Comp.
+func (p Params) QuicksortCost(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * float64(n) * log2(float64(n)) * p.Units.Comp
+}
+
+// MergePasses evaluates the log_m(r/m) term under the configured mode.
+func (p Params) MergePasses(rPages float64) float64 {
+	m := float64(p.MemoryPages)
+	if rPages <= m {
+		return 0
+	}
+	x := math.Log(rPages/m) / math.Log(m)
+	switch p.Mode {
+	case CeilPasses:
+		return math.Ceil(x)
+	default:
+		return math.Max(1, math.Round(x))
+	}
+}
+
+// ExternalSortCost is the §4.1 disk-based merge-sort cost for a relation of
+// n tuples on rPages pages:
+//
+//	passes·(r·(2·RIO + Move) + n·log2(m)·Comp) + 2·n·log2(n·m/r)·Comp
+func (p Params) ExternalSortCost(n int, rPages float64) float64 {
+	m := float64(p.MemoryPages)
+	passes := p.MergePasses(rPages)
+	mergeCost := passes * (rPages*(2*p.Units.RIO+p.Units.Move) + float64(n)*log2(m)*p.Units.Comp)
+	runCost := 2 * float64(n) * log2(float64(n)*m/rPages) * p.Units.Comp
+	return mergeCost + runCost
+}
+
+// SortCost dispatches between quicksort (fits in memory) and external sort.
+func (p Params) SortCost(n int, pages float64) float64 {
+	if pages <= float64(p.MemoryPages) {
+		return p.QuicksortCost(n)
+	}
+	return p.ExternalSortCost(n, pages)
+}
+
+// NaiveCost is §4.2: sort both inputs, then one sequential pass over each
+// with |R| comparisons (the assumed case keeps the divisor in buffer
+// memory).
+func (p Params) NaiveCost() float64 {
+	sortR := p.SortCost(p.rTuples(), p.rPages())
+	sortS := p.SortCost(p.STuples, p.sPages())
+	scan := (p.rPages()+p.sPages())*p.Units.SIO + float64(p.rTuples())*p.Units.Comp
+	return sortR + sortS + scan
+}
+
+// SortAggCost is §4.3 without join: sort the dividend, compare grouping
+// attributes during the final merge (|R|·Comp), count the divisor with a
+// scalar aggregate (s·SIO). The divisor sort (quicksort) is included, which
+// is what reproduces the printed Table 2 column.
+func (p Params) SortAggCost() float64 {
+	return p.SortCost(p.rTuples(), p.rPages()) +
+		float64(p.rTuples())*p.Units.Comp +
+		p.sPages()*p.Units.SIO +
+		p.SortCost(p.STuples, p.sPages())
+}
+
+// SortAggJoinCost adds the second sort of the dividend and the merge-join
+// cost (r+s)·SIO + |R|·|S|·Comp of §4.3.
+func (p Params) SortAggJoinCost() float64 {
+	mergeJoin := (p.rPages()+p.sPages())*p.Units.SIO +
+		float64(p.rTuples())*float64(p.STuples)*p.Units.Comp
+	return 2*p.SortCost(p.rTuples(), p.rPages()) +
+		p.SortCost(p.STuples, p.sPages()) +
+		mergeJoin +
+		float64(p.rTuples())*p.Units.Comp +
+		p.sPages()*p.Units.SIO
+}
+
+// HashAggCost is §4.4 without join:
+//
+//	r·SIO + |R|·(Hash + hbs·Comp) + s·SIO
+func (p Params) HashAggCost() float64 {
+	return p.rPages()*p.Units.SIO +
+		float64(p.rTuples())*(p.Units.Hash+p.HBS*p.Units.Comp) +
+		p.sPages()*p.Units.SIO
+}
+
+// HashAggJoinCost adds the semi-join (s+r)·SIO + |S|·Hash + |R|·(Hash +
+// hbs·Comp) of §4.4 in front of the aggregation.
+func (p Params) HashAggJoinCost() float64 {
+	semi := (p.sPages()+p.rPages())*p.Units.SIO +
+		float64(p.STuples)*p.Units.Hash +
+		float64(p.rTuples())*(p.Units.Hash+p.HBS*p.Units.Comp)
+	return semi + p.HashAggCost()
+}
+
+// HashDivisionCost is §4.5:
+//
+//	(r+s)·SIO + |S|·Hash + |R|·(2·(Hash + hbs·Comp) + Bit)
+func (p Params) HashDivisionCost() float64 {
+	return (p.rPages()+p.sPages())*p.Units.SIO +
+		float64(p.STuples)*p.Units.Hash +
+		float64(p.rTuples())*(2*(p.Units.Hash+p.HBS*p.Units.Comp)+p.Units.Bit)
+}
+
+// AlgorithmCosts returns the six Table 2 columns for this point, in table
+// order: naive, sort-agg, sort-agg+join, hash-agg, hash-agg+join,
+// hash-division.
+func (p Params) AlgorithmCosts() [6]float64 {
+	return [6]float64{
+		p.NaiveCost(),
+		p.SortAggCost(),
+		p.SortAggJoinCost(),
+		p.HashAggCost(),
+		p.HashAggJoinCost(),
+		p.HashDivisionCost(),
+	}
+}
+
+// Table2Row is one line of the §4.6 grid.
+type Table2Row struct {
+	S, Q  int
+	Costs [6]float64
+}
+
+// Table2Sizes is the {25, 100, 400} grid of §4.6.
+var Table2Sizes = []int{25, 100, 400}
+
+// Table2 computes the full grid with the paper's parameters.
+func Table2() []Table2Row {
+	return Table2With(PaperPasses)
+}
+
+// Table2With computes the grid under the chosen merge-pass mode; CeilPasses
+// shows what the faithful ⌈log⌉ reading of the sort formula would print
+// (diverging from the paper only in the |S|=|Q|=400 row, where the dividend
+// needs two merge passes).
+func Table2With(mode MergePassMode) []Table2Row {
+	var rows []Table2Row
+	for _, s := range Table2Sizes {
+		for _, q := range Table2Sizes {
+			p := PaperParams(s, q)
+			p.Mode = mode
+			rows = append(rows, Table2Row{S: s, Q: q, Costs: p.AlgorithmCosts()})
+		}
+	}
+	return rows
+}
+
+// PaperTable2 holds the values printed in the paper, for comparison tests
+// and EXPERIMENTS.md. Column order matches AlgorithmCosts.
+var PaperTable2 = []Table2Row{
+	{S: 25, Q: 25, Costs: [6]float64{9949, 8074, 18529, 1969, 3938, 2028}},
+	{S: 25, Q: 100, Costs: [6]float64{39663, 32163, 73738, 7763, 15526, 7996}},
+	{S: 25, Q: 400, Costs: [6]float64{158517, 128517, 294572, 30938, 61876, 31868}},
+	{S: 100, Q: 25, Costs: [6]float64{39808, 32308, 79766, 7875, 15753, 8111}},
+	{S: 100, Q: 100, Costs: [6]float64{158662, 128662, 317475, 31050, 62103, 31983}},
+	{S: 100, Q: 400, Costs: [6]float64{634080, 514080, 1268311, 123750, 247503, 127473}},
+	{S: 400, Q: 25, Costs: [6]float64{159280, 129280, 409160, 31500, 63012, 32442}},
+	{S: 400, Q: 100, Costs: [6]float64{634698, 514698, 1629996, 124200, 248412, 127932}},
+	{S: 400, Q: 400, Costs: [6]float64{2536369, 2056369, 6513339, 495000, 990012, 509892}},
+}
+
+// ColumnNames are the Table 2 column headers in AlgorithmCosts order.
+var ColumnNames = [6]string{
+	"naive", "sort-agg", "sort-agg+join", "hash-agg", "hash-agg+join", "hash-div",
+}
+
+// PartitionedHashDivisionCost extends the §4.5 formula to quotient-
+// partitioned hash-division with k clusters (§3.4): a partitioning pass
+// hashes every dividend tuple and spools the (k-1)/k fraction that is not
+// kept in memory to temporary files (one sequential write plus one
+// sequential read), the divisor table is rebuilt per phase, and the
+// dividend pays the normal per-tuple work exactly once in total. k = 1
+// degenerates to HashDivisionCost. This is an extension of the paper's
+// model, used to reason about overflow handling analytically.
+func (p Params) PartitionedHashDivisionCost(k int) float64 {
+	if k <= 1 {
+		return p.HashDivisionCost()
+	}
+	spillFraction := float64(k-1) / float64(k)
+	partitionPass := float64(p.rTuples())*p.Units.Hash +
+		2*p.rPages()*spillFraction*p.Units.SIO
+	perPhaseDivisor := float64(k) * float64(p.STuples) * p.Units.Hash
+	return p.HashDivisionCost() + partitionPass + perPhaseDivisor
+}
+
+// Crossover sweeps |R| (holding |S|, tuple/page geometry, and memory fixed,
+// with |Q| = |R|/|S|) and returns the smallest |R| at which algorithm a
+// becomes cheaper than algorithm b, or -1 if it never does within the range.
+// Column indices follow AlgorithmCosts order.
+func Crossover(a, b int, s int, maxR int) int {
+	for r := s; r <= maxR; r += s {
+		p := PaperParams(s, r/s)
+		c := p.AlgorithmCosts()
+		if c[a] < c[b] {
+			return r
+		}
+	}
+	return -1
+}
+
+// SeriesPoint is one (|R|, per-algorithm cost) sample of a sweep.
+type SeriesPoint struct {
+	R     int
+	Costs [6]float64
+}
+
+// CostSeries sweeps the dividend cardinality at fixed |S| (with |Q| =
+// |R|/|S|) and returns the per-algorithm analytic costs — the cost-vs-size
+// series behind the paper's "the factor of difference grows as the
+// relations grow".
+func CostSeries(s int, rValues []int) []SeriesPoint {
+	out := make([]SeriesPoint, 0, len(rValues))
+	for _, r := range rValues {
+		q := r / s
+		if q < 1 {
+			q = 1
+		}
+		p := PaperParams(s, q)
+		p.RTuples = r
+		out = append(out, SeriesPoint{R: r, Costs: p.AlgorithmCosts()})
+	}
+	return out
+}
+
+// Validate sanity-checks a Params value.
+func (p Params) Validate() error {
+	if p.STuples <= 0 || p.QTuples <= 0 {
+		return fmt.Errorf("costmodel: |S| and |Q| must be positive")
+	}
+	if p.SQPerPage <= 0 || p.RPerPage <= 0 || p.MemoryPages <= 0 {
+		return fmt.Errorf("costmodel: page geometry must be positive")
+	}
+	if p.HBS <= 0 {
+		return fmt.Errorf("costmodel: hbs must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr returns |got-want|/want.
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / want
+}
+
+// TestTable2MatchesPaper checks the computed grid against the paper's
+// printed numbers. Every column except sort-agg+join reproduces to within
+// 0.1%; sort-agg+join is within 0.5% (the paper's own printed values deviate
+// slightly from its formulas there — see DESIGN.md).
+func TestTable2MatchesPaper(t *testing.T) {
+	got := Table2()
+	if len(got) != len(PaperTable2) {
+		t.Fatalf("grid has %d rows, want %d", len(got), len(PaperTable2))
+	}
+	for i, want := range PaperTable2 {
+		row := got[i]
+		if row.S != want.S || row.Q != want.Q {
+			t.Fatalf("row %d is (%d,%d), want (%d,%d)", i, row.S, row.Q, want.S, want.Q)
+		}
+		for c := 0; c < 6; c++ {
+			tol := 0.001
+			if c == 2 { // sort-agg+join
+				tol = 0.005
+			}
+			if e := relErr(row.Costs[c], want.Costs[c]); e > tol {
+				t.Errorf("(%d,%d) %s: got %.1f, paper %.0f (err %.3f%%)",
+					row.S, row.Q, ColumnNames[c], row.Costs[c], want.Costs[c], e*100)
+			}
+		}
+	}
+}
+
+// TestPaperRankingHolds asserts the paper's qualitative findings on every
+// grid point: hash-agg < hash-division < hash-agg+join < sort-agg < naive <
+// sort-agg+join.
+func TestPaperRankingHolds(t *testing.T) {
+	for _, row := range Table2() {
+		c := row.Costs
+		naive, sortAgg, sortAggJoin := c[0], c[1], c[2]
+		hashAgg, hashAggJoin, hashDiv := c[3], c[4], c[5]
+		if !(hashAgg < hashDiv) {
+			t.Errorf("(%d,%d): hash-agg %.0f should beat hash-div %.0f (by ~hbs·Comp+Bit per tuple)",
+				row.S, row.Q, hashAgg, hashDiv)
+		}
+		if !(hashDiv < hashAggJoin) {
+			t.Errorf("(%d,%d): hash-div %.0f should beat hash-agg+join %.0f", row.S, row.Q, hashDiv, hashAggJoin)
+		}
+		if !(hashAggJoin < sortAgg) {
+			t.Errorf("(%d,%d): hash methods should beat sort-agg", row.S, row.Q)
+		}
+		if !(sortAgg < naive) {
+			t.Errorf("(%d,%d): sort-agg %.0f should beat naive %.0f", row.S, row.Q, sortAgg, naive)
+		}
+		if !(naive < sortAggJoin) {
+			t.Errorf("(%d,%d): naive %.0f should beat sort-agg+join %.0f", row.S, row.Q, naive, sortAggJoin)
+		}
+	}
+}
+
+// TestHashDivisionWithin10Percent is the paper's summary claim: hash-division
+// is "only about 10% slower than the fastest algorithm considered".
+func TestHashDivisionWithin10Percent(t *testing.T) {
+	for _, row := range Table2() {
+		fastest := row.Costs[3] // hash aggregation without join
+		hd := row.Costs[5]
+		if hd > fastest*1.10 {
+			t.Errorf("(%d,%d): hash-div %.0f is %.1f%% above hash-agg %.0f",
+				row.S, row.Q, hd, (hd/fastest-1)*100, fastest)
+		}
+	}
+}
+
+func TestTable2WithCeilModeDivergesOnlyAtLargestRow(t *testing.T) {
+	paper := Table2With(PaperPasses)
+	ceil := Table2With(CeilPasses)
+	for i := range paper {
+		same := paper[i].Costs == ceil[i].Costs
+		largest := paper[i].S == 400 && paper[i].Q == 400
+		if largest && same {
+			t.Error("(400,400) should diverge under ceil passes (two merge passes)")
+		}
+		if !largest && !same {
+			t.Errorf("(%d,%d) diverges under ceil passes but should not", paper[i].S, paper[i].Q)
+		}
+	}
+}
+
+func TestQuicksortCost(t *testing.T) {
+	p := PaperParams(25, 25)
+	if got := p.QuicksortCost(0); got != 0 {
+		t.Errorf("QuicksortCost(0) = %g", got)
+	}
+	if got := p.QuicksortCost(1); got != 0 {
+		t.Errorf("QuicksortCost(1) = %g", got)
+	}
+	// 2·25·log2(25)·0.03 ≈ 6.966
+	if got := p.QuicksortCost(25); relErr(got, 6.966) > 0.001 {
+		t.Errorf("QuicksortCost(25) = %g", got)
+	}
+}
+
+func TestMergePassModes(t *testing.T) {
+	p := PaperParams(400, 400) // r = 32000 pages, m = 100: log_100(320) ≈ 1.25
+	if got := p.MergePasses(p.rPages()); got != 1 {
+		t.Errorf("paper mode passes = %g, want 1", got)
+	}
+	p.Mode = CeilPasses
+	if got := p.MergePasses(p.rPages()); got != 2 {
+		t.Errorf("ceil mode passes = %g, want 2", got)
+	}
+	// In-memory case.
+	p = PaperParams(25, 10)
+	if got := p.MergePasses(10); got != 0 {
+		t.Errorf("in-memory passes = %g, want 0", got)
+	}
+}
+
+func TestSortCostDispatch(t *testing.T) {
+	p := PaperParams(25, 25)
+	// 400 tuples on 40 pages fit the 100-page memory: quicksort.
+	if got, want := p.SortCost(400, 40), p.QuicksortCost(400); got != want {
+		t.Errorf("small sort = %g, want quicksort %g", got, want)
+	}
+	// 625 tuples on 125 pages exceed memory: external.
+	ext := p.SortCost(625, 125)
+	if ext <= p.QuicksortCost(625) {
+		t.Error("external sort should cost more than quicksort")
+	}
+	// Reference value derived in the analysis: ≈ 8010.8 ms.
+	if relErr(ext, 8010.8) > 0.001 {
+		t.Errorf("external sort(625, 125 pages) = %g, want ≈8010.8", ext)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// Hash-division beats naive immediately at any size.
+	if r := Crossover(5, 0, 25, 100000); r != 25 {
+		t.Errorf("hash-div vs naive crossover at |R|=%d, want 25", r)
+	}
+	// Naive never beats hash-agg in range.
+	if r := Crossover(0, 3, 25, 100000); r != -1 {
+		t.Errorf("naive vs hash-agg crossover at |R|=%d, want none", r)
+	}
+}
+
+func TestPartitionedCost(t *testing.T) {
+	p := PaperParams(25, 400)
+	base := p.HashDivisionCost()
+	if got := p.PartitionedHashDivisionCost(1); got != base {
+		t.Errorf("k=1 should equal plain cost: %g vs %g", got, base)
+	}
+	k2 := p.PartitionedHashDivisionCost(2)
+	k4 := p.PartitionedHashDivisionCost(4)
+	if !(base < k2 && k2 < k4) {
+		t.Errorf("partitioned cost should grow with k: %g, %g, %g", base, k2, k4)
+	}
+	// The overhead is bounded by one write + one read of the spooled
+	// fraction: at k=4 that is 1.5 extra sequential passes over R, so the
+	// total stays under 3× the plain cost.
+	if k4 > 3*base {
+		t.Errorf("k=4 overhead too large: %g vs base %g", k4, base)
+	}
+	// Even heavily partitioned hash-division still beats the naive
+	// algorithm — overflow handling does not change the ranking.
+	if k4 >= p.NaiveCost() {
+		t.Errorf("partitioned hash-division %g should beat naive %g", k4, p.NaiveCost())
+	}
+}
+
+func TestCostSeriesMonotone(t *testing.T) {
+	series := CostSeries(25, []int{1000, 10000, 100000})
+	if len(series) != 3 {
+		t.Fatalf("series = %d points", len(series))
+	}
+	for c := 0; c < 6; c++ {
+		for i := 1; i < len(series); i++ {
+			if series[i].Costs[c] <= series[i-1].Costs[c] {
+				t.Errorf("%s not increasing in |R| at point %d", ColumnNames[c], i)
+			}
+		}
+	}
+	// The naive/hash-division factor grows with |R|.
+	f0 := series[0].Costs[0] / series[0].Costs[5]
+	f2 := series[2].Costs[0] / series[2].Costs[5]
+	if f2 <= f0 {
+		t.Errorf("naive/hash-div factor should grow: %.2f -> %.2f", f0, f2)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := PaperParams(25, 25)
+	if err := p.Validate(); err != nil {
+		t.Errorf("paper params invalid: %v", err)
+	}
+	bad := p
+	bad.STuples = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero |S| accepted")
+	}
+	bad = p
+	bad.HBS = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero hbs accepted")
+	}
+	bad = p
+	bad.MemoryPages = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative memory accepted")
+	}
+}
+
+func TestExplicitRTuples(t *testing.T) {
+	p := PaperParams(25, 25)
+	p.RTuples = 1000 // override the Q×S default
+	if got := p.rTuples(); got != 1000 {
+		t.Errorf("rTuples = %d, want 1000", got)
+	}
+	p.RTuples = 0
+	if got := p.rTuples(); got != 625 {
+		t.Errorf("default rTuples = %d, want 625", got)
+	}
+}
+
+func TestPaperUnits(t *testing.T) {
+	u := PaperUnits()
+	if u.RIO != 30 || u.SIO != 15 || u.Comp != 0.03 || u.Hash != 0.03 || u.Move != 0.4 || u.Bit != 0.003 {
+		t.Errorf("PaperUnits = %+v does not match Table 1", u)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := Table2(); len(rows) != 9 {
+			b.Fatal("bad grid")
+		}
+	}
+}

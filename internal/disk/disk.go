@@ -1,0 +1,271 @@
+// Package disk simulates the paged disk devices underneath the buffer
+// manager and accounts for I/O the same way the paper does.
+//
+// The paper's experiments (§5.1) did not measure wall-clock disk time;
+// instead the file system gathered transfer statistics and the reported I/O
+// cost was *calculated* from them with the weights of Table 3: 20 ms per
+// physical seek, 8 ms rotational latency per transfer, 0.5 ms per KB
+// transferred, and 2 ms of CPU per transfer. Devices here hold their pages in
+// memory, detect sequential vs. random access to decide when a seek is
+// charged, and expose the same statistics so higher layers can report
+// paper-style costs.
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a page within a device. Page numbers are dense and
+// reflect physical adjacency: page p+1 is physically next to page p, so
+// accessing it after p needs no seek.
+type PageID int32
+
+// InvalidPage is the zero-value "no page" marker.
+const InvalidPage PageID = -1
+
+// CostParams carries the Table 3 weights used to turn transfer statistics
+// into milliseconds.
+type CostParams struct {
+	SeekMS           float64 // physical seek on device
+	RotationalMS     float64 // rotational latency per transfer
+	TransferMSPerKB  float64 // transfer time per KB
+	CPUMSPerTransfer float64 // CPU cost per transfer
+}
+
+// PaperCost returns the Table 3 constants.
+func PaperCost() CostParams {
+	return CostParams{
+		SeekMS:           20,
+		RotationalMS:     8,
+		TransferMSPerKB:  0.5,
+		CPUMSPerTransfer: 2,
+	}
+}
+
+// PaperPageSize is the 8 KB transfer unit the paper uses for data files.
+const PaperPageSize = 8 * 1024
+
+// PaperRunPageSize is the 1 KB transfer unit the paper uses for sort runs
+// "to allow high fan-in".
+const PaperRunPageSize = 1024
+
+// Stats are the transfer statistics a device gathers.
+type Stats struct {
+	Seeks     int   // transfers that required a physical seek
+	Transfers int   // total page transfers (reads + writes)
+	Reads     int   // read transfers
+	Writes    int   // write transfers
+	Bytes     int64 // bytes transferred
+}
+
+// Add returns the element-wise sum of two stat sets.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Seeks:     s.Seeks + o.Seeks,
+		Transfers: s.Transfers + o.Transfers,
+		Reads:     s.Reads + o.Reads,
+		Writes:    s.Writes + o.Writes,
+		Bytes:     s.Bytes + o.Bytes,
+	}
+}
+
+// Sub returns s - o, for interval measurements.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Seeks:     s.Seeks - o.Seeks,
+		Transfers: s.Transfers - o.Transfers,
+		Reads:     s.Reads - o.Reads,
+		Writes:    s.Writes - o.Writes,
+		Bytes:     s.Bytes - o.Bytes,
+	}
+}
+
+// IOCostMS converts the statistics to simulated I/O milliseconds
+// (seek + rotation + transfer), excluding the per-transfer CPU charge.
+func (s Stats) IOCostMS(p CostParams) float64 {
+	return float64(s.Seeks)*p.SeekMS +
+		float64(s.Transfers)*p.RotationalMS +
+		float64(s.Bytes)/1024*p.TransferMSPerKB
+}
+
+// CPUCostMS is the per-transfer CPU charge of the cost model.
+func (s Stats) CPUCostMS(p CostParams) float64 {
+	return float64(s.Transfers) * p.CPUMSPerTransfer
+}
+
+// TotalCostMS is IOCostMS + CPUCostMS.
+func (s Stats) TotalCostMS(p CostParams) float64 {
+	return s.IOCostMS(p) + s.CPUCostMS(p)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("seeks=%d transfers=%d (r=%d w=%d) bytes=%d",
+		s.Seeks, s.Transfers, s.Reads, s.Writes, s.Bytes)
+}
+
+// ErrBadPage is returned for out-of-range or freed page accesses.
+var ErrBadPage = errors.New("disk: bad page id")
+
+// ErrBadBuffer is returned when a caller buffer does not match the page size.
+var ErrBadBuffer = errors.New("disk: buffer size does not match page size")
+
+// Device is one simulated disk: a dense array of fixed-size pages plus
+// transfer statistics. Devices are safe for concurrent use.
+type Device struct {
+	name     string
+	pageSize int
+
+	mu    sync.Mutex
+	pages [][]byte
+	freed map[PageID]bool
+	last  PageID // last page touched, for sequential-access detection
+	stats Stats
+}
+
+// NewDevice creates an empty device with the given page (transfer) size.
+func NewDevice(name string, pageSize int) *Device {
+	if pageSize <= 0 {
+		panic(fmt.Sprintf("disk: page size must be positive, got %d", pageSize))
+	}
+	return &Device{
+		name:     name,
+		pageSize: pageSize,
+		freed:    make(map[PageID]bool),
+		last:     InvalidPage,
+	}
+}
+
+// Name returns the device name (for diagnostics).
+func (d *Device) Name() string { return d.name }
+
+// PageSize returns the transfer unit in bytes.
+func (d *Device) PageSize() int { return d.pageSize }
+
+// NumPages returns the number of allocated (live) pages.
+func (d *Device) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages) - len(d.freed)
+}
+
+// Alloc allocates one zeroed page and returns its id. Allocation itself is a
+// metadata operation and is not charged as a transfer.
+func (d *Device) Alloc() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocLocked()
+}
+
+func (d *Device) allocLocked() PageID {
+	// Prefer reusing a freed page only when it keeps extents contiguous;
+	// simplest faithful policy: reuse arbitrary freed pages.
+	for id := range d.freed {
+		delete(d.freed, id)
+		for i := range d.pages[id] {
+			d.pages[id][i] = 0
+		}
+		return id
+	}
+	d.pages = append(d.pages, make([]byte, d.pageSize))
+	return PageID(len(d.pages) - 1)
+}
+
+// AllocExtent allocates n physically contiguous zeroed pages and returns the
+// first id; pages first..first+n-1 belong to the extent. Extent-based
+// allocation is what lets the scans below run sequentially.
+func (d *Device) AllocExtent(n int) PageID {
+	if n <= 0 {
+		panic(fmt.Sprintf("disk: extent size must be positive, got %d", n))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	first := PageID(len(d.pages))
+	for i := 0; i < n; i++ {
+		d.pages = append(d.pages, make([]byte, d.pageSize))
+	}
+	return first
+}
+
+// Free releases a page for reuse. Freeing an already-freed or out-of-range
+// page returns ErrBadPage.
+func (d *Device) Free(p PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkLocked(p); err != nil {
+		return err
+	}
+	d.freed[p] = true
+	return nil
+}
+
+func (d *Device) checkLocked(p PageID) error {
+	if p < 0 || int(p) >= len(d.pages) {
+		return fmt.Errorf("%w: %d of %d on %s", ErrBadPage, p, len(d.pages), d.name)
+	}
+	if d.freed[p] {
+		return fmt.Errorf("%w: %d freed on %s", ErrBadPage, p, d.name)
+	}
+	return nil
+}
+
+// account records one transfer of the page and updates seek detection.
+func (d *Device) accountLocked(p PageID, write bool) {
+	if d.last == InvalidPage || (p != d.last+1 && p != d.last) {
+		d.stats.Seeks++
+	}
+	d.stats.Transfers++
+	if write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	d.stats.Bytes += int64(d.pageSize)
+	d.last = p
+}
+
+// Read copies page p into buf, which must be exactly one page long.
+func (d *Device) Read(p PageID, buf []byte) error {
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadBuffer, len(buf), d.pageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkLocked(p); err != nil {
+		return err
+	}
+	d.accountLocked(p, false)
+	copy(buf, d.pages[p])
+	return nil
+}
+
+// Write copies buf onto page p.
+func (d *Device) Write(p PageID, buf []byte) error {
+	if len(buf) != d.pageSize {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadBuffer, len(buf), d.pageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkLocked(p); err != nil {
+		return err
+	}
+	d.accountLocked(p, true)
+	copy(d.pages[p], buf)
+	return nil
+}
+
+// Stats returns a snapshot of the transfer statistics.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the statistics (the allocated pages stay).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+	d.last = InvalidPage
+}

@@ -1,0 +1,198 @@
+package division
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+func errNotOpen(name string) error {
+	return fmt.Errorf("division: %s.Next called before Open", name)
+}
+
+// countFilter finishes every aggregation-based division: it computes the
+// divisor cardinality with a scalar aggregate at Open, then passes through
+// exactly the groups whose count equals it, projecting away the count
+// column ("only those students whose number of courses taken is equal to the
+// number of courses offered are selected").
+type countFilter struct {
+	input   exec.Operator // grouped counts: quotient columns + count
+	countOf func() (int64, error)
+	env     Env
+
+	want   int64
+	schema *tuple.Schema
+	gCols  []int
+	buf    tuple.Tuple
+	opened bool
+}
+
+func newCountFilter(input exec.Operator, countOf func() (int64, error), env Env) *countFilter {
+	n := input.Schema().NumFields()
+	gCols := make([]int, n-1)
+	for i := range gCols {
+		gCols[i] = i
+	}
+	return &countFilter{
+		input:   input,
+		countOf: countOf,
+		env:     env,
+		schema:  input.Schema().Project(gCols),
+		gCols:   gCols,
+	}
+}
+
+func (c *countFilter) Schema() *tuple.Schema { return c.schema }
+
+func (c *countFilter) Open() error {
+	want, err := c.countOf()
+	if err != nil {
+		return err
+	}
+	c.want = want
+	c.buf = c.schema.New()
+	if err := c.input.Open(); err != nil {
+		return err
+	}
+	c.opened = true
+	return nil
+}
+
+func (c *countFilter) Next() (tuple.Tuple, error) {
+	if !c.opened {
+		return nil, errNotOpen("countFilter")
+	}
+	if c.want == 0 {
+		// Empty divisor: empty quotient under the paper's semantics.
+		return nil, io.EOF
+	}
+	is := c.input.Schema()
+	countCol := is.NumFields() - 1
+	for {
+		t, err := c.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if c.env.Counters != nil {
+			c.env.Counters.Comp++
+		}
+		if is.Int64(t, countCol) == c.want {
+			return is.ProjectInto(c.buf, t, c.gCols), nil
+		}
+	}
+}
+
+func (c *countFilter) Close() error {
+	c.opened = false
+	return c.input.Close()
+}
+
+// distinctDivisorCount builds the scalar-aggregate closure counting the
+// divisor's distinct tuples. With AssumeUniqueInputs it is a plain file
+// scan count; otherwise duplicates are eliminated on the fly.
+func distinctDivisorCount(divisor exec.Operator, env Env) func() (int64, error) {
+	return func() (int64, error) {
+		var op exec.Operator = divisor
+		if !env.AssumeUniqueInputs {
+			op = exec.NewHashDedup(divisor, env.Counters)
+		}
+		return exec.ScalarCount(op)
+	}
+}
+
+// NewSortAggregation builds division by sort-based aggregation (§2.2.1).
+// Without a join, the dividend is sorted on the quotient attributes and the
+// per-group counts compared against the divisor cardinality. With join, the
+// dividend is first sorted on the divisor attributes and merge-semi-joined
+// with the sorted divisor — "notice that the relation must be sorted on
+// different than the grouping attributes" — and the join result sorted again
+// for aggregation.
+func NewSortAggregation(sp Spec, env Env, withJoin bool) exec.Operator {
+	ss := sp.Divisor.Schema()
+	qCols := sp.QuotientCols()
+
+	var aggInput exec.Operator
+	if withJoin {
+		sortedDividend := exec.NewSort(sp.Dividend, exec.SortConfig{
+			Keys:        append(append([]int(nil), sp.DivisorCols...), qCols...),
+			Dedup:       !env.AssumeUniqueInputs,
+			MemoryBytes: env.sortBytes(),
+			Pool:        env.Pool,
+			TempDev:     env.TempDev,
+			Counters:    env.Counters,
+		})
+		sortedDivisor := exec.NewSort(sp.Divisor, exec.SortConfig{
+			Keys:        ss.AllColumns(),
+			Dedup:       !env.AssumeUniqueInputs,
+			MemoryBytes: env.sortBytes(),
+			Pool:        env.Pool,
+			TempDev:     env.TempDev,
+			Counters:    env.Counters,
+		})
+		semi := exec.NewMergeSemiJoin(sortedDividend, sortedDivisor,
+			sp.DivisorCols, ss.AllColumns(), env.Counters)
+		// Second sort, now on the grouping attributes.
+		aggInput = exec.NewSort(semi, exec.SortConfig{
+			Keys:        qCols,
+			MemoryBytes: env.sortBytes(),
+			Pool:        env.Pool,
+			TempDev:     env.TempDev,
+			Counters:    env.Counters,
+		})
+	} else {
+		keys := qCols
+		dedup := false
+		if !env.AssumeUniqueInputs {
+			keys = append(append([]int(nil), qCols...), sp.DivisorCols...)
+			dedup = true
+		}
+		aggInput = exec.NewSort(sp.Dividend, exec.SortConfig{
+			Keys:        keys,
+			Dedup:       dedup,
+			MemoryBytes: env.sortBytes(),
+			Pool:        env.Pool,
+			TempDev:     env.TempDev,
+			Counters:    env.Counters,
+		})
+	}
+
+	counts := exec.NewSortedGroupCount(aggInput, qCols, false, env.Counters)
+	return newCountFilter(counts, distinctDivisorCount(sp.Divisor, env), env)
+}
+
+// NewHashAggregation builds division by hash-based aggregation (§2.2.2).
+// The per-group counts live in a main-memory hash table; with join a hash
+// semi-join on a second, differently-keyed hash table precedes the
+// aggregation, mirroring the two sort steps of the sort-based variant. Hash
+// aggregation "cannot include duplicate elimination", so when inputs may
+// carry duplicates the dividend must pass through an explicit hash-based
+// duplicate elimination first — the expensive step the paper's hash-division
+// avoids.
+func NewHashAggregation(sp Spec, env Env, withJoin bool) exec.Operator {
+	ss := sp.Divisor.Schema()
+	qCols := sp.QuotientCols()
+
+	var aggInput exec.Operator = sp.Dividend
+	if !env.AssumeUniqueInputs {
+		aggInput = exec.NewHashDedup(aggInput, env.Counters)
+	}
+	if withJoin {
+		aggInput = exec.NewHashSemiJoin(aggInput, sp.Divisor,
+			sp.DivisorCols, ss.AllColumns(), env.Counters)
+		// The paper's §4.4 cost formula reads the dividend once for the
+		// semi-join and once more for the aggregation (r·SIO appears in
+		// both terms): the semi-join output is materialized between the
+		// two hash table phases, not pipelined. Mirror that whenever a
+		// temp device is available so the with-join variant pays the
+		// second pass the analysis and experiments charge it.
+		if env.Pool != nil && env.TempDev != nil {
+			out := storage.NewFile(env.Pool, env.TempDev, sp.Dividend.Schema(), "semijoin-out")
+			aggInput = exec.NewMaterialize(aggInput, out, env.Counters)
+		}
+	}
+	counts := exec.NewHashGroupCount(aggInput, qCols, env.expectedQuotient(), env.hbs(), env.Counters)
+	return newCountFilter(counts, distinctDivisorCount(sp.Divisor, env), env)
+}

@@ -1,0 +1,117 @@
+package division
+
+import (
+	"io"
+
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+// Algebraic evaluates division through the §1 identity
+//
+//	R ÷ S = π_q(R) − π_q( (π_q(R) × S) − π_{q,d}(R) )
+//
+// which the paper dismisses as "of merely theoretical validity since the
+// equivalent expression contains a Cartesian product operator". It is
+// provided as an executable specification: useful for cross-checking the
+// other algorithms and for teaching, hopeless for performance (the product
+// has |Q|·|S| tuples regardless of the dividend's size).
+type Algebraic struct {
+	sp  Spec
+	env Env
+
+	qs     *tuple.Schema
+	qCols  []int
+	plan   exec.Operator
+	opened bool
+}
+
+// NewAlgebraic builds the operator.
+func NewAlgebraic(sp Spec, env Env) *Algebraic {
+	return &Algebraic{sp: sp, env: env, qs: sp.QuotientSchema(), qCols: sp.QuotientCols()}
+}
+
+// Schema implements Operator.
+func (a *Algebraic) Schema() *tuple.Schema { return a.qs }
+
+// Open implements Operator: assembles and opens the algebraic plan.
+func (a *Algebraic) Open() error {
+	if err := a.sp.Validate(); err != nil {
+		return err
+	}
+	// π_q(R), deduplicated: the candidate quotient values.
+	candidates := exec.NewHashDedup(exec.NewProject(a.sp.Dividend, a.qCols), a.env.Counters)
+
+	// Materialize the candidates so the plan can use them twice.
+	candidateRows, err := exec.Collect(candidates)
+	if err != nil {
+		return err
+	}
+
+	// (π_q(R) × S): every candidate paired with every divisor tuple — the
+	// pairs that MUST exist for the candidate to divide.
+	product := exec.NewCrossProduct(
+		exec.NewMemScan(a.qs, candidateRows),
+		exec.NewHashDedup(a.sp.Divisor, a.env.Counters),
+	)
+
+	// π_{q,d}(R) reordered to match the product's (q..., d...) layout.
+	reordered := exec.NewProject(a.sp.Dividend,
+		append(append([]int(nil), a.qCols...), a.sp.DivisorCols...))
+
+	// Missing pairs, projected back to candidates: the candidates that
+	// fail the for-all condition.
+	missing := exec.NewDifference(product, reordered, a.env.Counters)
+	nq := len(a.qCols)
+	failCols := make([]int, nq)
+	for i := range failCols {
+		failCols[i] = i
+	}
+	failed := exec.NewHashDedup(exec.NewProject(missing, failCols), a.env.Counters)
+
+	// Candidates − failed candidates. The identity yields ALL candidates
+	// for an empty divisor (for-all over nothing is vacuously true); this
+	// package's contract — matching the paper's algorithms — is an empty
+	// quotient, so guard that case explicitly.
+	divisorEmpty := true
+	probe := exec.NewHashDedup(a.sp.Divisor, nil)
+	if err := probe.Open(); err != nil {
+		return err
+	}
+	if _, err := probe.Next(); err == nil {
+		divisorEmpty = false
+	} else if err != io.EOF {
+		probe.Close()
+		return err
+	}
+	if err := probe.Close(); err != nil {
+		return err
+	}
+	if divisorEmpty {
+		a.plan = exec.NewMemScan(a.qs, nil)
+	} else {
+		a.plan = exec.NewDifference(exec.NewMemScan(a.qs, candidateRows), failed, a.env.Counters)
+	}
+	if err := a.plan.Open(); err != nil {
+		return err
+	}
+	a.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (a *Algebraic) Next() (tuple.Tuple, error) {
+	if !a.opened {
+		return nil, errNotOpen("Algebraic")
+	}
+	return a.plan.Next()
+}
+
+// Close implements Operator.
+func (a *Algebraic) Close() error {
+	if !a.opened {
+		return nil
+	}
+	a.opened = false
+	return a.plan.Close()
+}

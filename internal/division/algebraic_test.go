@@ -1,0 +1,69 @@
+package division
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+)
+
+func TestAlgebraicMatchesReference(t *testing.T) {
+	dividend := [][2]int64{{1, 101}, {2, 102}, {1, 102}, {2, 999}, {3, 101}, {3, 102}}
+	divisor := []int64{101, 102}
+	ref, err := Reference(makeSpec(dividend, divisor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(NewAlgebraic(makeSpec(dividend, divisor), Env{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := makeSpec(dividend, divisor).QuotientSchema()
+	if !EqualTupleSets(qs, got, ref) {
+		t.Fatalf("algebraic = %v, want %v", quotientIDs(t, qs, got), quotientIDs(t, qs, ref))
+	}
+}
+
+func TestAlgebraicEmptyDivisor(t *testing.T) {
+	got, err := exec.Collect(NewAlgebraic(makeSpec([][2]int64{{1, 101}}, nil), Env{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty divisor gave %d tuples (package contract: empty quotient)", len(got))
+	}
+}
+
+func TestAlgebraicHandlesDuplicates(t *testing.T) {
+	dividend := [][2]int64{{1, 101}, {1, 101}, {1, 102}, {2, 101}}
+	divisor := []int64{101, 102, 102}
+	got, err := exec.Collect(NewAlgebraic(makeSpec(dividend, divisor), Env{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := makeSpec(dividend, divisor).QuotientSchema()
+	ids := quotientIDs(t, qs, got)
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("quotient = %v", ids)
+	}
+}
+
+// Property: the executable specification agrees with the brute-force
+// reference (and therefore with all four paper algorithms).
+func TestQuickAlgebraicMatchesReference(t *testing.T) {
+	f := func(raw []byte, nDivisorRaw uint8) bool {
+		dividend, divisor := quickInstance(raw, nDivisorRaw)
+		ref, err := Reference(makeSpec(dividend, divisor))
+		if err != nil {
+			return false
+		}
+		got, err := exec.Collect(NewAlgebraic(makeSpec(dividend, divisor), Env{}))
+		if err != nil {
+			return false
+		}
+		return EqualTupleSets(makeSpec(dividend, divisor).QuotientSchema(), got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

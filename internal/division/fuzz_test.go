@@ -1,0 +1,67 @@
+package division
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// FuzzHashDivision cross-checks hash-division (all variants) against the
+// brute-force reference on fuzzer-generated inputs. Each input byte encodes
+// one dividend tuple (student = high nibble, course = low nibble).
+func FuzzHashDivision(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x11}, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0x00, 0x00, 0x00}, uint8(3))
+	f.Add([]byte{0xff, 0xf0, 0x0f}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, nDivisorRaw uint8) {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		dividend, divisor := quickInstance(raw, nDivisorRaw)
+		ref, err := Reference(makeSpec(dividend, divisor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := makeSpec(dividend, divisor).QuotientSchema()
+		for _, opts := range []HashDivisionOptions{
+			{},
+			{EarlyEmit: true},
+		} {
+			got, err := exec.Collect(NewHashDivision(makeSpec(dividend, divisor), Env{}, opts))
+			if err != nil {
+				t.Fatalf("opts %+v: %v", opts, err)
+			}
+			if !EqualTupleSets(qs, got, ref) {
+				t.Fatalf("opts %+v: got %d tuples, reference %d", opts, len(got), len(ref))
+			}
+		}
+	})
+}
+
+// FuzzPartitionedDivision cross-checks the partitioned variants.
+func FuzzPartitionedDivision(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x21}, uint8(2), uint8(3), uint8(2))
+	f.Add([]byte{0xaa, 0xbb}, uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, nDivisorRaw, kdRaw, kqRaw uint8) {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		dividend, divisor := quickInstance(raw, nDivisorRaw)
+		kd := int(kdRaw%4) + 1
+		kq := int(kqRaw%4) + 1
+		ref, err := Reference(makeSpec(dividend, divisor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := makeSpec(dividend, divisor).QuotientSchema()
+		op := NewCombinedPartitionedHashDivision(makeSpec(dividend, divisor), testEnv(), kd, kq, HashDivisionOptions{})
+		got, err := exec.Collect(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualTupleSets(qs, got, ref) {
+			t.Fatalf("grid (%d,%d): got %d tuples, reference %d", kd, kq, len(got), len(ref))
+		}
+	})
+}

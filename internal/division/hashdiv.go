@@ -1,0 +1,337 @@
+package division
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/bitmap"
+	"repro/internal/hashtab"
+	"repro/internal/tuple"
+)
+
+// ErrMemoryBudget is returned when the divisor and quotient tables exceed a
+// configured memory budget; callers resolve it with quotient or divisor
+// partitioning (§3.4) via NewPartitionedHashDivision.
+var ErrMemoryBudget = errors.New("division: hash tables exceed memory budget")
+
+// HashDivisionOptions tune the §3 algorithm.
+type HashDivisionOptions struct {
+	// EarlyEmit enables the §3.3 modification: a counter per quotient
+	// candidate, compared against the divisor count before each bit is
+	// set, lets the operator produce quotient tuples as soon as they
+	// complete instead of waiting for the full dividend — making
+	// hash-division a usable producer in a dataflow system.
+	EarlyEmit bool
+	// CountersOnly drops the bit maps entirely and keeps only a counter
+	// per candidate (§3.3, sixth observation): correct only when the
+	// dividend is duplicate-free, but cheaper in memory.
+	CountersOnly bool
+	// MemoryBudget, when positive, bounds the combined footprint of the
+	// divisor and quotient tables in bytes; exceeding it fails the
+	// operator with ErrMemoryBudget.
+	MemoryBudget int
+}
+
+// HashDivisionStats describe one hash-division run, exposed for EXPLAIN
+// ANALYZE-style reporting and for the overflow heuristics.
+type HashDivisionStats struct {
+	DivisorTuples    int64 // divisor input tuples read
+	DivisorDistinct  int64 // distinct divisor tuples (duplicates eliminated on the fly)
+	DividendTuples   int64 // dividend input tuples read
+	DiscardedNoMatch int64 // dividend tuples with no divisor match, dropped in step 2
+	Candidates       int64 // quotient candidates created
+	QuotientTuples   int64 // candidates whose bit map had no zero
+	PeakTableBytes   int   // high-water mark of divisor + quotient table memory
+}
+
+// HashDivision implements Figure 1. Step 1 builds the divisor table,
+// numbering divisor tuples and eliminating divisor duplicates on the fly.
+// Step 2 consumes the dividend: tuples without a divisor match are discarded
+// immediately; matching tuples locate (or create) their quotient candidate
+// and set the bit indexed by the divisor number — so dividend duplicates are
+// ignored automatically. Step 3 scans the quotient table for bit maps with
+// no zero bit.
+type HashDivision struct {
+	sp   Spec
+	env  Env
+	opts HashDivisionOptions
+
+	qs    *tuple.Schema
+	qCols []int
+
+	divisorTable  *hashtab.Table
+	quotientTable *hashtab.Table
+	divisorCount  int64
+
+	// Stop-and-go result path.
+	results []tuple.Tuple
+	pos     int
+
+	// Early-emit path.
+	streaming bool
+	opened    bool
+
+	stats HashDivisionStats
+}
+
+// Stats returns the run statistics gathered so far (complete after the
+// operator is drained).
+func (h *HashDivision) Stats() HashDivisionStats { return h.stats }
+
+// NewHashDivision builds the operator.
+func NewHashDivision(sp Spec, env Env, opts HashDivisionOptions) *HashDivision {
+	return &HashDivision{
+		sp: sp, env: env, opts: opts,
+		qs: sp.QuotientSchema(), qCols: sp.QuotientCols(),
+	}
+}
+
+// DivisorCount reports the number of distinct divisor tuples seen at Open.
+func (h *HashDivision) DivisorCount() int64 { return h.divisorCount }
+
+// TableMemBytes reports the combined hash table footprint, for overflow
+// experiments.
+func (h *HashDivision) TableMemBytes() int {
+	n := 0
+	if h.divisorTable != nil {
+		n += h.divisorTable.MemBytes()
+	}
+	if h.quotientTable != nil {
+		n += h.quotientTable.MemBytes()
+	}
+	return n
+}
+
+// Schema implements Operator.
+func (h *HashDivision) Schema() *tuple.Schema { return h.qs }
+
+func (h *HashDivision) checkBudget() error {
+	if m := h.TableMemBytes(); m > h.stats.PeakTableBytes {
+		h.stats.PeakTableBytes = m
+	}
+	if h.opts.MemoryBudget > 0 && h.TableMemBytes() > h.opts.MemoryBudget {
+		return ErrMemoryBudget
+	}
+	return nil
+}
+
+// buildDivisorTable is step 1 of Figure 1.
+func (h *HashDivision) buildDivisorTable() error {
+	ss := h.sp.Divisor.Schema()
+	h.divisorTable = hashtab.NewForExpected(ss, h.env.expectedDivisor(), h.env.hbs())
+	h.divisorCount = 0
+	if err := h.sp.Divisor.Open(); err != nil {
+		return err
+	}
+	for {
+		t, err := h.sp.Divisor.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			h.sp.Divisor.Close()
+			return err
+		}
+		// GetOrInsert: "duplicates in the divisor can be eliminated while
+		// building the divisor table".
+		h.stats.DivisorTuples++
+		e, created := h.divisorTable.GetOrInsert(t)
+		if created {
+			e.Num = h.divisorCount
+			h.divisorCount++
+		}
+		if err := h.checkBudget(); err != nil {
+			h.sp.Divisor.Close()
+			return err
+		}
+	}
+	h.stats.DivisorDistinct = h.divisorCount
+	return h.sp.Divisor.Close()
+}
+
+// absorb processes one dividend tuple (step 2 of Figure 1). It returns the
+// completed quotient tuple in early-emit mode, or nil.
+func (h *HashDivision) absorb(t tuple.Tuple) (tuple.Tuple, error) {
+	ds := h.sp.Dividend.Schema()
+	h.stats.DividendTuples++
+	de := h.divisorTable.LookupProjected(t, ds, h.sp.DivisorCols)
+	if de == nil {
+		// No matching divisor tuple: discard immediately.
+		h.stats.DiscardedNoMatch++
+		return nil, nil
+	}
+	qe, created := h.quotientTable.GetOrInsertProjected(t, ds, h.qCols)
+	if created {
+		h.stats.Candidates++
+	}
+	if created && !h.opts.CountersOnly {
+		qe.Bits = bitmap.New(int(h.divisorCount))
+		h.quotientTable.AddMemBytes(qe.Bits.SizeBytes())
+		if err := h.checkBudget(); err != nil {
+			return nil, err
+		}
+	}
+	if h.opts.CountersOnly {
+		// Counter-only variant: requires a duplicate-free dividend.
+		qe.Num++
+		if h.opts.EarlyEmit {
+			if h.env.Counters != nil {
+				h.env.Counters.Comp++
+			}
+			if qe.Num == h.divisorCount {
+				h.stats.QuotientTuples++
+				return qe.Tuple, nil
+			}
+		}
+		return nil, nil
+	}
+
+	if h.env.Counters != nil {
+		h.env.Counters.Bit++
+	}
+	wasSet := qe.Bits.SetAndReport(int(de.Num))
+	if h.opts.EarlyEmit && !wasSet {
+		// §3.3: increment the counter only for fresh bits and compare with
+		// the divisor count; on equality the quotient tuple is produced
+		// immediately.
+		qe.Num++
+		if h.env.Counters != nil {
+			h.env.Counters.Comp++
+		}
+		if qe.Num == h.divisorCount {
+			h.stats.QuotientTuples++
+			return qe.Tuple, nil
+		}
+	}
+	return nil, nil
+}
+
+// Open implements Operator. In the default mode the entire dividend is
+// consumed here (the algorithm "is a stop-and-go operator itself"); in
+// early-emit mode only the divisor table is built and the dividend streams
+// through Next.
+func (h *HashDivision) Open() error {
+	if err := h.sp.Validate(); err != nil {
+		return err
+	}
+	h.stats = HashDivisionStats{}
+	if err := h.buildDivisorTable(); err != nil {
+		return err
+	}
+	h.quotientTable = hashtab.NewForExpected(h.qs, h.env.expectedQuotient(), h.env.hbs())
+	h.results = nil
+	h.pos = 0
+	h.streaming = h.opts.EarlyEmit
+
+	if err := h.sp.Dividend.Open(); err != nil {
+		return err
+	}
+	h.opened = true
+	if h.streaming {
+		return nil
+	}
+
+	// Step 2, stop-and-go: consume the whole dividend.
+	for {
+		t, err := h.sp.Dividend.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			h.sp.Dividend.Close()
+			return err
+		}
+		if _, err := h.absorb(t); err != nil {
+			h.sp.Dividend.Close()
+			return err
+		}
+	}
+	if err := h.sp.Dividend.Close(); err != nil {
+		return err
+	}
+
+	// "free divisor table" — the divisor numbers are no longer needed.
+	h.foldCounters(h.divisorTable)
+	h.divisorTable = nil
+
+	// Step 3: find the result in the quotient table.
+	err := h.quotientTable.Iterate(func(e *hashtab.Element) error {
+		if h.opts.CountersOnly {
+			if h.env.Counters != nil {
+				h.env.Counters.Comp++
+			}
+			if e.Num == h.divisorCount && h.divisorCount > 0 {
+				h.results = append(h.results, e.Tuple)
+				h.stats.QuotientTuples++
+			}
+			return nil
+		}
+		if h.env.Counters != nil {
+			h.env.Counters.Bit += int64(e.Bits.SizeBytes() / 8)
+		}
+		if e.Bits.AllSet() && h.divisorCount > 0 {
+			h.results = append(h.results, e.Tuple)
+			h.stats.QuotientTuples++
+		}
+		return nil
+	})
+	return err
+}
+
+// Next implements Operator.
+func (h *HashDivision) Next() (tuple.Tuple, error) {
+	if !h.opened {
+		return nil, errNotOpen("HashDivision")
+	}
+	if h.streaming {
+		if h.divisorCount == 0 {
+			return nil, io.EOF
+		}
+		for {
+			t, err := h.sp.Dividend.Next()
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			if err != nil {
+				return nil, err
+			}
+			q, err := h.absorb(t)
+			if err != nil {
+				return nil, err
+			}
+			if q != nil {
+				return q, nil
+			}
+		}
+	}
+	if h.pos >= len(h.results) {
+		return nil, io.EOF
+	}
+	t := h.results[h.pos]
+	h.pos++
+	return t, nil
+}
+
+func (h *HashDivision) foldCounters(t *hashtab.Table) {
+	if h.env.Counters != nil && t != nil {
+		st := t.Stats()
+		h.env.Counters.Hash += st.Hashes
+		h.env.Counters.Comp += st.Comparisons
+	}
+}
+
+// Close implements Operator: "free quotient table".
+func (h *HashDivision) Close() error {
+	var err error
+	if h.streaming && h.opened {
+		err = h.sp.Dividend.Close()
+	}
+	h.foldCounters(h.divisorTable)
+	h.foldCounters(h.quotientTable)
+	h.divisorTable = nil
+	h.quotientTable = nil
+	h.results = nil
+	h.opened = false
+	h.streaming = false
+	return err
+}

@@ -1,0 +1,132 @@
+package division
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/exec"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// TestNaiveOverCoveringIndex runs naive division with both inputs delivered
+// by covering B+-tree index scans instead of sorts — the index-order variant
+// a system with suitable indexes would plan.
+func TestNaiveOverCoveringIndex(t *testing.T) {
+	pool := buffer.New(1 << 20)
+	dataDev := disk.NewDevice("data", 4096)
+	idxDev := disk.NewDevice("idx", 4096)
+
+	dividendFile := storage.NewFile(pool, dataDev, transcriptSchema, "transcript")
+	divisorFile := storage.NewFile(pool, dataDev, courseSchema, "courses")
+
+	rng := rand.New(rand.NewSource(77))
+	divisor := []int64{301, 302, 303, 304, 305}
+	var memDividend [][2]int64
+	for _, c := range divisor {
+		if _, err := divisorFile.Append(courseSchema.MustMake(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 150; q++ {
+		for _, c := range divisor {
+			if rng.Float64() < 0.8 {
+				memDividend = append(memDividend, [2]int64{int64(q), c})
+			}
+		}
+		if rng.Float64() < 0.4 {
+			memDividend = append(memDividend, [2]int64{int64(q), 999})
+		}
+	}
+	rng.Shuffle(len(memDividend), func(i, j int) {
+		memDividend[i], memDividend[j] = memDividend[j], memDividend[i]
+	})
+
+	// Covering index on (student, course) — quotient major, divisor minor.
+	dividendIdx, err := btree.New(pool, idxDev, transcriptSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range memDividend {
+		tp := transcriptSchema.MustMake(r[0], r[1])
+		rid, err := dividendFile.Append(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dividendIdx.Insert(tp, rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	divisorIdx, err := btree.New(pool, idxDev, courseSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := divisorFile.Scan(true)
+	for {
+		tp, rid, err := sc.Next()
+		if err != nil {
+			break
+		}
+		if err := divisorIdx.Insert(tp.Clone(), rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc.Close()
+
+	ref, err := Reference(makeSpec(memDividend, divisor))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp := Spec{
+		Dividend:    exec.NewIndexKeyScan(dividendIdx, transcriptSchema, nil, nil),
+		Divisor:     exec.NewIndexKeyScan(divisorIdx, courseSchema, nil, nil),
+		DivisorCols: []int{1},
+	}
+	op := NewNaivePreSorted(sp, Env{})
+	got, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := sp.QuotientSchema()
+	if !EqualTupleSets(qs, got, ref) {
+		t.Fatalf("indexed naive returned %d tuples, reference %d", len(got), len(ref))
+	}
+	if pool.FixedFrames() != 0 {
+		t.Errorf("leaked %d fixed frames", pool.FixedFrames())
+	}
+}
+
+// TestNaivePreSortedDuplicates checks adjacent-duplicate tolerance in the
+// pre-sorted path (a non-unique index delivers duplicates adjacently).
+func TestNaivePreSortedDuplicates(t *testing.T) {
+	// Sorted dividend with adjacent duplicates; sorted divisor with dups.
+	dividend := []tuple.Tuple{
+		transcriptSchema.MustMake(1, 101),
+		transcriptSchema.MustMake(1, 101),
+		transcriptSchema.MustMake(1, 102),
+		transcriptSchema.MustMake(2, 101),
+		transcriptSchema.MustMake(2, 101),
+	}
+	divisor := []tuple.Tuple{
+		courseSchema.MustMake(101),
+		courseSchema.MustMake(101),
+		courseSchema.MustMake(102),
+	}
+	sp := Spec{
+		Dividend:    exec.NewMemScan(transcriptSchema, dividend),
+		Divisor:     exec.NewMemScan(courseSchema, divisor),
+		DivisorCols: []int{1},
+	}
+	got, err := exec.Collect(NewNaivePreSorted(sp, Env{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := sp.QuotientSchema()
+	if len(got) != 1 || qs.Int64(got[0], 0) != 1 {
+		t.Errorf("quotient = %v", got)
+	}
+}

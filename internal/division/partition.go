@@ -1,0 +1,454 @@
+package division
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitmap"
+	"repro/internal/exec"
+	"repro/internal/hashtab"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// PartitionStrategy selects one of the two §3.4 partitioning strategies used
+// for hash table overflow (and, in §6, for multi-processor execution).
+type PartitionStrategy int
+
+const (
+	// QuotientPartitioning partitions the dividend on the quotient
+	// attributes; each cluster is divided by the ENTIRE divisor and the
+	// final quotient is the concatenation of the cluster quotients.
+	QuotientPartitioning PartitionStrategy = iota
+	// DivisorPartitioning partitions divisor and dividend with the same
+	// function on the divisor attributes; a collection phase — itself a
+	// division over phase numbers — intersects the cluster quotients.
+	DivisorPartitioning
+)
+
+func (s PartitionStrategy) String() string {
+	switch s {
+	case QuotientPartitioning:
+		return "quotient-partitioning"
+	case DivisorPartitioning:
+		return "divisor-partitioning"
+	default:
+		return fmt.Sprintf("PartitionStrategy(%d)", int(s))
+	}
+}
+
+// PartitionedHashDivision runs hash-division in k phases over disjoint
+// clusters, resolving hash table overflow per §3.4. Cluster 0 of the
+// dividend is kept in main memory during the partitioning pass (the hybrid
+// policy: "the first cluster is kept in main memory while the other clusters
+// are spooled to temporary files"); clusters 1..k-1 are spooled to the
+// environment's temp device.
+type PartitionedHashDivision struct {
+	sp       Spec
+	env      Env
+	strategy PartitionStrategy
+	k        int
+	hdOpts   HashDivisionOptions
+
+	qs      *tuple.Schema
+	qCols   []int
+	results []tuple.Tuple
+	pos     int
+	spilled []*storage.File
+	opened  bool
+}
+
+// NewPartitionedHashDivision divides in k phases using the given strategy.
+// k must be at least 1; k == 1 degenerates to plain hash-division. Spilling
+// needs env.Pool and env.TempDev when k > 1.
+func NewPartitionedHashDivision(sp Spec, env Env, strategy PartitionStrategy, k int, hdOpts HashDivisionOptions) *PartitionedHashDivision {
+	if k < 1 {
+		k = 1
+	}
+	return &PartitionedHashDivision{
+		sp: sp, env: env, strategy: strategy, k: k, hdOpts: hdOpts,
+		qs: sp.QuotientSchema(), qCols: sp.QuotientCols(),
+	}
+}
+
+// Schema implements Operator.
+func (p *PartitionedHashDivision) Schema() *tuple.Schema { return p.qs }
+
+// partitionDividend splits the dividend on cols into k clusters: cluster 0
+// in memory, the rest as temp files. Tuples may be pre-filtered by keep.
+func (p *PartitionedHashDivision) partitionDividend(cols []int, keep func(tuple.Tuple) bool) ([]tuple.Tuple, []*storage.File, error) {
+	ds := p.sp.Dividend.Schema()
+	var mem []tuple.Tuple
+	files := make([]*storage.File, p.k)
+	appenders := make([]*storage.Appender, p.k)
+	for i := 1; i < p.k; i++ {
+		if p.env.Pool == nil || p.env.TempDev == nil {
+			return nil, nil, fmt.Errorf("division: partitioned division with k=%d needs Pool and TempDev", p.k)
+		}
+		files[i] = storage.NewFile(p.env.Pool, p.env.TempDev, ds, fmt.Sprintf("divcluster-%d", i))
+		appenders[i] = files[i].NewAppender()
+	}
+	abort := func() {
+		for _, a := range appenders {
+			if a != nil {
+				a.Close()
+			}
+		}
+		for _, f := range files {
+			if f != nil {
+				f.Drop()
+			}
+		}
+	}
+
+	if err := p.sp.Dividend.Open(); err != nil {
+		abort()
+		return nil, nil, err
+	}
+	for {
+		t, err := p.sp.Dividend.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.sp.Dividend.Close()
+			abort()
+			return nil, nil, err
+		}
+		if keep != nil && !keep(t) {
+			continue
+		}
+		if p.env.Counters != nil {
+			p.env.Counters.Hash++
+		}
+		c := int(ds.Hash(t, cols) % uint64(p.k))
+		if c == 0 {
+			mem = append(mem, t.Clone())
+			continue
+		}
+		if _, err := appenders[c].Append(t); err != nil {
+			p.sp.Dividend.Close()
+			abort()
+			return nil, nil, err
+		}
+	}
+	for _, a := range appenders {
+		if a != nil {
+			if err := a.Close(); err != nil {
+				abort()
+				return nil, nil, err
+			}
+		}
+	}
+	if err := p.sp.Dividend.Close(); err != nil {
+		abort()
+		return nil, nil, err
+	}
+	return mem, files, nil
+}
+
+// collectDivisor reads the divisor once, eliminating duplicates, and returns
+// the distinct tuples.
+func (p *PartitionedHashDivision) collectDivisor() ([]tuple.Tuple, error) {
+	ss := p.sp.Divisor.Schema()
+	tab := hashtab.NewForExpected(ss, p.env.expectedDivisor(), p.env.hbs())
+	if err := p.sp.Divisor.Open(); err != nil {
+		return nil, err
+	}
+	var out []tuple.Tuple
+	for {
+		t, err := p.sp.Divisor.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			p.sp.Divisor.Close()
+			return nil, err
+		}
+		if e, created := tab.GetOrInsert(t); created {
+			out = append(out, e.Tuple)
+		}
+	}
+	if p.env.Counters != nil {
+		st := tab.Stats()
+		p.env.Counters.Hash += st.Hashes
+		p.env.Counters.Comp += st.Comparisons
+	}
+	return out, p.sp.Divisor.Close()
+}
+
+// clusterOperand returns the Operator for cluster i of the dividend.
+func clusterOperand(i int, mem []tuple.Tuple, files []*storage.File, schema *tuple.Schema) exec.Operator {
+	if i == 0 {
+		return exec.NewMemScan(schema, mem)
+	}
+	return exec.NewTableScan(files[i], false)
+}
+
+// Open implements Operator: it runs every phase.
+func (p *PartitionedHashDivision) Open() error {
+	if err := p.sp.Validate(); err != nil {
+		return err
+	}
+	p.results = nil
+	p.pos = 0
+	var err error
+	switch p.strategy {
+	case QuotientPartitioning:
+		err = p.runQuotientPartitioned()
+	case DivisorPartitioning:
+		err = p.runDivisorPartitioned()
+	default:
+		err = fmt.Errorf("division: unknown partition strategy %d", int(p.strategy))
+	}
+	if err != nil {
+		p.dropSpilled()
+		return err
+	}
+	p.opened = true
+	return nil
+}
+
+func (p *PartitionedHashDivision) runQuotientPartitioned() error {
+	ds := p.sp.Dividend.Schema()
+	divisor, err := p.collectDivisor()
+	if err != nil {
+		return err
+	}
+	if len(divisor) == 0 {
+		return nil // empty divisor: empty quotient
+	}
+	mem, files, err := p.partitionDividend(p.qCols, nil)
+	if err != nil {
+		return err
+	}
+	p.spilled = files
+
+	ss := p.sp.Divisor.Schema()
+	// "all dividend clusters are divided with the entire divisor"; the
+	// quotient of the division is the concatenation of the cluster
+	// quotients.
+	for i := 0; i < p.k; i++ {
+		phase := NewHashDivision(Spec{
+			Dividend:    clusterOperand(i, mem, files, ds),
+			Divisor:     exec.NewMemScan(ss, divisor),
+			DivisorCols: p.sp.DivisorCols,
+		}, p.env, p.hdOpts)
+		qts, err := exec.Collect(phase)
+		if err != nil {
+			return err
+		}
+		p.results = append(p.results, qts...)
+	}
+	return nil
+}
+
+func (p *PartitionedHashDivision) runDivisorPartitioned() error {
+	ds := p.sp.Dividend.Schema()
+	ss := p.sp.Divisor.Schema()
+	divisor, err := p.collectDivisor()
+	if err != nil {
+		return err
+	}
+	if len(divisor) == 0 {
+		return nil
+	}
+
+	// Partition the divisor on all its attributes with the same function
+	// used for the dividend's divisor attributes.
+	clusters := make([][]tuple.Tuple, p.k)
+	for _, d := range divisor {
+		if p.env.Counters != nil {
+			p.env.Counters.Hash++
+		}
+		c := int(tuple.HashBytes(d) % uint64(p.k))
+		clusters[c] = append(clusters[c], d)
+	}
+	// Phases exist only for clusters with divisor tuples: a dividend tuple
+	// hashing to an empty divisor cluster can match nothing and is
+	// discarded during partitioning.
+	phaseOf := make([]int, p.k)
+	numPhases := 0
+	for c := range clusters {
+		if len(clusters[c]) > 0 {
+			phaseOf[c] = numPhases
+			numPhases++
+		} else {
+			phaseOf[c] = -1
+		}
+	}
+
+	mem, files, err := p.partitionDividend(p.sp.DivisorCols, func(t tuple.Tuple) bool {
+		c := int(ds.Hash(t, p.sp.DivisorCols) % uint64(p.k))
+		return phaseOf[c] >= 0
+	})
+	if err != nil {
+		return err
+	}
+	p.spilled = files
+
+	// The collection phase divides the union of the quotient clusters,
+	// tagged with phase numbers, over the set of phase numbers. As §3.4
+	// notes, the phase number replaces the divisor-table lookup, so the
+	// collection skips step 1 of hash-division.
+	collection := hashtab.NewForExpected(p.qs, p.env.expectedQuotient(), p.env.hbs())
+	for c := 0; c < p.k; c++ {
+		if phaseOf[c] < 0 {
+			continue
+		}
+		phase := NewHashDivision(Spec{
+			Dividend:    clusterOperand(c, mem, files, ds),
+			Divisor:     exec.NewMemScan(ss, clusters[c]),
+			DivisorCols: p.sp.DivisorCols,
+		}, p.env, p.hdOpts)
+		err := exec.ForEach(phase, func(q tuple.Tuple) error {
+			e, created := collection.GetOrInsert(q)
+			if created {
+				e.Bits = bitmap.New(numPhases)
+				collection.AddMemBytes(e.Bits.SizeBytes())
+			}
+			if p.env.Counters != nil {
+				p.env.Counters.Bit++
+			}
+			e.Bits.Set(phaseOf[c])
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	err = collection.Iterate(func(e *hashtab.Element) error {
+		if e.Bits.AllSet() {
+			p.results = append(p.results, e.Tuple)
+		}
+		return nil
+	})
+	if p.env.Counters != nil {
+		st := collection.Stats()
+		p.env.Counters.Hash += st.Hashes
+		p.env.Counters.Comp += st.Comparisons
+	}
+	return err
+}
+
+// Next implements Operator.
+func (p *PartitionedHashDivision) Next() (tuple.Tuple, error) {
+	if !p.opened {
+		return nil, errNotOpen("PartitionedHashDivision")
+	}
+	if p.pos >= len(p.results) {
+		return nil, io.EOF
+	}
+	t := p.results[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *PartitionedHashDivision) dropSpilled() {
+	for _, f := range p.spilled {
+		if f != nil {
+			f.Drop()
+		}
+	}
+	p.spilled = nil
+}
+
+// Close implements Operator.
+func (p *PartitionedHashDivision) Close() error {
+	p.opened = false
+	p.results = nil
+	p.dropSpilled()
+	return nil
+}
+
+// DivideAdaptive resolves hash table overflow the way §3.4 prescribes,
+// picking the partitioning dimension that actually overflowed: when the
+// divisor table is the problem it doubles the divisor clusters (kd), when
+// the quotient table is the problem it doubles the quotient clusters (kq),
+// and when both overflow it grows both — "combinations of the techniques
+// discussed above". It returns the quotient and the (kd, kq) grid that fit.
+func DivideAdaptive(sp Spec, env Env, budget int, maxGrid int) ([]tuple.Tuple, int, int, error) {
+	if maxGrid < 1 {
+		maxGrid = 64
+	}
+	// Estimate the divisor table's footprint with a cheap counting pass
+	// (the divisor is scanned again by the division itself; operators are
+	// re-openable).
+	divisorTuples := 0
+	if err := exec.ForEach(sp.Divisor, func(tuple.Tuple) error {
+		divisorTuples++
+		return nil
+	}); err != nil {
+		return nil, 0, 0, err
+	}
+	divisorBytes := divisorTuples * (sp.Divisor.Schema().Width() + 48)
+
+	kd, kq := 1, 1
+	if budget > 0 {
+		for divisorBytes/kd > budget/2 && kd < maxGrid {
+			kd *= 2
+		}
+	}
+	for kd <= maxGrid && kq <= maxGrid {
+		var op exec.Operator
+		hdOpts := HashDivisionOptions{MemoryBudget: budget}
+		switch {
+		case kd == 1 && kq == 1:
+			op = NewHashDivision(sp, env, hdOpts)
+		case kd == 1:
+			op = NewPartitionedHashDivision(sp, env, QuotientPartitioning, kq, hdOpts)
+		case kq == 1:
+			op = NewPartitionedHashDivision(sp, env, DivisorPartitioning, kd, hdOpts)
+		default:
+			op = NewCombinedPartitionedHashDivision(sp, env, kd, kq, hdOpts)
+		}
+		qts, err := exec.Collect(op)
+		if err == nil {
+			return qts, kd, kq, nil
+		}
+		if !errors.Is(err, ErrMemoryBudget) {
+			return nil, kd, kq, err
+		}
+		// The divisor side was pre-sized from an exact tuple count, so
+		// remaining overflow is the quotient table (bit maps included):
+		// grow kq. Only if kq is exhausted (hash skew left one divisor
+		// cluster oversized) grow kd as a fallback.
+		if kq < maxGrid {
+			kq *= 2
+		} else {
+			kd *= 2
+		}
+	}
+	return nil, kd, kq, fmt.Errorf("division: budget of %d bytes not met within a %d-grid: %w",
+		budget, maxGrid, ErrMemoryBudget)
+}
+
+// DivideWithBudget runs hash-division under a hard memory budget for the two
+// hash tables, escalating the number of quotient partitions until the
+// per-phase tables fit — the overflow resolution loop a system would run
+// when a selectivity estimate proved wrong. It returns the quotient and the
+// number of partitions that succeeded.
+func DivideWithBudget(sp Spec, env Env, budget int, maxPartitions int) ([]tuple.Tuple, int, error) {
+	if maxPartitions < 1 {
+		maxPartitions = 64
+	}
+	for k := 1; k <= maxPartitions; k *= 2 {
+		var op exec.Operator
+		if k == 1 {
+			op = NewHashDivision(sp, env, HashDivisionOptions{MemoryBudget: budget})
+		} else {
+			op = NewPartitionedHashDivision(sp, env, QuotientPartitioning, k,
+				HashDivisionOptions{MemoryBudget: budget})
+		}
+		qts, err := exec.Collect(op)
+		if err == nil {
+			return qts, k, nil
+		}
+		if !errors.Is(err, ErrMemoryBudget) {
+			return nil, k, err
+		}
+	}
+	return nil, maxPartitions, fmt.Errorf("division: budget of %d bytes not met with %d partitions: %w",
+		budget, maxPartitions, ErrMemoryBudget)
+}

@@ -1,0 +1,86 @@
+package division
+
+import (
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+// Reference computes the quotient by brute force and returns it sorted; it
+// is the oracle every algorithm is property-tested against. Semantics match
+// the package contract: duplicates in either input are ignored, and an empty
+// divisor yields an empty quotient.
+func Reference(sp Spec) ([]tuple.Tuple, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	divisors, err := exec.Collect(sp.Divisor)
+	if err != nil {
+		return nil, err
+	}
+	divisorSet := make(map[string]bool)
+	for _, d := range divisors {
+		divisorSet[string(d)] = true
+	}
+	if len(divisorSet) == 0 {
+		return nil, nil
+	}
+
+	dividends, err := exec.Collect(sp.Dividend)
+	if err != nil {
+		return nil, err
+	}
+	ds := sp.Dividend.Schema()
+	qCols := sp.QuotientCols()
+	qs := sp.QuotientSchema()
+
+	// candidate quotient -> set of matched divisor keys
+	matched := make(map[string]map[string]bool)
+	for _, t := range dividends {
+		dkey := string(ds.ProjectTuple(t, sp.DivisorCols))
+		if !divisorSet[dkey] {
+			continue
+		}
+		qkey := string(ds.ProjectTuple(t, qCols))
+		m := matched[qkey]
+		if m == nil {
+			m = make(map[string]bool)
+			matched[qkey] = m
+		}
+		m[dkey] = true
+	}
+
+	var out []tuple.Tuple
+	for qkey, m := range matched {
+		if len(m) == len(divisorSet) {
+			out = append(out, tuple.Tuple(qkey))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return qs.CompareAll(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// SortTuples orders tuples by all columns; helpers for comparing algorithm
+// outputs (algorithms emit the quotient in unspecified order).
+func SortTuples(s *tuple.Schema, ts []tuple.Tuple) []tuple.Tuple {
+	out := append([]tuple.Tuple(nil), ts...)
+	sort.Slice(out, func(i, j int) bool { return s.CompareAll(out[i], out[j]) < 0 })
+	return out
+}
+
+// EqualTupleSets reports whether a and b hold the same tuples in any order
+// (as multisets).
+func EqualTupleSets(s *tuple.Schema, a, b []tuple.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := SortTuples(s, a)
+	bs := SortTuples(s, b)
+	for i := range as {
+		if s.CompareAll(as[i], bs[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,68 @@
+package division
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func TestHashDivisionStats(t *testing.T) {
+	// 2 students: student 1 completes, student 2 misses a course; one
+	// noise tuple; divisor duplicated.
+	dividend := [][2]int64{{1, 101}, {1, 102}, {2, 101}, {2, 999}}
+	divisor := []int64{101, 102, 101}
+	hd := NewHashDivision(makeSpec(dividend, divisor), Env{}, HashDivisionOptions{})
+	n, err := exec.Drain(hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("quotient = %d", n)
+	}
+	st := hd.Stats()
+	if st.DivisorTuples != 3 || st.DivisorDistinct != 2 {
+		t.Errorf("divisor stats = %+v", st)
+	}
+	if st.DividendTuples != 4 || st.DiscardedNoMatch != 1 {
+		t.Errorf("dividend stats = %+v", st)
+	}
+	if st.Candidates != 2 || st.QuotientTuples != 1 {
+		t.Errorf("quotient stats = %+v", st)
+	}
+	if st.PeakTableBytes <= 0 {
+		t.Errorf("peak table bytes = %d", st.PeakTableBytes)
+	}
+}
+
+func TestHashDivisionStatsResetOnReopen(t *testing.T) {
+	dividend := [][2]int64{{1, 101}}
+	divisor := []int64{101}
+	hd := NewHashDivision(makeSpec(dividend, divisor), Env{}, HashDivisionOptions{})
+	if _, err := exec.Drain(hd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(hd); err != nil {
+		t.Fatal(err)
+	}
+	st := hd.Stats()
+	if st.DividendTuples != 1 {
+		t.Errorf("stats accumulated across reopen: %+v", st)
+	}
+}
+
+func TestHashDivisionStatsEarlyEmit(t *testing.T) {
+	dividend := [][2]int64{{1, 101}, {1, 102}, {2, 101}}
+	divisor := []int64{101, 102}
+	hd := NewHashDivision(makeSpec(dividend, divisor), Env{}, HashDivisionOptions{EarlyEmit: true})
+	n, err := exec.Drain(hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("quotient = %d", n)
+	}
+	st := hd.Stats()
+	if st.QuotientTuples != 1 || st.DividendTuples != 3 {
+		t.Errorf("early-emit stats = %+v", st)
+	}
+}

@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestHashAggregateSumMinMax(t *testing.T) {
+	in := NewMemScan(pairSchema, pairs(
+		1, 10,
+		1, 5,
+		2, 7,
+		1, 8,
+		2, 3,
+	))
+	g := NewHashAggregate(in, []int{0}, []AggSpec{
+		{Func: AggCount},
+		{Func: AggSum, Col: 1},
+		{Func: AggMin, Col: 1},
+		{Func: AggMax, Col: 1},
+	}, nil)
+	ts, err := Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Schema()
+	if s.NumFields() != 5 {
+		t.Fatalf("schema = %s", s)
+	}
+	if s.Field(1).Name != "count" || s.Field(2).Name != "sum_b" {
+		t.Errorf("agg column names: %s", s)
+	}
+	got := make(map[int64][4]int64)
+	for _, tp := range ts {
+		got[s.Int64(tp, 0)] = [4]int64{s.Int64(tp, 1), s.Int64(tp, 2), s.Int64(tp, 3), s.Int64(tp, 4)}
+	}
+	if got[1] != [4]int64{3, 23, 5, 10} {
+		t.Errorf("group 1 = %v", got[1])
+	}
+	if got[2] != [4]int64{2, 10, 3, 7} {
+		t.Errorf("group 2 = %v", got[2])
+	}
+}
+
+func TestSortedAggregateMatchesHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var in []tuple.Tuple
+	for i := 0; i < 800; i++ {
+		in = append(in, pairSchema.MustMake(rng.Int63n(20), rng.Int63n(1000)-500))
+	}
+	sorted := append([]tuple.Tuple(nil), in...)
+	sort.Slice(sorted, func(i, j int) bool { return pairSchema.CompareAll(sorted[i], sorted[j]) < 0 })
+
+	aggs := []AggSpec{{Func: AggSum, Col: 1}, {Func: AggMin, Col: 1}, {Func: AggMax, Col: 1}, {Func: AggCount}}
+	h := NewHashAggregate(NewMemScan(pairSchema, in), []int{0}, aggs, nil)
+	s := NewSortedAggregate(NewMemScan(pairSchema, sorted), []int{0}, aggs, nil)
+
+	collect := func(op Operator) map[int64][]int64 {
+		ts, err := Collect(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch := op.Schema()
+		out := make(map[int64][]int64)
+		for _, tp := range ts {
+			vals := make([]int64, 4)
+			for i := range vals {
+				vals[i] = sch.Int64(tp, 1+i)
+			}
+			out[sch.Int64(tp, 0)] = vals
+		}
+		return out
+	}
+	a, b := collect(h), collect(s)
+	if len(a) != len(b) {
+		t.Fatalf("group counts differ: %d vs %d", len(a), len(b))
+	}
+	for k, va := range a {
+		vb := b[k]
+		for i := range va {
+			if va[i] != vb[i] {
+				t.Fatalf("group %d agg %d: hash=%d sorted=%d", k, i, va[i], vb[i])
+			}
+		}
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	for _, op := range []Operator{
+		NewHashAggregate(NewMemScan(pairSchema, nil), []int{0}, []AggSpec{{Func: AggCount}}, nil),
+		NewSortedAggregate(NewMemScan(pairSchema, nil), []int{0}, []AggSpec{{Func: AggCount}}, nil),
+	} {
+		ts, err := Collect(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) != 0 {
+			t.Errorf("%T on empty input = %d groups", op, len(ts))
+		}
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no specs": func() { NewHashAggregate(NewMemScan(pairSchema, nil), []int{0}, nil, nil) },
+		"bad column": func() {
+			NewHashAggregate(NewMemScan(pairSchema, nil), []int{0}, []AggSpec{{Func: AggSum, Col: 9}}, nil)
+		},
+		"char sum": func() {
+			s := tuple.NewSchema(tuple.Int64Field("g"), tuple.CharField("c", 4))
+			NewSortedAggregate(NewMemScan(s, nil), []int{0}, []AggSpec{{Func: AggSum, Col: 1}}, nil)
+		},
+	} {
+		f := f
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+// Property: both aggregation strategies agree with a map-based model on any
+// input.
+func TestQuickAggregatesMatchModel(t *testing.T) {
+	f := func(raw []byte) bool {
+		in := make([]tuple.Tuple, 0, len(raw)/2)
+		model := make(map[int64]*struct{ count, sum, min, max int64 })
+		for i := 0; i+1 < len(raw); i += 2 {
+			g, v := int64(raw[i]%8), int64(int8(raw[i+1]))
+			in = append(in, pairSchema.MustMake(g, v))
+			m := model[g]
+			if m == nil {
+				model[g] = &struct{ count, sum, min, max int64 }{1, v, v, v}
+			} else {
+				m.count++
+				m.sum += v
+				if v < m.min {
+					m.min = v
+				}
+				if v > m.max {
+					m.max = v
+				}
+			}
+		}
+		aggs := []AggSpec{{Func: AggCount}, {Func: AggSum, Col: 1}, {Func: AggMin, Col: 1}, {Func: AggMax, Col: 1}}
+		h := NewHashAggregate(NewMemScan(pairSchema, in), []int{0}, aggs, nil)
+		ts, err := Collect(h)
+		if err != nil {
+			return false
+		}
+		if len(ts) != len(model) {
+			return false
+		}
+		s := h.Schema()
+		for _, tp := range ts {
+			m := model[s.Int64(tp, 0)]
+			if m == nil {
+				return false
+			}
+			if s.Int64(tp, 1) != m.count || s.Int64(tp, 2) != m.sum ||
+				s.Int64(tp, 3) != m.min || s.Int64(tp, 4) != m.max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// Exchange decouples its input into a producer goroutine, passing tuple
+// batches through a bounded channel — the Volcano exchange operator, which
+// turns the demand-driven iterator model into a pipelined-parallel one
+// without changing any other operator. A stop-and-go consumer (sort, hash
+// table build) can overlap with its producer's I/O and CPU.
+type Exchange struct {
+	input Operator
+	depth int
+	batch int
+
+	ch     chan exchangeMsg
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	cur    []tuple.Tuple
+	pos    int
+	done   bool
+	opened bool
+}
+
+type exchangeMsg struct {
+	batch []tuple.Tuple
+	err   error
+}
+
+// NewExchange wraps input. batch is tuples per transfer (default 64); depth
+// is the channel capacity in batches (default 4).
+func NewExchange(input Operator, batch, depth int) *Exchange {
+	if batch <= 0 {
+		batch = 64
+	}
+	if depth <= 0 {
+		depth = 4
+	}
+	return &Exchange{input: input, batch: batch, depth: depth}
+}
+
+// Schema implements Operator.
+func (e *Exchange) Schema() *tuple.Schema { return e.input.Schema() }
+
+// Open implements Operator: it starts the producer goroutine.
+func (e *Exchange) Open() error {
+	if err := e.input.Open(); err != nil {
+		return err
+	}
+	e.ch = make(chan exchangeMsg, e.depth)
+	e.stop = make(chan struct{})
+	e.cur, e.pos, e.done = nil, 0, false
+	e.opened = true
+	e.wg.Add(1)
+	go e.produce()
+	return nil
+}
+
+func (e *Exchange) produce() {
+	defer e.wg.Done()
+	defer close(e.ch)
+	buf := make([]tuple.Tuple, 0, e.batch)
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		select {
+		case e.ch <- exchangeMsg{batch: buf}:
+			buf = make([]tuple.Tuple, 0, e.batch)
+			return true
+		case <-e.stop:
+			return false
+		}
+	}
+	for {
+		t, err := e.input.Next()
+		if err == io.EOF {
+			flush()
+			return
+		}
+		if err != nil {
+			if !flush() {
+				return
+			}
+			select {
+			case e.ch <- exchangeMsg{err: err}:
+			case <-e.stop:
+			}
+			return
+		}
+		buf = append(buf, t.Clone())
+		if len(buf) >= e.batch {
+			if !flush() {
+				return
+			}
+		}
+	}
+}
+
+// Next implements Operator.
+func (e *Exchange) Next() (tuple.Tuple, error) {
+	if !e.opened {
+		return nil, errNotOpen("Exchange")
+	}
+	for {
+		if e.pos < len(e.cur) {
+			t := e.cur[e.pos]
+			e.pos++
+			return t, nil
+		}
+		if e.done {
+			return nil, io.EOF
+		}
+		msg, ok := <-e.ch
+		if !ok {
+			e.done = true
+			return nil, io.EOF
+		}
+		if msg.err != nil {
+			e.done = true
+			return nil, fmt.Errorf("exec: exchange producer: %w", msg.err)
+		}
+		e.cur, e.pos = msg.batch, 0
+	}
+}
+
+// Close implements Operator: it stops the producer and closes the input.
+func (e *Exchange) Close() error {
+	if !e.opened {
+		return nil
+	}
+	e.opened = false
+	close(e.stop)
+	// Drain so the producer is never blocked on send.
+	for range e.ch {
+	}
+	e.wg.Wait()
+	e.cur = nil
+	return e.input.Close()
+}

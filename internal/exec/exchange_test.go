@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestExchangePassesEverythingInOrder(t *testing.T) {
+	const n = 5000
+	in := make([]tuple.Tuple, n)
+	for i := range in {
+		in[i] = pairSchema.MustMake(int64(i), int64(i*2))
+	}
+	e := NewExchange(NewMemScan(pairSchema, in), 32, 2)
+	got := rows(t, e)
+	if len(got) != n {
+		t.Fatalf("exchange passed %d of %d tuples", len(got), n)
+	}
+	for i, r := range got {
+		if r[0] != int64(i) || r[1] != int64(2*i) {
+			t.Fatalf("tuple %d = %v", i, r)
+		}
+	}
+}
+
+func TestExchangeEmptyInput(t *testing.T) {
+	e := NewExchange(NewMemScan(pairSchema, nil), 8, 2)
+	if got := rows(t, e); len(got) != 0 {
+		t.Errorf("empty exchange = %v", got)
+	}
+}
+
+func TestExchangePropagatesErrors(t *testing.T) {
+	in := make([]tuple.Tuple, 100)
+	for i := range in {
+		in[i] = pairSchema.MustMake(int64(i), 0)
+	}
+	e := NewExchange(NewFaultScan(NewMemScan(pairSchema, in), 50), 8, 2)
+	if err := e.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	seen := 0
+	for {
+		_, err = e.Next()
+		if err != nil {
+			break
+		}
+		seen++
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if seen != 50 {
+		t.Errorf("saw %d tuples before the error, want 50", seen)
+	}
+	if cerr := e.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+}
+
+func TestExchangeEarlyClose(t *testing.T) {
+	// The consumer abandons the stream mid-way; the producer goroutine must
+	// exit promptly (Close blocks until it does).
+	const n = 100000
+	in := make([]tuple.Tuple, n)
+	for i := range in {
+		in[i] = pairSchema.MustMake(int64(i), 0)
+	}
+	e := NewExchange(NewMemScan(pairSchema, in), 16, 1)
+	if err := e.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reusable after Close.
+	if err := e.Open(); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Drain(&drainWrapper{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n {
+		t.Errorf("reopened exchange passed %d tuples", n2)
+	}
+}
+
+// drainWrapper lets Drain (which opens and closes) reuse an already-open
+// operator exactly once.
+type drainWrapper struct{ op Operator }
+
+func (d *drainWrapper) Schema() *tuple.Schema      { return d.op.Schema() }
+func (d *drainWrapper) Open() error                { return nil }
+func (d *drainWrapper) Next() (tuple.Tuple, error) { return d.op.Next() }
+func (d *drainWrapper) Close() error               { return d.op.Close() }
+
+func TestExchangeUnderSort(t *testing.T) {
+	// Exchange feeding a stop-and-go sort: output must equal the plain
+	// pipeline.
+	rng := rand.New(rand.NewSource(12))
+	const n = 3000
+	in := make([]tuple.Tuple, n)
+	for i := range in {
+		in[i] = pairSchema.MustMake(rng.Int63n(1000), int64(i))
+	}
+	pool, dev := sortTestEnv()
+	s := NewSort(NewExchange(NewMemScan(pairSchema, in), 64, 4), SortConfig{
+		Keys: []int{0}, MemoryBytes: 4096, Pool: pool, TempDev: dev,
+	})
+	got := rows(t, s)
+	if len(got) != n {
+		t.Fatalf("lost tuples through exchange+sort: %d", len(got))
+	}
+	for i := 1; i < n; i++ {
+		if got[i][0] < got[i-1][0] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func BenchmarkExchangeOverhead(b *testing.B) {
+	const n = 100000
+	in := make([]tuple.Tuple, n)
+	for i := range in {
+		in[i] = pairSchema.MustMake(int64(i), 0)
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Drain(NewMemScan(pairSchema, in)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exchange", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Drain(NewExchange(NewMemScan(pairSchema, in), 128, 4)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

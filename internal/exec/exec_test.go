@@ -1,0 +1,553 @@
+package exec
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+var pairSchema = tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+
+func pairs(vals ...int64) []tuple.Tuple {
+	if len(vals)%2 != 0 {
+		panic("pairs wants an even number of values")
+	}
+	out := make([]tuple.Tuple, 0, len(vals)/2)
+	for i := 0; i < len(vals); i += 2 {
+		out = append(out, pairSchema.MustMake(vals[i], vals[i+1]))
+	}
+	return out
+}
+
+func rows(t *testing.T, op Operator) [][2]int64 {
+	t.Helper()
+	ts, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][2]int64, len(ts))
+	s := op.Schema()
+	for i, tp := range ts {
+		out[i] = [2]int64{s.Int64(tp, 0), s.Int64(tp, 1)}
+	}
+	return out
+}
+
+func TestMemScanAndDrain(t *testing.T) {
+	m := NewMemScan(pairSchema, pairs(1, 2, 3, 4, 5, 6))
+	n, err := Drain(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("Drain = %d, want 3", n)
+	}
+	if _, err := m.Next(); err == nil {
+		t.Error("Next after Close should fail")
+	}
+}
+
+func TestTableScan(t *testing.T) {
+	dev := disk.NewDevice("t", 256)
+	pool := buffer.New(1 << 16)
+	f := storage.NewFile(pool, dev, pairSchema, "r")
+	if err := f.Load(pairs(1, 10, 2, 20, 3, 30)); err != nil {
+		t.Fatal(err)
+	}
+	got := rows(t, NewTableScan(f, true))
+	want := [][2]int64{{1, 10}, {2, 20}, {3, 30}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFilterProject(t *testing.T) {
+	in := NewMemScan(pairSchema, pairs(1, 10, 2, 20, 3, 30, 4, 40))
+	f := NewFilter(in, func(tp tuple.Tuple) bool { return pairSchema.Int64(tp, 0)%2 == 0 })
+	p := NewProject(f, []int{1})
+	ts, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d tuples", len(ts))
+	}
+	s := p.Schema()
+	if s.Int64(ts[0], 0) != 20 || s.Int64(ts[1], 0) != 40 {
+		t.Errorf("projection wrong: %v %v", s.Row(ts[0]), s.Row(ts[1]))
+	}
+	if s.NumFields() != 1 || s.Field(0).Name != "b" {
+		t.Errorf("projected schema = %s", s)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := NewMemScan(pairSchema, pairs(1, 1))
+	b := NewMemScan(pairSchema, pairs(2, 2, 3, 3))
+	c := NewMemScan(pairSchema, nil)
+	got := rows(t, NewConcat(a, b, c))
+	if len(got) != 3 || got[0][0] != 1 || got[2][0] != 3 {
+		t.Errorf("Concat = %v", got)
+	}
+}
+
+func TestConcatSchemaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	other := tuple.NewSchema(tuple.Int64Field("x"))
+	NewConcat(NewMemScan(pairSchema, nil), NewMemScan(other, nil))
+}
+
+func TestMaterializeRescannable(t *testing.T) {
+	dev := disk.NewDevice("t", 256)
+	pool := buffer.New(1 << 16)
+	f := storage.NewFile(pool, dev, pairSchema, "mat")
+	m := NewMaterialize(NewMemScan(pairSchema, pairs(5, 50, 6, 60)), f, nil)
+	got := rows(t, m)
+	if len(got) != 2 || got[0] != [2]int64{5, 50} {
+		t.Errorf("Materialize pass = %v", got)
+	}
+	if f.NumRecords() != 2 {
+		t.Errorf("backing file has %d records", f.NumRecords())
+	}
+	// The file outlives the operator and can be rescanned.
+	got2 := rows(t, NewTableScan(f, true))
+	if len(got2) != 2 {
+		t.Errorf("rescan = %v", got2)
+	}
+}
+
+func sortTestEnv() (*buffer.Pool, *disk.Device) {
+	return buffer.New(1 << 20), disk.NewDevice("runs", disk.PaperRunPageSize)
+}
+
+func TestSortInMemory(t *testing.T) {
+	in := NewMemScan(pairSchema, pairs(3, 1, 1, 2, 2, 3))
+	s := NewSort(in, SortConfig{Keys: []int{0}, MemoryBytes: 1 << 20})
+	got := rows(t, s)
+	want := [][2]int64{{1, 2}, {2, 3}, {3, 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+	if s.SpilledRuns() != 0 {
+		t.Errorf("in-memory sort spilled %d runs", s.SpilledRuns())
+	}
+}
+
+func TestSortExternalSpills(t *testing.T) {
+	pool, dev := sortTestEnv()
+	const n = 2000
+	rng := rand.New(rand.NewSource(3))
+	in := make([]tuple.Tuple, n)
+	for i := range in {
+		in[i] = pairSchema.MustMake(rng.Int63n(10000), int64(i))
+	}
+	// 512-byte budget = 32 tuples per run: forces many runs and multiple
+	// merge passes (fan-in is clamped to 2 because budget < page size).
+	s := NewSort(NewMemScan(pairSchema, in), SortConfig{
+		Keys: []int{0}, MemoryBytes: 512, Pool: pool, TempDev: dev,
+	})
+	got := rows(t, s)
+	if s.SpilledRuns() == 0 {
+		t.Fatal("expected external sort to spill")
+	}
+	if len(got) != n {
+		t.Fatalf("lost tuples: %d of %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		if got[i][0] < got[i-1][0] {
+			t.Fatalf("not sorted at %d: %v > %v", i, got[i-1], got[i])
+		}
+	}
+	// Sorted stably by second column within equal keys? Not guaranteed
+	// across runs; only verify multiset preservation.
+	seen := make(map[int64]int)
+	for _, r := range got {
+		seen[r[1]]++
+	}
+	if len(seen) != n {
+		t.Error("external sort duplicated or dropped payloads")
+	}
+}
+
+func TestSortMinorKeys(t *testing.T) {
+	in := NewMemScan(pairSchema, pairs(1, 3, 2, 1, 1, 1, 2, 3, 1, 2))
+	s := NewSort(in, SortConfig{Keys: []int{0, 1}})
+	got := rows(t, s)
+	want := [][2]int64{{1, 1}, {1, 2}, {1, 3}, {2, 1}, {2, 3}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortDedup(t *testing.T) {
+	in := NewMemScan(pairSchema, pairs(2, 9, 1, 8, 2, 7, 1, 6, 3, 5))
+	s := NewSort(in, SortConfig{Keys: []int{0}, Dedup: true})
+	got := rows(t, s)
+	if len(got) != 3 {
+		t.Fatalf("dedup kept %d tuples: %v", len(got), got)
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if got[i][0] != want {
+			t.Errorf("key %d = %d", i, got[i][0])
+		}
+	}
+}
+
+func TestSortDedupExternal(t *testing.T) {
+	pool, dev := sortTestEnv()
+	var in []tuple.Tuple
+	for i := 0; i < 500; i++ {
+		in = append(in, pairSchema.MustMake(int64(i%50), int64(i)))
+	}
+	s := NewSort(NewMemScan(pairSchema, in), SortConfig{
+		Keys: []int{0}, Dedup: true, MemoryBytes: 256, Pool: pool, TempDev: dev,
+	})
+	got := rows(t, s)
+	if len(got) != 50 {
+		t.Fatalf("external dedup kept %d, want 50", len(got))
+	}
+	// Early duplicate elimination: intermediate runs should already be
+	// duplicate-free, so spilled pages stay small.
+	if s.SpilledRuns() == 0 {
+		t.Error("expected spills")
+	}
+}
+
+func TestSortCombineAggregates(t *testing.T) {
+	// Combine sums column b per key a.
+	in := NewMemScan(pairSchema, pairs(1, 10, 2, 1, 1, 5, 2, 2, 1, 1))
+	s := NewSort(in, SortConfig{
+		Keys: []int{0},
+		Combine: func(dst, src tuple.Tuple) {
+			pairSchema.SetInt64(dst, 1, pairSchema.Int64(dst, 1)+pairSchema.Int64(src, 1))
+		},
+	})
+	got := rows(t, s)
+	if len(got) != 2 || got[0] != [2]int64{1, 16} || got[1] != [2]int64{2, 3} {
+		t.Errorf("Combine = %v", got)
+	}
+}
+
+func TestSortCountsComparisons(t *testing.T) {
+	var c Counters
+	in := NewMemScan(pairSchema, pairs(3, 0, 1, 0, 2, 0))
+	s := NewSort(in, SortConfig{Keys: []int{0}, Counters: &c})
+	if _, err := Collect(s); err != nil {
+		t.Fatal(err)
+	}
+	if c.Comp == 0 {
+		t.Error("sort did not count comparisons")
+	}
+}
+
+func TestSortEmptyInput(t *testing.T) {
+	s := NewSort(NewMemScan(pairSchema, nil), SortConfig{Keys: []int{0}})
+	got := rows(t, s)
+	if len(got) != 0 {
+		t.Errorf("empty sort = %v", got)
+	}
+}
+
+func TestSortWithoutTempDevErrors(t *testing.T) {
+	var in []tuple.Tuple
+	for i := 0; i < 100; i++ {
+		in = append(in, pairSchema.MustMake(int64(i), 0))
+	}
+	s := NewSort(NewMemScan(pairSchema, in), SortConfig{Keys: []int{0}, MemoryBytes: 64})
+	if err := s.Open(); err == nil {
+		s.Close()
+		t.Fatal("expected error for spill without temp device")
+	}
+}
+
+func TestMergeJoinInner(t *testing.T) {
+	left := NewMemScan(pairSchema, pairs(1, 100, 2, 200, 2, 201, 4, 400))
+	rightSchema := tuple.NewSchema(tuple.Int64Field("k"), tuple.Int64Field("v"))
+	right := NewMemScan(rightSchema, []tuple.Tuple{
+		rightSchema.MustMake(2, 7),
+		rightSchema.MustMake(2, 8),
+		rightSchema.MustMake(3, 9),
+		rightSchema.MustMake(4, 10),
+	})
+	j := NewMergeJoin(left, right, []int{0}, []int{0}, nil)
+	ts, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// key 2: 2 left × 2 right = 4 pairs; key 4: 1×1.
+	if len(ts) != 5 {
+		t.Fatalf("inner join produced %d tuples, want 5", len(ts))
+	}
+	s := j.Schema()
+	if s.NumFields() != 4 {
+		t.Fatalf("join schema = %s", s)
+	}
+	// Verify one representative pair.
+	found := false
+	for _, tp := range ts {
+		if s.Int64(tp, 0) == 2 && s.Int64(tp, 1) == 201 && s.Int64(tp, 3) == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing expected pair (2,201)x(2,8)")
+	}
+}
+
+func TestMergeSemiJoin(t *testing.T) {
+	left := NewMemScan(pairSchema, pairs(1, 0, 2, 0, 3, 0, 4, 0))
+	rs := tuple.NewSchema(tuple.Int64Field("k"))
+	right := NewMemScan(rs, []tuple.Tuple{rs.MustMake(2), rs.MustMake(2), rs.MustMake(4), rs.MustMake(5)})
+	j := NewMergeSemiJoin(left, right, []int{0}, []int{0}, nil)
+	got := rows(t, j)
+	if len(got) != 2 || got[0][0] != 2 || got[1][0] != 4 {
+		t.Errorf("semi join = %v", got)
+	}
+}
+
+func TestMergeJoinEmptySides(t *testing.T) {
+	empty := NewMemScan(pairSchema, nil)
+	full := NewMemScan(pairSchema, pairs(1, 1))
+	if got := rows(t, NewMergeJoin(empty, full, []int{0}, []int{0}, nil)); len(got) != 0 {
+		t.Errorf("join with empty left = %v", got)
+	}
+	empty2 := NewMemScan(pairSchema, nil)
+	full2 := NewMemScan(pairSchema, pairs(1, 1))
+	if got := rows(t, NewMergeJoin(full2, empty2, []int{0}, []int{0}, nil)); len(got) != 0 {
+		t.Errorf("join with empty right = %v", got)
+	}
+}
+
+func TestHashSemiJoin(t *testing.T) {
+	probe := NewMemScan(pairSchema, pairs(1, 0, 2, 0, 3, 0, 2, 1))
+	bs := tuple.NewSchema(tuple.Int64Field("k"))
+	build := NewMemScan(bs, []tuple.Tuple{bs.MustMake(2), bs.MustMake(9)})
+	j := NewHashSemiJoin(probe, build, []int{0}, []int{0}, nil)
+	got := rows(t, j)
+	if len(got) != 2 || got[0][0] != 2 || got[1][0] != 2 {
+		t.Errorf("hash semi join = %v", got)
+	}
+}
+
+func TestHashJoinMatchesMergeJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var left, right []tuple.Tuple
+	for i := 0; i < 300; i++ {
+		left = append(left, pairSchema.MustMake(rng.Int63n(40), int64(i)))
+		right = append(right, pairSchema.MustMake(rng.Int63n(40), int64(1000+i)))
+	}
+	sortTuples := func(ts []tuple.Tuple) []tuple.Tuple {
+		out := append([]tuple.Tuple(nil), ts...)
+		sort.Slice(out, func(i, j int) bool { return pairSchema.CompareAll(out[i], out[j]) < 0 })
+		return out
+	}
+	mj := NewMergeJoin(
+		NewMemScan(pairSchema, sortTuples(left)),
+		NewMemScan(pairSchema, sortTuples(right)),
+		[]int{0}, []int{0}, nil)
+	hj := NewHashJoin(
+		NewMemScan(pairSchema, left),
+		NewMemScan(pairSchema, right),
+		[]int{0}, []int{0}, nil)
+
+	canon := func(op Operator) map[[4]int64]int {
+		ts, err := Collect(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := op.Schema()
+		m := make(map[[4]int64]int)
+		for _, tp := range ts {
+			m[[4]int64{s.Int64(tp, 0), s.Int64(tp, 1), s.Int64(tp, 2), s.Int64(tp, 3)}]++
+		}
+		return m
+	}
+	a, b := canon(mj), canon(hj)
+	if len(a) != len(b) {
+		t.Fatalf("join results differ in size: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("pair %v: merge=%d hash=%d", k, v, b[k])
+		}
+	}
+}
+
+func TestSortedGroupCount(t *testing.T) {
+	in := NewMemScan(pairSchema, pairs(1, 5, 1, 6, 2, 7, 3, 8, 3, 9, 3, 10))
+	g := NewSortedGroupCount(in, []int{0}, false, nil)
+	got := rows(t, g)
+	want := [][2]int64{{1, 2}, {2, 1}, {3, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("group %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if g.Schema().Field(1).Name != CountColumn {
+		t.Errorf("count column named %q", g.Schema().Field(1).Name)
+	}
+}
+
+func TestSortedGroupCountDistinct(t *testing.T) {
+	// Duplicated (1,5) must count once with distinct, twice without.
+	in := pairs(1, 5, 1, 5, 1, 6, 2, 7, 2, 7)
+	g := NewSortedGroupCount(NewMemScan(pairSchema, in), []int{0}, true, nil)
+	got := rows(t, g)
+	if len(got) != 2 || got[0] != [2]int64{1, 2} || got[1] != [2]int64{2, 1} {
+		t.Errorf("distinct count = %v", got)
+	}
+}
+
+func TestSortedGroupCountEmpty(t *testing.T) {
+	g := NewSortedGroupCount(NewMemScan(pairSchema, nil), []int{0}, false, nil)
+	if got := rows(t, g); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestHashGroupCountMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var in []tuple.Tuple
+	for i := 0; i < 1000; i++ {
+		in = append(in, pairSchema.MustMake(rng.Int63n(30), int64(i)))
+	}
+	sorted := append([]tuple.Tuple(nil), in...)
+	sort.Slice(sorted, func(i, j int) bool { return pairSchema.CompareAll(sorted[i], sorted[j]) < 0 })
+
+	sg := NewSortedGroupCount(NewMemScan(pairSchema, sorted), []int{0}, false, nil)
+	hg := NewHashGroupCount(NewMemScan(pairSchema, in), []int{0}, 30, 2, nil)
+
+	toMap := func(op Operator) map[int64]int64 {
+		ts, err := Collect(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := op.Schema()
+		m := make(map[int64]int64)
+		for _, tp := range ts {
+			m[s.Int64(tp, 0)] = s.Int64(tp, 1)
+		}
+		return m
+	}
+	a, b := toMap(sg), toMap(hg)
+	if len(a) != len(b) {
+		t.Fatalf("group counts differ: %d vs %d groups", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("group %d: sorted=%d hash=%d", k, v, b[k])
+		}
+	}
+}
+
+func TestScalarCount(t *testing.T) {
+	n, err := ScalarCount(NewMemScan(pairSchema, pairs(1, 1, 2, 2)))
+	if err != nil || n != 2 {
+		t.Errorf("ScalarCount = %d, %v", n, err)
+	}
+}
+
+func TestHashDedup(t *testing.T) {
+	in := NewMemScan(pairSchema, pairs(1, 1, 2, 2, 1, 1, 1, 2, 2, 2))
+	d := NewHashDedup(in, nil)
+	got := rows(t, d)
+	if len(got) != 3 {
+		t.Errorf("dedup = %v", got)
+	}
+}
+
+func TestCountersFoldIntoPlan(t *testing.T) {
+	var c Counters
+	in := NewMemScan(pairSchema, pairs(1, 1, 1, 2, 2, 3))
+	g := NewHashGroupCount(in, []int{0}, 4, 2, &c)
+	if _, err := Collect(g); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hash == 0 {
+		t.Error("hash aggregation did not count hashes")
+	}
+	cost := c.CostMS(0.03, 0.03, 0.4, 0.003)
+	if cost <= 0 {
+		t.Error("CostMS should be positive")
+	}
+}
+
+func TestNextBeforeOpenErrors(t *testing.T) {
+	ops := []Operator{
+		NewTableScan(storage.NewFile(buffer.New(4096), disk.NewDevice("x", 256), pairSchema, "x"), true),
+		NewMemScan(pairSchema, nil),
+		NewSort(NewMemScan(pairSchema, nil), SortConfig{Keys: []int{0}}),
+		NewSortedGroupCount(NewMemScan(pairSchema, nil), []int{0}, false, nil),
+		NewHashGroupCount(NewMemScan(pairSchema, nil), []int{0}, 4, 2, nil),
+		NewMergeJoin(NewMemScan(pairSchema, nil), NewMemScan(pairSchema, nil), []int{0}, []int{0}, nil),
+		NewHashSemiJoin(NewMemScan(pairSchema, nil), NewMemScan(pairSchema, nil), []int{0}, []int{0}, nil),
+		NewHashJoin(NewMemScan(pairSchema, nil), NewMemScan(pairSchema, nil), []int{0}, []int{0}, nil),
+		NewHashDedup(NewMemScan(pairSchema, nil), nil),
+		NewConcat(NewMemScan(pairSchema, nil)),
+		NewMaterialize(NewMemScan(pairSchema, nil), storage.NewFile(buffer.New(4096), disk.NewDevice("y", 256), pairSchema, "y"), nil),
+	}
+	for _, op := range ops {
+		if _, err := op.Next(); err == nil || err == io.EOF {
+			t.Errorf("%T.Next before Open: %v", op, err)
+		}
+	}
+}
+
+func BenchmarkExternalSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	in := make([]tuple.Tuple, n)
+	for i := range in {
+		in[i] = pairSchema.MustMake(rng.Int63(), int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool, dev := buffer.New(1<<20), disk.NewDevice("runs", disk.PaperRunPageSize)
+		s := NewSort(NewMemScan(pairSchema, in), SortConfig{
+			Keys: []int{0}, MemoryBytes: 16 * 1024, Pool: pool, TempDev: dev,
+		})
+		if _, err := Drain(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashGroupCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	in := make([]tuple.Tuple, n)
+	for i := range in {
+		in[i] = pairSchema.MustMake(rng.Int63n(500), int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewHashGroupCount(NewMemScan(pairSchema, in), []int{0}, 500, 2, nil)
+		if _, err := Drain(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

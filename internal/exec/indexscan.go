@@ -1,0 +1,108 @@
+package exec
+
+import (
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// IndexKeyScan streams a B+-tree's keys in key order. When the index covers
+// every column an operator needs (e.g. a dividend indexed on (quotient
+// attributes, divisor attributes)), this replaces the sort in front of naive
+// division or sort-based aggregation with an ordered index scan.
+type IndexKeyScan struct {
+	tree   *btree.Tree
+	schema *tuple.Schema
+	lo, hi tuple.Tuple
+	it     *btree.Iterator
+}
+
+// NewIndexKeyScan scans keys in [lo, hi); nil bounds are open.
+func NewIndexKeyScan(tree *btree.Tree, keySchema *tuple.Schema, lo, hi tuple.Tuple) *IndexKeyScan {
+	return &IndexKeyScan{tree: tree, schema: keySchema, lo: lo, hi: hi}
+}
+
+// Schema implements Operator.
+func (s *IndexKeyScan) Schema() *tuple.Schema { return s.schema }
+
+// Open implements Operator.
+func (s *IndexKeyScan) Open() error {
+	it, err := s.tree.Range(s.lo, s.hi)
+	if err != nil {
+		return err
+	}
+	s.it = it
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexKeyScan) Next() (tuple.Tuple, error) {
+	if s.it == nil {
+		return nil, errNotOpen("IndexKeyScan")
+	}
+	k, _, err := s.it.Next()
+	return k, err
+}
+
+// Close implements Operator.
+func (s *IndexKeyScan) Close() error {
+	s.it = nil
+	return nil
+}
+
+// IndexLookupScan streams full heap-file records in index-key order: an
+// index scan followed by record fetches. Unlike IndexKeyScan this pays a
+// (possibly random) page access per record, the unclustered-index trade-off.
+type IndexLookupScan struct {
+	tree *btree.Tree
+	file *storage.File
+	it   *btree.Iterator
+	buf  tuple.Tuple
+}
+
+// NewIndexLookupScan scans file's records in tree order; the tree's values
+// must be record ids into file.
+func NewIndexLookupScan(tree *btree.Tree, file *storage.File) *IndexLookupScan {
+	return &IndexLookupScan{tree: tree, file: file}
+}
+
+// Schema implements Operator.
+func (s *IndexLookupScan) Schema() *tuple.Schema { return s.file.Schema() }
+
+// Open implements Operator.
+func (s *IndexLookupScan) Open() error {
+	it, err := s.tree.SeekFirst(nil)
+	if err != nil {
+		return err
+	}
+	s.it = it
+	s.buf = s.file.Schema().New()
+	return nil
+}
+
+// Next implements Operator. The returned tuple aliases an internal buffer
+// reused across calls.
+func (s *IndexLookupScan) Next() (tuple.Tuple, error) {
+	if s.it == nil {
+		return nil, errNotOpen("IndexLookupScan")
+	}
+	_, rid, err := s.it.Next()
+	if err != nil {
+		return nil, err
+	}
+	rec, h, err := s.file.FetchRef(rid)
+	if err != nil {
+		return nil, err
+	}
+	copy(s.buf, rec)
+	if err := h.Unfix(true); err != nil {
+		return nil, err
+	}
+	return s.buf, nil
+}
+
+// Close implements Operator.
+func (s *IndexLookupScan) Close() error {
+	s.it = nil
+	return nil
+}

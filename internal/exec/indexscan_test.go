@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/storage"
+)
+
+func indexedFixture(t *testing.T, n int) (*btree.Tree, *storage.File, []int64) {
+	t.Helper()
+	pool := buffer.New(1 << 20)
+	dev := disk.NewDevice("d", 1024)
+	f := storage.NewFile(pool, dev, pairSchema, "r")
+	tr, err := btree.New(pool, dev, pairSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 30)
+		tp := pairSchema.MustMake(keys[i], int64(i))
+		rid, err := f.Append(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Insert(tp, rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, f, keys
+}
+
+func TestIndexKeyScanSorted(t *testing.T) {
+	tr, _, keys := indexedFixture(t, 500)
+	sc := NewIndexKeyScan(tr, pairSchema, nil, nil)
+	got := rows(t, sc)
+	if len(got) != len(keys) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(keys))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i][0] < got[i-1][0] {
+			t.Fatalf("index scan out of order at %d", i)
+		}
+	}
+}
+
+func TestIndexKeyScanRange(t *testing.T) {
+	pool := buffer.New(1 << 20)
+	dev := disk.NewDevice("d", 1024)
+	tr, err := btree.New(pool, dev, pairSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(pairSchema.MustMake(int64(i), 0), storage.RID{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := NewIndexKeyScan(tr, pairSchema,
+		pairSchema.MustMake(10, 0), pairSchema.MustMake(20, 0))
+	got := rows(t, sc)
+	if len(got) != 10 || got[0][0] != 10 || got[9][0] != 19 {
+		t.Errorf("range scan = %v", got)
+	}
+}
+
+func TestIndexLookupScanFetchesRecords(t *testing.T) {
+	tr, f, keys := indexedFixture(t, 300)
+	sc := NewIndexLookupScan(tr, f)
+	if err := sc.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	count := 0
+	var prev int64 = -1
+	for {
+		tp, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := pairSchema.Int64(tp, 0)
+		if k < prev {
+			t.Fatalf("lookup scan out of key order")
+		}
+		prev = k
+		// Payload must be the original record's position, matching the key.
+		pos := pairSchema.Int64(tp, 1)
+		if keys[pos] != k {
+			t.Fatalf("record payload %d does not match key %d", pos, k)
+		}
+		count++
+	}
+	if count != len(keys) {
+		t.Errorf("lookup scan returned %d records, want %d", count, len(keys))
+	}
+	if f.Pool().FixedFrames() != 0 {
+		t.Error("lookup scan leaked fixed frames")
+	}
+}
+
+func TestIndexScansNotOpen(t *testing.T) {
+	tr, f, _ := indexedFixture(t, 1)
+	if _, err := NewIndexKeyScan(tr, pairSchema, nil, nil).Next(); err == nil {
+		t.Error("IndexKeyScan.Next before Open should fail")
+	}
+	if _, err := NewIndexLookupScan(tr, f).Next(); err == nil {
+		t.Error("IndexLookupScan.Next before Open should fail")
+	}
+}

@@ -1,0 +1,122 @@
+// Package exec implements the demand-driven dataflow layer of the paper's
+// substrate: "all relational algebra operators are implemented as iterators,
+// i.e., they support a simple open-next-close protocol" (§5.1). Plans are
+// trees of Operators; Next pulls one tuple at a time, so no operator needs to
+// materialize its input unless its algorithm is inherently stop-and-go
+// (sorting, hash aggregation).
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tuple"
+)
+
+// Operator is the open-next-close iterator every physical operator
+// implements. Next returns io.EOF after the last tuple. Returned tuples may
+// alias operator-internal or buffer-pool memory and are only valid until the
+// next call to Next or Close; callers that retain tuples must Clone them.
+type Operator interface {
+	// Schema describes the tuples Next produces.
+	Schema() *tuple.Schema
+	// Open prepares the operator (and recursively its inputs).
+	Open() error
+	// Next produces the next output tuple, or io.EOF.
+	Next() (tuple.Tuple, error)
+	// Close releases resources (and recursively closes inputs). Close is
+	// idempotent.
+	Close() error
+}
+
+// Counters accumulate deterministic CPU work in the paper's Table 1 units,
+// shared by every operator of a plan. A nil *Counters disables counting.
+type Counters struct {
+	Comp int64 // tuple comparisons
+	Hash int64 // hash calculations
+	Move int64 // page-size memory moves
+	Bit  int64 // bit map sets/tests
+}
+
+// Add folds o into c.
+func (c *Counters) Add(o Counters) {
+	c.Comp += o.Comp
+	c.Hash += o.Hash
+	c.Move += o.Move
+	c.Bit += o.Bit
+}
+
+// CostMS prices the counters with Table 1 weights (milliseconds per unit).
+func (c *Counters) CostMS(compMS, hashMS, moveMS, bitMS float64) float64 {
+	return float64(c.Comp)*compMS + float64(c.Hash)*hashMS +
+		float64(c.Move)*moveMS + float64(c.Bit)*bitMS
+}
+
+// Drain runs op to completion, discarding tuples, and returns the row count.
+// It opens and closes the operator.
+func Drain(op Operator) (int, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		_, err := op.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			op.Close()
+			return n, err
+		}
+		n++
+	}
+	return n, op.Close()
+}
+
+// Collect runs op to completion and returns clones of every output tuple.
+// It opens and closes the operator.
+func Collect(op Operator) ([]tuple.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	var out []tuple.Tuple
+	for {
+		t, err := op.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		out = append(out, t.Clone())
+	}
+	return out, op.Close()
+}
+
+// ForEach runs op to completion, invoking fn on each tuple (which fn must
+// not retain without cloning).
+func ForEach(op Operator, fn func(tuple.Tuple) error) error {
+	if err := op.Open(); err != nil {
+		return err
+	}
+	for {
+		t, err := op.Next()
+		if err == io.EOF {
+			return op.Close()
+		}
+		if err != nil {
+			op.Close()
+			return err
+		}
+		if err := fn(t); err != nil {
+			op.Close()
+			return err
+		}
+	}
+}
+
+// errNotOpen guards protocol misuse in every operator.
+func errNotOpen(name string) error {
+	return fmt.Errorf("exec: %s.Next called before Open", name)
+}

@@ -1,0 +1,318 @@
+package exec
+
+import (
+	"io"
+
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// TableScan streams a heap file's records in storage order.
+type TableScan struct {
+	file *storage.File
+	keep bool
+	sc   *storage.Scanner
+}
+
+// NewTableScan scans file. keepPages is the buffer unfix hint: true keeps
+// pages cached for rescans, false releases them immediately (large inputs
+// read once).
+func NewTableScan(file *storage.File, keepPages bool) *TableScan {
+	return &TableScan{file: file, keep: keepPages}
+}
+
+// Schema implements Operator.
+func (t *TableScan) Schema() *tuple.Schema { return t.file.Schema() }
+
+// Open implements Operator.
+func (t *TableScan) Open() error {
+	t.sc = t.file.Scan(t.keep)
+	return nil
+}
+
+// Next implements Operator.
+func (t *TableScan) Next() (tuple.Tuple, error) {
+	if t.sc == nil {
+		return nil, errNotOpen("TableScan")
+	}
+	tp, _, err := t.sc.Next()
+	return tp, err
+}
+
+// Close implements Operator.
+func (t *TableScan) Close() error {
+	if t.sc == nil {
+		return nil
+	}
+	err := t.sc.Close()
+	t.sc = nil
+	return err
+}
+
+// MemScan streams an in-memory slice of tuples, mainly for tests and small
+// constant relations.
+type MemScan struct {
+	schema *tuple.Schema
+	tuples []tuple.Tuple
+	pos    int
+	open   bool
+}
+
+// NewMemScan wraps tuples of the given schema.
+func NewMemScan(schema *tuple.Schema, tuples []tuple.Tuple) *MemScan {
+	return &MemScan{schema: schema, tuples: tuples}
+}
+
+// Schema implements Operator.
+func (m *MemScan) Schema() *tuple.Schema { return m.schema }
+
+// Open implements Operator.
+func (m *MemScan) Open() error {
+	m.pos = 0
+	m.open = true
+	return nil
+}
+
+// Next implements Operator.
+func (m *MemScan) Next() (tuple.Tuple, error) {
+	if !m.open {
+		return nil, errNotOpen("MemScan")
+	}
+	if m.pos >= len(m.tuples) {
+		return nil, io.EOF
+	}
+	t := m.tuples[m.pos]
+	m.pos++
+	return t, nil
+}
+
+// Close implements Operator.
+func (m *MemScan) Close() error {
+	m.open = false
+	return nil
+}
+
+// Filter passes through tuples satisfying pred.
+type Filter struct {
+	input Operator
+	pred  func(tuple.Tuple) bool
+}
+
+// NewFilter wraps input with a selection predicate.
+func NewFilter(input Operator, pred func(tuple.Tuple) bool) *Filter {
+	return &Filter{input: input, pred: pred}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *tuple.Schema { return f.input.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.input.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (tuple.Tuple, error) {
+	for {
+		t, err := f.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f.pred(t) {
+			return t, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.input.Close() }
+
+// Project narrows tuples to a column subset (possibly reordered). It does
+// NOT eliminate duplicates; combine with Sort{Dedup} or HashDedup for
+// set-semantics projection.
+type Project struct {
+	input  Operator
+	cols   []int
+	schema *tuple.Schema
+	buf    tuple.Tuple
+}
+
+// NewProject projects input onto cols.
+func NewProject(input Operator, cols []int) *Project {
+	return &Project{
+		input:  input,
+		cols:   append([]int(nil), cols...),
+		schema: input.Schema().Project(cols),
+	}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *tuple.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	p.buf = p.schema.New()
+	return p.input.Open()
+}
+
+// Next implements Operator. The returned tuple aliases an internal buffer
+// reused across calls.
+func (p *Project) Next() (tuple.Tuple, error) {
+	t, err := p.input.Next()
+	if err != nil {
+		return nil, err
+	}
+	return p.input.Schema().ProjectInto(p.buf, t, p.cols), nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.input.Close() }
+
+// Concat streams its inputs one after another; all inputs must share a
+// schema. It is the "union (concatenation)" used to combine quotient
+// clusters after quotient partitioning.
+type Concat struct {
+	inputs []Operator
+	cur    int
+	open   bool
+}
+
+// NewConcat concatenates the inputs in order.
+func NewConcat(inputs ...Operator) *Concat {
+	if len(inputs) == 0 {
+		panic("exec: Concat needs at least one input")
+	}
+	s := inputs[0].Schema()
+	for _, in := range inputs[1:] {
+		if !in.Schema().Equal(s) {
+			panic("exec: Concat inputs must share a schema")
+		}
+	}
+	return &Concat{inputs: inputs}
+}
+
+// Schema implements Operator.
+func (c *Concat) Schema() *tuple.Schema { return c.inputs[0].Schema() }
+
+// Open implements Operator.
+func (c *Concat) Open() error {
+	c.cur = 0
+	c.open = true
+	return c.inputs[0].Open()
+}
+
+// Next implements Operator.
+func (c *Concat) Next() (tuple.Tuple, error) {
+	if !c.open {
+		return nil, errNotOpen("Concat")
+	}
+	for {
+		t, err := c.inputs[c.cur].Next()
+		if err == io.EOF {
+			if err := c.inputs[c.cur].Close(); err != nil {
+				return nil, err
+			}
+			c.cur++
+			if c.cur >= len(c.inputs) {
+				return nil, io.EOF
+			}
+			if err := c.inputs[c.cur].Open(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return t, err
+	}
+}
+
+// Close implements Operator.
+func (c *Concat) Close() error {
+	if !c.open {
+		return nil
+	}
+	c.open = false
+	if c.cur < len(c.inputs) {
+		return c.inputs[c.cur].Close()
+	}
+	return nil
+}
+
+// Materialize writes its input into a heap file at Open time and then scans
+// the file; it turns any stream into a rescannable relation. Pages written
+// are charged as Move units (memory-to-memory page copies) on the counters.
+type Materialize struct {
+	input    Operator
+	file     *storage.File
+	scan     *TableScan
+	counters *Counters
+}
+
+// NewMaterialize materializes input into file (which must be empty and share
+// the input's schema width). counters may be nil.
+func NewMaterialize(input Operator, file *storage.File, counters *Counters) *Materialize {
+	return &Materialize{input: input, file: file, counters: counters}
+}
+
+// Schema implements Operator.
+func (m *Materialize) Schema() *tuple.Schema { return m.input.Schema() }
+
+// File exposes the backing file after Open.
+func (m *Materialize) File() *storage.File { return m.file }
+
+// Open implements Operator: it drains the input into the file. Re-opening
+// re-materializes from scratch.
+func (m *Materialize) Open() error {
+	if m.file.NumRecords() > 0 {
+		if err := m.file.Drop(); err != nil {
+			return err
+		}
+	}
+	if err := m.input.Open(); err != nil {
+		return err
+	}
+	ap := m.file.NewAppender()
+	for {
+		t, err := m.input.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			ap.Close()
+			m.input.Close()
+			return err
+		}
+		if _, err := ap.Append(t); err != nil {
+			ap.Close()
+			m.input.Close()
+			return err
+		}
+	}
+	if err := ap.Close(); err != nil {
+		m.input.Close()
+		return err
+	}
+	if err := m.input.Close(); err != nil {
+		return err
+	}
+	if m.counters != nil {
+		m.counters.Move += int64(m.file.NumPages())
+	}
+	m.scan = NewTableScan(m.file, true)
+	return m.scan.Open()
+}
+
+// Next implements Operator.
+func (m *Materialize) Next() (tuple.Tuple, error) {
+	if m.scan == nil {
+		return nil, errNotOpen("Materialize")
+	}
+	return m.scan.Next()
+}
+
+// Close implements Operator.
+func (m *Materialize) Close() error {
+	if m.scan == nil {
+		return nil
+	}
+	err := m.scan.Close()
+	m.scan = nil
+	return err
+}

@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestCrossProduct(t *testing.T) {
+	ls := tuple.NewSchema(tuple.Int64Field("a"))
+	rs := tuple.NewSchema(tuple.Int64Field("b"))
+	left := NewMemScan(ls, []tuple.Tuple{ls.MustMake(1), ls.MustMake(2)})
+	right := NewMemScan(rs, []tuple.Tuple{rs.MustMake(10), rs.MustMake(20), rs.MustMake(30)})
+	cp := NewCrossProduct(left, right)
+	ts, err := Collect(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 6 {
+		t.Fatalf("product has %d tuples, want 6", len(ts))
+	}
+	s := cp.Schema()
+	seen := make(map[[2]int64]bool)
+	for _, tp := range ts {
+		seen[[2]int64{s.Int64(tp, 0), s.Int64(tp, 1)}] = true
+	}
+	for _, a := range []int64{1, 2} {
+		for _, b := range []int64{10, 20, 30} {
+			if !seen[[2]int64{a, b}] {
+				t.Errorf("missing pair (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestCrossProductEmptySides(t *testing.T) {
+	s := tuple.NewSchema(tuple.Int64Field("a"))
+	one := []tuple.Tuple{s.MustMake(1)}
+	if got := mustCollect(t, NewCrossProduct(NewMemScan(s, nil), NewMemScan(s, one))); len(got) != 0 {
+		t.Errorf("empty left gave %d", len(got))
+	}
+	if got := mustCollect(t, NewCrossProduct(NewMemScan(s, one), NewMemScan(s, nil))); len(got) != 0 {
+		t.Errorf("empty right gave %d", len(got))
+	}
+}
+
+func mustCollect(t *testing.T, op Operator) []tuple.Tuple {
+	t.Helper()
+	ts, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestDifference(t *testing.T) {
+	s := tuple.NewSchema(tuple.Int64Field("v"))
+	mk := func(vals ...int64) []tuple.Tuple {
+		out := make([]tuple.Tuple, len(vals))
+		for i, v := range vals {
+			out[i] = s.MustMake(v)
+		}
+		return out
+	}
+	d := NewDifference(
+		NewMemScan(s, mk(1, 2, 2, 3, 4)), // left duplicates collapse
+		NewMemScan(s, mk(2, 4, 5)),
+		nil)
+	got := mustCollect(t, d)
+	if len(got) != 2 {
+		t.Fatalf("difference = %d tuples, want 2", len(got))
+	}
+	vals := map[int64]bool{}
+	for _, tp := range got {
+		vals[s.Int64(tp, 0)] = true
+	}
+	if !vals[1] || !vals[3] {
+		t.Errorf("difference = %v", vals)
+	}
+}
+
+func TestDifferenceCountsWork(t *testing.T) {
+	s := tuple.NewSchema(tuple.Int64Field("v"))
+	var c Counters
+	d := NewDifference(NewMemScan(s, []tuple.Tuple{s.MustMake(1)}),
+		NewMemScan(s, []tuple.Tuple{s.MustMake(2)}), &c)
+	mustCollect(t, d)
+	if c.Hash == 0 {
+		t.Error("difference did not fold hash counts")
+	}
+}
+
+func TestDifferenceWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a := tuple.NewSchema(tuple.Int64Field("a"))
+	b := tuple.NewSchema(tuple.CharField("b", 3))
+	NewDifference(NewMemScan(a, nil), NewMemScan(b, nil), nil)
+}

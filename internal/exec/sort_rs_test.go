@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func rsSort(in []tuple.Tuple, rs bool, memoryBytes int) *Sort {
+	pool, dev := sortTestEnv()
+	return NewSort(NewMemScan(pairSchema, in), SortConfig{
+		Keys:                 []int{0},
+		MemoryBytes:          memoryBytes,
+		Pool:                 pool,
+		TempDev:              dev,
+		ReplacementSelection: rs,
+	})
+}
+
+func randomPairs(n int, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = pairSchema.MustMake(rng.Int63n(1<<40), int64(i))
+	}
+	return out
+}
+
+func TestReplacementSelectionSortsCorrectly(t *testing.T) {
+	const n = 3000
+	in := randomPairs(n, 21)
+	s := rsSort(in, true, 1024)
+	got := rows(t, s)
+	if len(got) != n {
+		t.Fatalf("lost tuples: %d of %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		if got[i][0] < got[i-1][0] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	payloads := make(map[int64]bool, n)
+	for _, r := range got {
+		payloads[r[1]] = true
+	}
+	if len(payloads) != n {
+		t.Error("payload multiset not preserved")
+	}
+}
+
+func TestReplacementSelectionFewerRuns(t *testing.T) {
+	const n = 4000
+	in := randomPairs(n, 22)
+	qs := rsSort(in, false, 1024)
+	if _, err := Drain(qs); err != nil {
+		t.Fatal(err)
+	}
+	rs := rsSort(in, true, 1024)
+	if _, err := Drain(rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.SpilledRuns() == 0 || qs.SpilledRuns() == 0 {
+		t.Fatal("both variants should spill here")
+	}
+	// Random input: replacement selection forms runs averaging 2× memory,
+	// so roughly half the runs. Allow slack but demand a clear win.
+	if float64(rs.SpilledRuns()) > 0.7*float64(qs.SpilledRuns()) {
+		t.Errorf("replacement selection made %d runs vs quicksort's %d; expected ~half",
+			rs.SpilledRuns(), qs.SpilledRuns())
+	}
+}
+
+func TestReplacementSelectionSortedInputSingleRun(t *testing.T) {
+	// Already-sorted input: replacement selection never starts a new run.
+	const n = 2000
+	in := make([]tuple.Tuple, n)
+	for i := range in {
+		in[i] = pairSchema.MustMake(int64(i), int64(i))
+	}
+	s := rsSort(in, true, 1024)
+	got := rows(t, s)
+	if len(got) != n {
+		t.Fatalf("lost tuples")
+	}
+	// Initial merge counting: exactly one run file (plus none from merges).
+	if s.SpilledRuns() != 1 {
+		t.Errorf("sorted input produced %d runs, want 1", s.SpilledRuns())
+	}
+}
+
+func TestReplacementSelectionWithDedup(t *testing.T) {
+	var in []tuple.Tuple
+	for i := 0; i < 1500; i++ {
+		in = append(in, pairSchema.MustMake(int64(i%100), int64(i)))
+	}
+	pool, dev := sortTestEnv()
+	s := NewSort(NewMemScan(pairSchema, in), SortConfig{
+		Keys: []int{0}, Dedup: true, MemoryBytes: 512,
+		Pool: pool, TempDev: dev, ReplacementSelection: true,
+	})
+	got := rows(t, s)
+	if len(got) != 100 {
+		t.Fatalf("dedup kept %d, want 100", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i][0] <= got[i-1][0] {
+			t.Fatalf("not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestReplacementSelectionNoTempDevErrors(t *testing.T) {
+	in := randomPairs(200, 23)
+	s := NewSort(NewMemScan(pairSchema, in), SortConfig{
+		Keys: []int{0}, MemoryBytes: 128, ReplacementSelection: true,
+	})
+	if err := s.Open(); err == nil {
+		s.Close()
+		t.Fatal("expected error without temp device")
+	}
+}
+
+// Property: replacement selection and quicksort runs produce identical
+// sorted output for any input and memory budget.
+func TestQuickReplacementSelectionEquivalence(t *testing.T) {
+	f := func(keys []int16, memRaw uint8) bool {
+		in := make([]tuple.Tuple, len(keys))
+		for i, k := range keys {
+			in[i] = pairSchema.MustMake(int64(k), int64(i))
+		}
+		mem := 64 + int(memRaw)*8
+		a := rsSort(in, false, mem)
+		ra, err := Collect(a)
+		if err != nil {
+			return false
+		}
+		b := rsSort(in, true, mem)
+		rb, err := Collect(b)
+		if err != nil {
+			return false
+		}
+		if len(ra) != len(rb) {
+			return false
+		}
+		for i := range ra {
+			if pairSchema.Int64(ra[i], 0) != pairSchema.Int64(rb[i], 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRunFormation(b *testing.B) {
+	in := randomPairs(20000, 1)
+	for _, rs := range []bool{false, true} {
+		name := "quicksort-runs"
+		if rs {
+			name = "replacement-selection"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := rsSort(in, rs, 8*1024)
+				if _, err := Drain(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"errors"
+
+	"repro/internal/tuple"
+)
+
+// ErrInjected is the sentinel FaultScan fails with.
+var ErrInjected = errors.New("exec: injected fault")
+
+// FaultScan wraps an operator and fails with ErrInjected after passing
+// through a fixed number of tuples (or at Open when FailOpen is set). It
+// exists for failure-injection tests: every operator and algorithm must
+// propagate the error and release its resources.
+type FaultScan struct {
+	Input     Operator
+	FailAfter int  // tuples to pass before failing
+	FailOpen  bool // fail at Open instead
+	passed    int
+	opened    bool
+}
+
+// NewFaultScan fails after n tuples.
+func NewFaultScan(input Operator, n int) *FaultScan {
+	return &FaultScan{Input: input, FailAfter: n}
+}
+
+// Schema implements Operator.
+func (f *FaultScan) Schema() *tuple.Schema { return f.Input.Schema() }
+
+// Open implements Operator.
+func (f *FaultScan) Open() error {
+	if f.FailOpen {
+		return ErrInjected
+	}
+	f.passed = 0
+	f.opened = true
+	return f.Input.Open()
+}
+
+// Next implements Operator.
+func (f *FaultScan) Next() (tuple.Tuple, error) {
+	if !f.opened {
+		return nil, errNotOpen("FaultScan")
+	}
+	if f.passed >= f.FailAfter {
+		return nil, ErrInjected
+	}
+	t, err := f.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	f.passed++
+	return t, nil
+}
+
+// Close implements Operator.
+func (f *FaultScan) Close() error {
+	f.opened = false
+	return f.Input.Close()
+}

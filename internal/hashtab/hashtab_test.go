@@ -1,0 +1,287 @@
+package hashtab
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitmap"
+	"repro/internal/tuple"
+)
+
+func keySchema() *tuple.Schema {
+	return tuple.NewSchema(tuple.Int64Field("k"))
+}
+
+func TestInsertLookup(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 8)
+	for v := 0; v < 100; v++ {
+		e := tab.Insert(s.MustMake(v))
+		e.Num = int64(v * 10)
+	}
+	if tab.Len() != 100 {
+		t.Errorf("Len = %d, want 100", tab.Len())
+	}
+	for v := 0; v < 100; v++ {
+		e := tab.Lookup(s.MustMake(v))
+		if e == nil {
+			t.Fatalf("Lookup(%d) = nil", v)
+		}
+		if e.Num != int64(v*10) {
+			t.Errorf("Lookup(%d).Num = %d", v, e.Num)
+		}
+	}
+	if tab.Lookup(s.MustMake(999)) != nil {
+		t.Error("Lookup(missing) should be nil")
+	}
+}
+
+func TestInsertClonesKey(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 4)
+	k := s.MustMake(7)
+	tab.Insert(k)
+	s.SetInt64(k, 0, 8) // mutate caller's tuple
+	if tab.Lookup(s.MustMake(7)) == nil {
+		t.Error("table aliased caller's tuple instead of cloning")
+	}
+}
+
+func TestGetOrInsertDeduplicates(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 4)
+	e1, created := tab.GetOrInsert(s.MustMake(5))
+	if !created {
+		t.Error("first GetOrInsert should create")
+	}
+	e1.Num = 42
+	e2, created := tab.GetOrInsert(s.MustMake(5))
+	if created {
+		t.Error("second GetOrInsert should find")
+	}
+	if e2 != e1 || e2.Num != 42 {
+		t.Error("GetOrInsert returned a different element")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestLookupProjected(t *testing.T) {
+	// Dividend (student, course); divisor table stores course keys only.
+	div := tuple.NewSchema(tuple.Int64Field("student"), tuple.Int64Field("course"))
+	course := tuple.NewSchema(tuple.Int64Field("course"))
+	tab := New(course, 4)
+	tab.Insert(course.MustMake(101)).Num = 0
+	tab.Insert(course.MustMake(102)).Num = 1
+
+	d := div.MustMake(1, 102)
+	e := tab.LookupProjected(d, div, []int{1})
+	if e == nil || e.Num != 1 {
+		t.Fatalf("LookupProjected = %v", e)
+	}
+	miss := div.MustMake(1, 999)
+	if tab.LookupProjected(miss, div, []int{1}) != nil {
+		t.Error("LookupProjected should miss for unknown course")
+	}
+}
+
+func TestGetOrInsertProjected(t *testing.T) {
+	div := tuple.NewSchema(tuple.Int64Field("student"), tuple.Int64Field("course"))
+	quot := div.Project([]int{0})
+	tab := New(quot, 4)
+
+	d1 := div.MustMake(1, 101)
+	d2 := div.MustMake(1, 102)
+	d3 := div.MustMake(2, 101)
+
+	e1, created := tab.GetOrInsertProjected(d1, div, []int{0})
+	if !created {
+		t.Error("first projected insert should create")
+	}
+	e2, created := tab.GetOrInsertProjected(d2, div, []int{0})
+	if created || e2 != e1 {
+		t.Error("same student should map to same quotient candidate")
+	}
+	_, created = tab.GetOrInsertProjected(d3, div, []int{0})
+	if !created {
+		t.Error("new student should create")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+	// The stored tuple is the projection.
+	if got := quot.Int64(e1.Tuple, 0); got != 1 {
+		t.Errorf("stored quotient key = %d, want 1", got)
+	}
+}
+
+func TestDuplicateInsertAllowed(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 2)
+	tab.Insert(s.MustMake(1))
+	tab.Insert(s.MustMake(1))
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (Insert keeps duplicates)", tab.Len())
+	}
+}
+
+func TestIterateVisitsAll(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 4)
+	for v := 0; v < 50; v++ {
+		tab.Insert(s.MustMake(v))
+	}
+	seen := make(map[int64]bool)
+	err := tab.Iterate(func(e *Element) error {
+		seen[s.Int64(e.Tuple, 0)] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Errorf("Iterate visited %d distinct, want 50", len(seen))
+	}
+}
+
+func TestGrowthKeepsElements(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 1)
+	tab.SetMaxLoad(2)
+	for v := 0; v < 1000; v++ {
+		tab.Insert(s.MustMake(v))
+	}
+	if tab.NumBuckets() <= 1 {
+		t.Error("table did not grow")
+	}
+	if tab.LoadFactor() > 2.01 {
+		t.Errorf("load factor %.2f exceeds max", tab.LoadFactor())
+	}
+	for v := 0; v < 1000; v++ {
+		if tab.Lookup(s.MustMake(v)) == nil {
+			t.Fatalf("lost key %d after growth", v)
+		}
+	}
+}
+
+func TestFixedGeometry(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 3)
+	tab.SetMaxLoad(0)
+	for v := 0; v < 100; v++ {
+		tab.Insert(s.MustMake(v))
+	}
+	if tab.NumBuckets() != 3 {
+		t.Errorf("fixed table grew to %d buckets", tab.NumBuckets())
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 1) // single bucket: comparisons are predictable
+	tab.SetMaxLoad(0)
+	tab.Insert(s.MustMake(1)) // 1 hash
+	tab.Insert(s.MustMake(2)) // 1 hash
+	tab.Lookup(s.MustMake(2)) // 1 hash + 1 comparison (2 is at chain head)
+	st := tab.Stats()
+	if st.Hashes != 3 {
+		t.Errorf("Hashes = %d, want 3", st.Hashes)
+	}
+	if st.Comparisons != 1 {
+		t.Errorf("Comparisons = %d, want 1", st.Comparisons)
+	}
+}
+
+func TestMemBytesGrowsWithBitmaps(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 4)
+	base := tab.MemBytes()
+	e := tab.Insert(s.MustMake(1))
+	afterInsert := tab.MemBytes()
+	if afterInsert <= base {
+		t.Error("MemBytes did not grow on insert")
+	}
+	e.Bits = bitmap.New(1024)
+	tab.AddMemBytes(e.Bits.SizeBytes())
+	if tab.MemBytes() != afterInsert+128 {
+		t.Errorf("MemBytes = %d, want %d", tab.MemBytes(), afterInsert+128)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 4)
+	tab.Insert(s.MustMake(1))
+	tab.Reset()
+	if tab.Len() != 0 || tab.Lookup(s.MustMake(1)) != nil {
+		t.Error("Reset did not clear the table")
+	}
+}
+
+func TestNewForExpected(t *testing.T) {
+	s := keySchema()
+	tab := NewForExpected(s, 100, 2)
+	if tab.NumBuckets() != 51 {
+		t.Errorf("NumBuckets = %d, want 51", tab.NumBuckets())
+	}
+	tab = NewForExpected(s, 0, 0)
+	if tab.NumBuckets() < 1 {
+		t.Error("degenerate sizing must still yield a bucket")
+	}
+}
+
+// Property: a hash table behaves like a map for GetOrInsert counting.
+func TestQuickBehavesLikeMap(t *testing.T) {
+	s := keySchema()
+	f := func(keys []int16) bool {
+		tab := New(s, 4)
+		model := make(map[int16]int64)
+		for _, k := range keys {
+			e, _ := tab.GetOrInsert(s.MustMake(int64(k)))
+			e.Num++
+			model[k]++
+		}
+		if tab.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			e := tab.Lookup(s.MustMake(int64(k)))
+			if e == nil || e.Num != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGetOrInsert(b *testing.B) {
+	s := keySchema()
+	tab := NewForExpected(s, 1000, 2)
+	k := s.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SetInt64(k, 0, int64(i%1000))
+		tab.GetOrInsert(k)
+	}
+}
+
+func BenchmarkLookupProjected(b *testing.B) {
+	div := tuple.NewSchema(tuple.Int64Field("student"), tuple.Int64Field("course"))
+	course := div.Project([]int{1})
+	tab := NewForExpected(course, 400, 2)
+	for v := 0; v < 400; v++ {
+		tab.Insert(course.MustMake(v))
+	}
+	d := div.MustMake(1, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tab.LookupProjected(d, div, []int{1}) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

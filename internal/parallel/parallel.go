@@ -1,0 +1,412 @@
+// Package parallel adapts hash-division to a shared-nothing multi-processor
+// system, following Section 6 of the paper. Processors are goroutines with
+// private hash tables; the interconnection network is a set of channels whose
+// traffic (messages, tuples, bytes) is accounted so the bit-vector-filtering
+// claim can be quantified.
+//
+// Two layouts are implemented, mirroring §3.4's partitioning strategies:
+//
+//   - Quotient partitioning: "the divisor table must be replicated in the
+//     main memory of all participating processors. After replication, all
+//     local hash-division operators work completely independently of each
+//     other." The quotient is the concatenation of the workers' outputs.
+//   - Divisor partitioning: divisor and dividend are partitioned with the
+//     same function on the divisor attributes; workers tag their quotient
+//     tuples with their network address and a collection site "divides the
+//     set of all incoming tuples over the set of processor network
+//     addresses."
+//
+// Bit vector filtering (Babb 1979) can be enabled for the dividend shuffle:
+// tuples whose divisor attributes hash to an empty filter bit are dropped at
+// the coordinator and never shipped, as §6 proposes for Transcript tuples of
+// an optics course.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/hashtab"
+	"repro/internal/tuple"
+)
+
+// Config tunes a parallel division.
+type Config struct {
+	Workers  int
+	Strategy division.PartitionStrategy
+	// BitVectorFilter drops dividend tuples that cannot match any divisor
+	// tuple before they are shipped. Purely an optimization: false
+	// positives still pass and are discarded at the worker.
+	BitVectorFilter bool
+	// BitVectorBits sizes the filter; 0 picks 8× the divisor cardinality.
+	BitVectorBits int
+	// ChannelDepth is the per-worker channel buffer (default 64).
+	ChannelDepth int
+	// HBS sizes worker hash tables (default 2).
+	HBS float64
+}
+
+// NetworkStats count interconnect traffic.
+type NetworkStats struct {
+	TuplesShipped  int64 // dividend + divisor + quotient tuples sent
+	BytesShipped   int64
+	TuplesFiltered int64 // dividend tuples dropped by the bit vector filter
+}
+
+// WorkerStats describe one processor's share of the work.
+type WorkerStats struct {
+	DividendTuples int64 // dividend tuples received
+	DivisorTuples  int64 // divisor tuples in the local divisor table
+	QuotientTuples int64 // quotient tuples produced locally
+}
+
+// Result is the outcome of a parallel division.
+type Result struct {
+	Quotient []tuple.Tuple
+	Network  NetworkStats
+	Workers  []WorkerStats
+	Elapsed  time.Duration
+}
+
+// Divide runs the parallel hash-division described by cfg.
+func Divide(sp division.Spec, cfg Config) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.ChannelDepth <= 0 {
+		cfg.ChannelDepth = 64
+	}
+	if cfg.HBS <= 0 {
+		cfg.HBS = 2
+	}
+	switch cfg.Strategy {
+	case division.QuotientPartitioning:
+		return divideQuotientPartitioned(sp, cfg)
+	case division.DivisorPartitioning:
+		return divideDivisorPartitioned(sp, cfg)
+	default:
+		return nil, fmt.Errorf("parallel: unknown strategy %v", cfg.Strategy)
+	}
+}
+
+// collectDistinctDivisor reads the divisor once at the coordinator,
+// eliminating duplicates.
+func collectDistinctDivisor(sp division.Spec) ([]tuple.Tuple, error) {
+	ss := sp.Divisor.Schema()
+	tab := hashtab.NewForExpected(ss, 256, 2)
+	var out []tuple.Tuple
+	err := exec.ForEach(sp.Divisor, func(t tuple.Tuple) error {
+		if e, created := tab.GetOrInsert(t); created {
+			out = append(out, e.Tuple)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// buildBitVector hashes every divisor tuple into a Babb filter.
+func buildBitVector(divisor []tuple.Tuple, bits int) *bitmap.Bitmap {
+	if bits <= 0 {
+		bits = 8*len(divisor) + 1
+	}
+	bv := bitmap.New(bits)
+	for _, d := range divisor {
+		bv.Set(int(tuple.HashBytes(d) % uint64(bits)))
+	}
+	return bv
+}
+
+// shuffleBatch is the unit of interconnect transfer: tuples travel in
+// packets, not one network message each (the per-tuple statistics are still
+// exact).
+const shuffleBatch = 128
+
+// worker consumes dividend tuple batches from its channel, runs local
+// hash-division, and appends its quotient to out.
+type worker struct {
+	id      int
+	in      chan []tuple.Tuple
+	stats   WorkerStats
+	out     []tuple.Tuple
+	err     error
+	divisor []tuple.Tuple
+}
+
+// run executes the local hash-division: build the divisor table, absorb the
+// dividend stream, scan the quotient table.
+func (w *worker) run(sp division.Spec, hbs float64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ds := sp.Dividend.Schema()
+	ss := sp.Divisor.Schema()
+	qCols := sp.QuotientCols()
+	qs := sp.QuotientSchema()
+
+	divisorTable := hashtab.NewForExpected(ss, len(w.divisor), hbs)
+	var divisorCount int64
+	for _, d := range w.divisor {
+		if e, created := divisorTable.GetOrInsert(d); created {
+			e.Num = divisorCount
+			divisorCount++
+		}
+	}
+	w.stats.DivisorTuples = divisorCount
+	quotientTable := hashtab.NewForExpected(qs, 256, hbs)
+
+	for batch := range w.in {
+		for _, t := range batch {
+			w.stats.DividendTuples++
+			de := divisorTable.LookupProjected(t, ds, sp.DivisorCols)
+			if de == nil {
+				continue
+			}
+			qe, created := quotientTable.GetOrInsertProjected(t, ds, qCols)
+			if created {
+				qe.Bits = bitmap.New(int(divisorCount))
+			}
+			qe.Bits.Set(int(de.Num))
+		}
+	}
+	if divisorCount == 0 {
+		return
+	}
+	w.err = quotientTable.Iterate(func(e *hashtab.Element) error {
+		if e.Bits.AllSet() {
+			w.out = append(w.out, e.Tuple)
+			w.stats.QuotientTuples++
+		}
+		return nil
+	})
+}
+
+// shipDividend partitions the dividend stream over the workers' channels on
+// cols, applying the optional bit vector filter, and accounts the traffic.
+// Tuples are packed into per-destination batches backed by contiguous
+// buffers, so one channel send carries shuffleBatch tuples.
+func shipDividend(sp division.Spec, workers []*worker, cols []int, bv *bitmap.Bitmap, net *NetworkStats) error {
+	ds := sp.Dividend.Schema()
+	width := ds.Width()
+	k := uint64(len(workers))
+
+	batches := make([][]tuple.Tuple, len(workers))
+	arenas := make([][]byte, len(workers))
+	reset := func(i int) {
+		batches[i] = make([]tuple.Tuple, 0, shuffleBatch)
+		arenas[i] = make([]byte, 0, shuffleBatch*width)
+	}
+	for i := range workers {
+		reset(i)
+	}
+	flush := func(i int) {
+		if len(batches[i]) == 0 {
+			return
+		}
+		workers[i].in <- batches[i]
+		reset(i)
+	}
+
+	err := exec.ForEach(sp.Dividend, func(t tuple.Tuple) error {
+		h := ds.Hash(t, sp.DivisorCols)
+		if bv != nil {
+			if !bv.Test(int(h % uint64(bv.Len()))) {
+				atomic.AddInt64(&net.TuplesFiltered, 1)
+				return nil
+			}
+		}
+		var dest uint64
+		if len(cols) > 0 {
+			dest = ds.Hash(t, cols) % k
+		} else {
+			dest = h % k
+		}
+		atomic.AddInt64(&net.TuplesShipped, 1)
+		atomic.AddInt64(&net.BytesShipped, int64(width))
+		d := int(dest)
+		arena := arenas[d]
+		off := len(arena)
+		arena = append(arena, t...)
+		arenas[d] = arena
+		batches[d] = append(batches[d], tuple.Tuple(arena[off:off+width]))
+		if len(batches[d]) >= shuffleBatch {
+			flush(d)
+		}
+		return nil
+	})
+	for i := range workers {
+		flush(i)
+	}
+	return err
+}
+
+func divideQuotientPartitioned(sp division.Spec, cfg Config) (*Result, error) {
+	start := time.Now()
+	divisor, err := collectDistinctDivisor(sp)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Workers: make([]WorkerStats, cfg.Workers)}
+	if len(divisor) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	var bv *bitmap.Bitmap
+	if cfg.BitVectorFilter {
+		bv = buildBitVector(divisor, cfg.BitVectorBits)
+	}
+
+	sWidth := int64(sp.Divisor.Schema().Width())
+	workers := make([]*worker, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		// Replicate the divisor to every processor's main memory.
+		res.Network.TuplesShipped += int64(len(divisor))
+		res.Network.BytesShipped += int64(len(divisor)) * sWidth
+		workers[i] = &worker{
+			id:      i,
+			in:      make(chan []tuple.Tuple, cfg.ChannelDepth),
+			divisor: divisor,
+		}
+		wg.Add(1)
+		go workers[i].run(sp, cfg.HBS, &wg)
+	}
+
+	// Partition the dividend on the QUOTIENT attributes.
+	shipErr := shipDividend(sp, workers, sp.QuotientCols(), bv, &res.Network)
+	for _, w := range workers {
+		close(w.in)
+	}
+	wg.Wait()
+	if shipErr != nil {
+		return nil, shipErr
+	}
+
+	qWidth := int64(sp.QuotientSchema().Width())
+	for i, w := range workers {
+		if w.err != nil {
+			return nil, w.err
+		}
+		res.Workers[i] = w.stats
+		// Quotient clusters are concatenated; shipping them to the
+		// coordinator is network traffic too.
+		res.Network.TuplesShipped += int64(len(w.out))
+		res.Network.BytesShipped += int64(len(w.out)) * qWidth
+		res.Quotient = append(res.Quotient, w.out...)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func divideDivisorPartitioned(sp division.Spec, cfg Config) (*Result, error) {
+	start := time.Now()
+	divisor, err := collectDistinctDivisor(sp)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Workers: make([]WorkerStats, cfg.Workers)}
+	if len(divisor) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Partition the divisor over the processors on the divisor attributes.
+	k := uint64(cfg.Workers)
+	clusters := make([][]tuple.Tuple, cfg.Workers)
+	for _, d := range divisor {
+		c := int(tuple.HashBytes(d) % k)
+		clusters[c] = append(clusters[c], d)
+	}
+	sWidth := int64(sp.Divisor.Schema().Width())
+
+	var bv *bitmap.Bitmap
+	if cfg.BitVectorFilter {
+		bv = buildBitVector(divisor, cfg.BitVectorBits)
+	}
+
+	// Only processors holding divisor tuples participate; a dividend tuple
+	// routed to an idle processor could match nothing.
+	active := make([]int, 0, cfg.Workers) // worker -> phase index
+	phaseOf := make([]int, cfg.Workers)
+	for i := range clusters {
+		if len(clusters[i]) > 0 {
+			phaseOf[i] = len(active)
+			active = append(active, i)
+		} else {
+			phaseOf[i] = -1
+		}
+	}
+
+	workers := make([]*worker, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		workers[i] = &worker{
+			id:      i,
+			in:      make(chan []tuple.Tuple, cfg.ChannelDepth),
+			divisor: clusters[i],
+		}
+		res.Network.TuplesShipped += int64(len(clusters[i]))
+		res.Network.BytesShipped += int64(len(clusters[i])) * sWidth
+		wg.Add(1)
+		go workers[i].run(sp, cfg.HBS, &wg)
+	}
+
+	// Dividend partitioned on the DIVISOR attributes with the same function.
+	shipErr := shipDividend(sp, workers, nil, bv, &res.Network)
+	for _, w := range workers {
+		close(w.in)
+	}
+	wg.Wait()
+	if shipErr != nil {
+		return nil, shipErr
+	}
+
+	// Collection site: divide the incoming tagged tuples over the set of
+	// processor network addresses (bit index = phase number).
+	qs := sp.QuotientSchema()
+	qWidth := int64(qs.Width())
+	collection := hashtab.NewForExpected(qs, 256, cfg.HBS)
+	for i, w := range workers {
+		if w.err != nil {
+			return nil, w.err
+		}
+		res.Workers[i] = w.stats
+		res.Network.TuplesShipped += int64(len(w.out))
+		res.Network.BytesShipped += int64(len(w.out)) * qWidth
+		for _, q := range w.out {
+			e, created := collection.GetOrInsert(q)
+			if created {
+				e.Bits = bitmap.New(len(active))
+			}
+			e.Bits.Set(phaseOf[i])
+		}
+	}
+	err = collection.Iterate(func(e *hashtab.Element) error {
+		if e.Bits.AllSet() {
+			res.Quotient = append(res.Quotient, e.Tuple)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ReadInstance adapts in-memory tuple slices to a division.Spec; convenience
+// for benchmarks and examples.
+func ReadInstance(dividendSchema *tuple.Schema, dividend []tuple.Tuple,
+	divisorSchema *tuple.Schema, divisor []tuple.Tuple, divisorCols []int) division.Spec {
+	return division.Spec{
+		Dividend:    exec.NewMemScan(dividendSchema, dividend),
+		Divisor:     exec.NewMemScan(divisorSchema, divisor),
+		DivisorCols: divisorCols,
+	}
+}

@@ -1,0 +1,318 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/division"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+func instanceSpec(inst *workload.Instance) division.Spec {
+	return ReadInstance(workload.TranscriptSchema, inst.Dividend,
+		workload.CourseSchema, inst.Divisor, []int{1})
+}
+
+func checkAgainstReference(t *testing.T, inst *workload.Instance, res *Result) {
+	t.Helper()
+	ref, err := division.Reference(instanceSpec(inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := instanceSpec(inst).QuotientSchema()
+	if !division.EqualTupleSets(qs, res.Quotient, ref) {
+		t.Fatalf("parallel quotient (%d) differs from reference (%d)", len(res.Quotient), len(ref))
+	}
+}
+
+func testInstance(t *testing.T, seed int64) *workload.Instance {
+	t.Helper()
+	inst, err := workload.Generate(workload.Config{
+		DivisorTuples:      15,
+		QuotientCandidates: 80,
+		FullFraction:       0.4,
+		MatchFraction:      0.7,
+		NoisePerCandidate:  2,
+		Shuffle:            true,
+		Seed:               seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestQuotientPartitionedCorrect(t *testing.T) {
+	inst := testInstance(t, 1)
+	for _, workers := range []int{1, 2, 4, 7} {
+		res, err := Divide(instanceSpec(inst), Config{
+			Workers:  workers,
+			Strategy: division.QuotientPartitioning,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkAgainstReference(t, inst, res)
+		if len(res.Workers) != workers {
+			t.Errorf("workers=%d: %d worker stats", workers, len(res.Workers))
+		}
+	}
+}
+
+func TestDivisorPartitionedCorrect(t *testing.T) {
+	inst := testInstance(t, 2)
+	for _, workers := range []int{1, 2, 4, 7} {
+		res, err := Divide(instanceSpec(inst), Config{
+			Workers:  workers,
+			Strategy: division.DivisorPartitioning,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		checkAgainstReference(t, inst, res)
+	}
+}
+
+func TestBitVectorFilterReducesTraffic(t *testing.T) {
+	// Lots of non-matching noise: the filter should drop most of it.
+	inst, err := workload.Generate(workload.Config{
+		DivisorTuples:      10,
+		QuotientCandidates: 50,
+		FullFraction:       0.5,
+		MatchFraction:      0.5,
+		NoisePerCandidate:  20,
+		Shuffle:            true,
+		Seed:               3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Divide(instanceSpec(inst), Config{
+		Workers: 4, Strategy: division.QuotientPartitioning,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := Divide(instanceSpec(inst), Config{
+		Workers: 4, Strategy: division.QuotientPartitioning, BitVectorFilter: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, inst, plain)
+	checkAgainstReference(t, inst, filtered)
+
+	if filtered.Network.TuplesFiltered == 0 {
+		t.Error("bit vector filtered nothing on a noisy workload")
+	}
+	if filtered.Network.BytesShipped >= plain.Network.BytesShipped {
+		t.Errorf("filter did not reduce traffic: %d vs %d bytes",
+			filtered.Network.BytesShipped, plain.Network.BytesShipped)
+	}
+}
+
+func TestBitVectorWithDivisorPartitioning(t *testing.T) {
+	inst := testInstance(t, 4)
+	res, err := Divide(instanceSpec(inst), Config{
+		Workers: 3, Strategy: division.DivisorPartitioning, BitVectorFilter: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, inst, res)
+}
+
+func TestNetworkAccounting(t *testing.T) {
+	inst, err := workload.Generate(workload.PaperCase(5, 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Divide(instanceSpec(inst), Config{
+		Workers: 2, Strategy: division.QuotientPartitioning,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replication: 2 workers × 5 divisor tuples; dividend: 50 tuples;
+	// quotient: 10 tuples shipped back.
+	wantTuples := int64(2*5 + 50 + 10)
+	if res.Network.TuplesShipped != wantTuples {
+		t.Errorf("TuplesShipped = %d, want %d", res.Network.TuplesShipped, wantTuples)
+	}
+	wantBytes := int64(2*5*8 + 50*16 + 10*8)
+	if res.Network.BytesShipped != wantBytes {
+		t.Errorf("BytesShipped = %d, want %d", res.Network.BytesShipped, wantBytes)
+	}
+	var dividendSeen int64
+	for _, w := range res.Workers {
+		dividendSeen += w.DividendTuples
+	}
+	if dividendSeen != 50 {
+		t.Errorf("workers saw %d dividend tuples, want 50", dividendSeen)
+	}
+}
+
+func TestDivisorPartitioningSplitsDivisor(t *testing.T) {
+	inst, err := workload.Generate(workload.PaperCase(40, 20, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Divide(instanceSpec(inst), Config{
+		Workers: 4, Strategy: division.DivisorPartitioning,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, inst, res)
+	var total int64
+	replicated := true
+	for _, w := range res.Workers {
+		total += w.DivisorTuples
+		if w.DivisorTuples != 40 {
+			replicated = false
+		}
+	}
+	if total != 40 {
+		t.Errorf("divisor tuples across workers = %d, want 40 (partitioned, not replicated)", total)
+	}
+	if replicated {
+		t.Error("divisor looks replicated under divisor partitioning")
+	}
+}
+
+func TestEmptyDivisor(t *testing.T) {
+	inst := &workload.Instance{
+		Dividend: []tuple.Tuple{workload.TranscriptSchema.MustMake(1, 1)},
+	}
+	for _, s := range []division.PartitionStrategy{division.QuotientPartitioning, division.DivisorPartitioning} {
+		res, err := Divide(instanceSpec(inst), Config{Workers: 3, Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(res.Quotient) != 0 {
+			t.Errorf("%v: empty divisor produced %d tuples", s, len(res.Quotient))
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	inst := testInstance(t, 7)
+	if _, err := Divide(instanceSpec(inst), Config{Workers: 2, Strategy: division.PartitionStrategy(9)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	// Workers < 1 is clamped, not an error.
+	res, err := Divide(instanceSpec(inst), Config{Workers: 0, Strategy: division.QuotientPartitioning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, inst, res)
+}
+
+// Property: both strategies equal the serial reference for arbitrary small
+// instances and worker counts.
+func TestQuickParallelEquivalence(t *testing.T) {
+	f := func(raw []byte, nDivisorRaw, workersRaw uint8) bool {
+		nDivisor := int(nDivisorRaw%4) + 1
+		workers := int(workersRaw%6) + 1
+		divisor := make([]tuple.Tuple, nDivisor)
+		for i := range divisor {
+			divisor[i] = workload.CourseSchema.MustMake(int64(i))
+		}
+		dividend := make([]tuple.Tuple, 0, len(raw))
+		for _, b := range raw {
+			dividend = append(dividend,
+				workload.TranscriptSchema.MustMake(int64(b>>4), int64(b&0x0f)))
+		}
+		sp := ReadInstance(workload.TranscriptSchema, dividend, workload.CourseSchema, divisor, []int{1})
+		ref, err := division.Reference(sp)
+		if err != nil {
+			return false
+		}
+		qs := sp.QuotientSchema()
+		for _, s := range []division.PartitionStrategy{division.QuotientPartitioning, division.DivisorPartitioning} {
+			res, err := Divide(sp, Config{Workers: workers, Strategy: s})
+			if err != nil {
+				return false
+			}
+			if !division.EqualTupleSets(qs, res.Quotient, ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSkewUnbalancesDivisorPartitioning demonstrates the §6 load-balance
+// hazard: under Zipf-skewed course popularity, divisor partitioning routes a
+// disproportionate share of the dividend to the worker owning the popular
+// courses, while quotient partitioning stays balanced (students are
+// uniform).
+func TestSkewUnbalancesDivisorPartitioning(t *testing.T) {
+	// Few courses relative to workers make the hazard visible: each worker
+	// owns ~2 of the 8 courses, and Zipf popularity concentrates the
+	// dividend on whoever owns the top course.
+	inst, err := workload.Generate(workload.Config{
+		DivisorTuples:      8,
+		QuotientCandidates: 600,
+		FullFraction:       0,
+		MatchFraction:      0.3,
+		CourseZipfS:        2.2,
+		Shuffle:            true,
+		Seed:               8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imbalance := func(strategy division.PartitionStrategy) float64 {
+		res, err := Divide(instanceSpec(inst), Config{Workers: 4, Strategy: strategy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var max, total int64
+		for _, w := range res.Workers {
+			total += w.DividendTuples
+			if w.DividendTuples > max {
+				max = w.DividendTuples
+			}
+		}
+		if total == 0 {
+			t.Fatal("no tuples shipped")
+		}
+		return float64(max) * 4 / float64(total) // 1.0 = perfectly balanced
+	}
+	q := imbalance(division.QuotientPartitioning)
+	d := imbalance(division.DivisorPartitioning)
+	if q > 1.25 {
+		t.Errorf("quotient partitioning imbalance %.2f; students are uniform, expected near 1", q)
+	}
+	if d < q*1.3 {
+		t.Errorf("divisor partitioning imbalance %.2f not clearly worse than quotient %.2f under skew", d, q)
+	}
+}
+
+func BenchmarkParallelSpeedup(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(100, 400, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Divide(instanceSpec(inst), Config{
+					Workers: workers, Strategy: division.QuotientPartitioning,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return fmt.Sprintf("workers=%d", workers)
+}

@@ -1,0 +1,330 @@
+// Package rewrite implements the query-optimizer rule the paper's
+// conclusion asks for: "it is desirable either to include for-all predicates
+// in the query language, or to detect them automatically in a complex
+// aggregate expression."
+//
+// Systems without a division operator express universal quantification as
+//
+//	SELECT g FROM R SEMIJOIN S ON R.d = S.*
+//	GROUP BY g HAVING COUNT(*) = (SELECT COUNT(*) FROM S)
+//
+// — the §2.2 aggregation encoding. This package models such queries as small
+// logical plans, detects the pattern, and rewrites it into a Division node,
+// which then compiles to hash-division. §5.2 shows why this matters: "if a
+// universal quantification is expressed in terms of an aggregate function
+// with preceding join and the query optimizer does not rewrite the query to
+// use relational division, the query may be evaluated using an inferior
+// strategy."
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+// Node is a logical plan operator.
+type Node interface {
+	// Schema of the node's output.
+	Schema() *tuple.Schema
+	// children for generic traversal.
+	children() []Node
+	// describe renders one line for Explain-style output.
+	describe() string
+}
+
+// Rel is a base relation: a schema plus a factory for its physical scan, so
+// a plan can be compiled (and re-compiled) into executable operators.
+type Rel struct {
+	Name   string
+	schema *tuple.Schema
+	scan   func() exec.Operator
+}
+
+// NewRel wraps a named relation. scan must return a fresh (re-openable)
+// operator on each call.
+func NewRel(name string, schema *tuple.Schema, scan func() exec.Operator) *Rel {
+	return &Rel{Name: name, schema: schema, scan: scan}
+}
+
+// Schema implements Node.
+func (r *Rel) Schema() *tuple.Schema { return r.schema }
+func (r *Rel) children() []Node      { return nil }
+func (r *Rel) describe() string      { return fmt.Sprintf("Rel(%s)", r.Name) }
+
+// SemiJoin keeps the left tuples that match at least one right tuple on the
+// key columns.
+type SemiJoin struct {
+	Left, Right         Node
+	LeftCols, RightCols []int
+}
+
+// Schema implements Node.
+func (j *SemiJoin) Schema() *tuple.Schema { return j.Left.Schema() }
+func (j *SemiJoin) children() []Node      { return []Node{j.Left, j.Right} }
+func (j *SemiJoin) describe() string {
+	return fmt.Sprintf("SemiJoin(on %v=%v)", j.LeftCols, j.RightCols)
+}
+
+// GroupCount counts tuples per group of GroupCols; output is the group
+// columns plus a count.
+type GroupCount struct {
+	Input     Node
+	GroupCols []int
+}
+
+// Schema implements Node.
+func (g *GroupCount) Schema() *tuple.Schema {
+	return exec.GroupCountSchema(g.Input.Schema(), g.GroupCols)
+}
+func (g *GroupCount) children() []Node { return []Node{g.Input} }
+func (g *GroupCount) describe() string { return fmt.Sprintf("GroupCount(by %v)", g.GroupCols) }
+
+// CountEqCard filters grouped counts to the groups whose count equals the
+// cardinality of Of (the correlated scalar subquery COUNT(*) FROM S) and
+// projects the count away.
+type CountEqCard struct {
+	Input Node // grouped counts
+	Of    Node // relation whose cardinality is compared
+}
+
+// Schema implements Node.
+func (c *CountEqCard) Schema() *tuple.Schema {
+	in := c.Input.Schema()
+	cols := make([]int, in.NumFields()-1)
+	for i := range cols {
+		cols[i] = i
+	}
+	return in.Project(cols)
+}
+func (c *CountEqCard) children() []Node { return []Node{c.Input, c.Of} }
+func (c *CountEqCard) describe() string { return "CountEqCard" }
+
+// Division is the algebraic division operator the rewrite produces.
+type Division struct {
+	Dividend, Divisor Node
+	DivisorCols       []int
+}
+
+// Schema implements Node.
+func (d *Division) Schema() *tuple.Schema {
+	return d.Dividend.Schema().Project(d.Dividend.Schema().Complement(d.DivisorCols))
+}
+func (d *Division) children() []Node { return []Node{d.Dividend, d.Divisor} }
+func (d *Division) describe() string { return fmt.Sprintf("Division(on %v)", d.DivisorCols) }
+
+// Format renders the plan tree, one node per line.
+func Format(n Node) string {
+	var b strings.Builder
+	var walk func(Node, int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.describe())
+		b.WriteByte('\n')
+		for _, c := range n.children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rewrite applies the for-all detection rule bottom-up and returns the
+// rewritten plan plus whether anything changed.
+//
+// The detected pattern is
+//
+//	CountEqCard{ Input: GroupCount{ Input: SemiJoin{L, S}, GroupCols: g },
+//	             Of: S }
+//
+// where S is the SAME divisor subplan in both places, the semi-join matches
+// ALL of S's columns, and g is exactly the complement of the join columns —
+// i.e. the query counts, per candidate, the distinct divisor matches and
+// demands all of them. That is relational division L ÷ S by definition.
+func Rewrite(n Node) (Node, bool) {
+	changed := false
+	var walk func(Node) Node
+	walk = func(n Node) Node {
+		switch t := n.(type) {
+		case *CountEqCard:
+			t.Input = walk(t.Input)
+			t.Of = walk(t.Of)
+			if d, ok := matchForAll(t); ok {
+				changed = true
+				return d
+			}
+			return t
+		case *GroupCount:
+			t.Input = walk(t.Input)
+			return t
+		case *SemiJoin:
+			t.Left = walk(t.Left)
+			t.Right = walk(t.Right)
+			return t
+		case *Division:
+			t.Dividend = walk(t.Dividend)
+			t.Divisor = walk(t.Divisor)
+			return t
+		default:
+			return n
+		}
+	}
+	out := walk(n)
+	return out, changed
+}
+
+// matchForAll recognizes the aggregation encoding of division.
+func matchForAll(c *CountEqCard) (*Division, bool) {
+	g, ok := c.Input.(*GroupCount)
+	if !ok {
+		return nil, false
+	}
+	j, ok := g.Input.(*SemiJoin)
+	if !ok {
+		return nil, false
+	}
+	// The scalar count must be over the very same divisor subplan.
+	if j.Right != c.Of {
+		return nil, false
+	}
+	// The semi-join must match every divisor column, in order.
+	if !equalInts(j.RightCols, j.Right.Schema().AllColumns()) {
+		return nil, false
+	}
+	// The grouping columns must be exactly the non-join columns.
+	if !equalInts(g.GroupCols, j.Left.Schema().Complement(j.LeftCols)) {
+		return nil, false
+	}
+	return &Division{Dividend: j.Left, Divisor: j.Right, DivisorCols: j.LeftCols}, true
+}
+
+// Compile lowers a logical plan to a physical operator tree. Division nodes
+// become hash-division; the un-rewritten aggregate pattern becomes the
+// hash-aggregation-with-semi-join plan of §2.2.2 — exactly the two plans the
+// paper's §5.2 remark compares.
+func Compile(n Node, env division.Env) (exec.Operator, error) {
+	switch t := n.(type) {
+	case *Rel:
+		return t.scan(), nil
+	case *SemiJoin:
+		left, err := Compile(t.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(t.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewHashSemiJoin(left, right, t.LeftCols, t.RightCols, env.Counters), nil
+	case *GroupCount:
+		in, err := Compile(t.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewHashGroupCount(in, t.GroupCols, 0, 0, env.Counters), nil
+	case *CountEqCard:
+		in, err := Compile(t.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		of, err := Compile(t.Of, env)
+		if err != nil {
+			return nil, err
+		}
+		return newCardFilter(in, of, env), nil
+	case *Division:
+		dividend, err := Compile(t.Dividend, env)
+		if err != nil {
+			return nil, err
+		}
+		divisor, err := Compile(t.Divisor, env)
+		if err != nil {
+			return nil, err
+		}
+		return division.NewHashDivision(division.Spec{
+			Dividend:    dividend,
+			Divisor:     divisor,
+			DivisorCols: t.DivisorCols,
+		}, env, division.HashDivisionOptions{}), nil
+	default:
+		return nil, fmt.Errorf("rewrite: cannot compile %T", n)
+	}
+}
+
+// cardFilter is the physical CountEqCard: scalar-count Of at Open, filter
+// groups, drop the count column.
+type cardFilter struct {
+	input  exec.Operator
+	of     exec.Operator
+	env    division.Env
+	want   int64
+	schema *tuple.Schema
+	cols   []int
+	buf    tuple.Tuple
+	opened bool
+}
+
+func newCardFilter(input, of exec.Operator, env division.Env) *cardFilter {
+	in := input.Schema()
+	cols := make([]int, in.NumFields()-1)
+	for i := range cols {
+		cols[i] = i
+	}
+	return &cardFilter{input: input, of: of, env: env, schema: in.Project(cols), cols: cols}
+}
+
+func (f *cardFilter) Schema() *tuple.Schema { return f.schema }
+
+func (f *cardFilter) Open() error {
+	n, err := exec.ScalarCount(f.of)
+	if err != nil {
+		return err
+	}
+	f.want = n
+	f.buf = f.schema.New()
+	if err := f.input.Open(); err != nil {
+		return err
+	}
+	f.opened = true
+	return nil
+}
+
+func (f *cardFilter) Next() (tuple.Tuple, error) {
+	if !f.opened {
+		return nil, fmt.Errorf("rewrite: cardFilter.Next before Open")
+	}
+	in := f.input.Schema()
+	countCol := in.NumFields() - 1
+	for {
+		t, err := f.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f.env.Counters != nil {
+			f.env.Counters.Comp++
+		}
+		if f.want > 0 && in.Int64(t, countCol) == f.want {
+			return in.ProjectInto(f.buf, t, f.cols), nil
+		}
+	}
+}
+
+func (f *cardFilter) Close() error {
+	f.opened = false
+	return f.input.Close()
+}

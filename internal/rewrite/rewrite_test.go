@@ -1,0 +1,250 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// forAllQuery builds the §2.2 aggregation encoding of "students who took all
+// courses in S": semi-join, group count, having count = |S|.
+func forAllQuery(inst *workload.Instance) (Node, *Rel, *Rel) {
+	transcript := NewRel("transcript", workload.TranscriptSchema, func() exec.Operator {
+		return exec.NewMemScan(workload.TranscriptSchema, inst.Dividend)
+	})
+	courses := NewRel("courses", workload.CourseSchema, func() exec.Operator {
+		return exec.NewMemScan(workload.CourseSchema, inst.Divisor)
+	})
+	plan := &CountEqCard{
+		Input: &GroupCount{
+			Input: &SemiJoin{
+				Left:      transcript,
+				Right:     courses,
+				LeftCols:  []int{1},
+				RightCols: []int{0},
+			},
+			GroupCols: []int{0},
+		},
+		Of: courses,
+	}
+	return plan, transcript, courses
+}
+
+func noisyInstance(t testing.TB, seed int64) *workload.Instance {
+	t.Helper()
+	inst, err := workload.Generate(workload.Config{
+		DivisorTuples:      12,
+		QuotientCandidates: 60,
+		FullFraction:       0.4,
+		MatchFraction:      0.7,
+		NoisePerCandidate:  3,
+		Shuffle:            true,
+		Seed:               seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestRewriteDetectsForAll(t *testing.T) {
+	inst := noisyInstance(t, 1)
+	plan, transcript, courses := forAllQuery(inst)
+	out, changed := Rewrite(plan)
+	if !changed {
+		t.Fatal("pattern not detected")
+	}
+	d, ok := out.(*Division)
+	if !ok {
+		t.Fatalf("rewritten root is %T, want *Division", out)
+	}
+	if d.Dividend != transcript || d.Divisor != courses {
+		t.Error("division operands are not the original relations")
+	}
+	if len(d.DivisorCols) != 1 || d.DivisorCols[0] != 1 {
+		t.Errorf("DivisorCols = %v", d.DivisorCols)
+	}
+	if !strings.Contains(Format(out), "Division") {
+		t.Errorf("Format missing Division:\n%s", Format(out))
+	}
+}
+
+func TestRewritePreservesSemantics(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		inst := noisyInstance(t, seed)
+		plan, _, _ := forAllQuery(inst)
+
+		original, err := Compile(plan, division.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		originalRows, err := exec.Collect(original)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rewritten, changed := Rewrite(plan)
+		if !changed {
+			t.Fatal("no rewrite")
+		}
+		rw, err := Compile(rewritten, division.Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rwRows, err := exec.Collect(rw)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		qs := rewritten.Schema()
+		if !division.EqualTupleSets(qs, originalRows, rwRows) {
+			t.Fatalf("seed %d: rewrite changed the result: %d vs %d rows",
+				seed, len(originalRows), len(rwRows))
+		}
+		if len(rwRows) != len(inst.QuotientIDs) {
+			t.Fatalf("seed %d: result %d rows, ground truth %d", seed, len(rwRows), len(inst.QuotientIDs))
+		}
+	}
+}
+
+// TestRewriteSavesWork is the §5.2 remark quantified: the division plan does
+// strictly less hashing/comparison work than the aggregate-with-semi-join
+// plan it replaces.
+func TestRewriteSavesWork(t *testing.T) {
+	inst, err := workload.Generate(workload.PaperCase(50, 400, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, _ := forAllQuery(inst)
+
+	costOf := func(n Node) float64 {
+		var c exec.Counters
+		op, err := Compile(n, division.Env{Counters: &c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.Drain(op); err != nil {
+			t.Fatal(err)
+		}
+		return c.CostMS(0.03, 0.03, 0.4, 0.003)
+	}
+	before := costOf(plan)
+	rewritten, changed := Rewrite(plan)
+	if !changed {
+		t.Fatal("no rewrite")
+	}
+	after := costOf(rewritten)
+	if after >= before {
+		t.Errorf("rewrite did not save work: %.1f ms before, %.1f ms after", before, after)
+	}
+}
+
+func TestRewriteRejectsNonMatchingPatterns(t *testing.T) {
+	inst := noisyInstance(t, 9)
+	transcript := NewRel("transcript", workload.TranscriptSchema, func() exec.Operator {
+		return exec.NewMemScan(workload.TranscriptSchema, inst.Dividend)
+	})
+	courses := NewRel("courses", workload.CourseSchema, func() exec.Operator {
+		return exec.NewMemScan(workload.CourseSchema, inst.Divisor)
+	})
+	otherCourses := NewRel("courses2", workload.CourseSchema, func() exec.Operator {
+		return exec.NewMemScan(workload.CourseSchema, inst.Divisor)
+	})
+
+	semi := func() *SemiJoin {
+		return &SemiJoin{Left: transcript, Right: courses, LeftCols: []int{1}, RightCols: []int{0}}
+	}
+
+	cases := map[string]Node{
+		// Count compared against a DIFFERENT relation's cardinality.
+		"different scalar relation": &CountEqCard{
+			Input: &GroupCount{Input: semi(), GroupCols: []int{0}},
+			Of:    otherCourses,
+		},
+		// Grouping on the join column instead of its complement.
+		"wrong group columns": &CountEqCard{
+			Input: &GroupCount{Input: semi(), GroupCols: []int{1}},
+			Of:    courses,
+		},
+		// No semi-join underneath (the unsafe no-join form).
+		"no semi-join": &CountEqCard{
+			Input: &GroupCount{Input: transcript, GroupCols: []int{0}},
+			Of:    courses,
+		},
+	}
+	for name, plan := range cases {
+		if _, changed := Rewrite(plan); changed {
+			t.Errorf("%s: pattern should NOT rewrite", name)
+		}
+	}
+}
+
+func TestCompileErrorsOnUnknownNode(t *testing.T) {
+	if _, err := Compile(nil, division.Env{}); err == nil {
+		t.Error("nil node compiled")
+	}
+}
+
+func TestCardFilterEmptyDivisor(t *testing.T) {
+	empty := &workload.Instance{Dividend: nil, Divisor: nil}
+	inst := noisyInstance(t, 4)
+	empty.Dividend = inst.Dividend
+	plan, _, _ := forAllQuery(empty)
+	op, err := Compile(plan, division.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := exec.Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("empty divisor produced %d rows", n)
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	inst := noisyInstance(t, 5)
+	plan, _, _ := forAllQuery(inst)
+	s := Format(plan)
+	for _, want := range []string{"CountEqCard", "GroupCount", "SemiJoin", "Rel(transcript)", "Rel(courses)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func BenchmarkRewrittenVsOriginal(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(50, 400, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("aggregate-plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, _, _ := forAllQuery(inst)
+			op, err := Compile(plan, division.Env{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("division-plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, _, _ := forAllQuery(inst)
+			rewritten, _ := Rewrite(plan)
+			op, err := Compile(rewritten, division.Env{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,386 @@
+// Package storage implements the record-oriented files of the paper's
+// substrate: extent-based heap files of fixed-width records on a simulated
+// device, accessed through the buffer manager. Scans hand out record
+// addresses inside fixed buffer frames, so no bytes are copied on the read
+// path.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/tuple"
+)
+
+// pageHeaderLen is the per-page header: a uint32 record count.
+const pageHeaderLen = 4
+
+// RID addresses a record: a page and a slot within it.
+type RID struct {
+	Page disk.PageID
+	Slot int
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// ErrBadRID is returned for out-of-range record ids.
+var ErrBadRID = errors.New("storage: bad record id")
+
+// File is a heap file of fixed-width records described by a schema. File
+// metadata — the page list, record count, and deletion marks — lives with
+// the File value, like the catalog of the simulated system; page payloads
+// live on the device.
+type File struct {
+	name    string
+	pool    *buffer.Pool
+	dev     *disk.Device
+	schema  *tuple.Schema
+	perPage int
+	pages   []disk.PageID
+	numRecs int
+	deleted map[RID]bool
+}
+
+// NewFile creates an empty heap file for schema records on dev.
+func NewFile(pool *buffer.Pool, dev *disk.Device, schema *tuple.Schema, name string) *File {
+	perPage := (dev.PageSize() - pageHeaderLen) / schema.Width()
+	if perPage <= 0 {
+		panic(fmt.Sprintf("storage: record of %d bytes does not fit %d-byte page",
+			schema.Width(), dev.PageSize()))
+	}
+	return &File{name: name, pool: pool, dev: dev, schema: schema, perPage: perPage}
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Schema returns the record layout.
+func (f *File) Schema() *tuple.Schema { return f.schema }
+
+// Device returns the backing device.
+func (f *File) Device() *disk.Device { return f.dev }
+
+// Pool returns the buffer pool the file goes through.
+func (f *File) Pool() *buffer.Pool { return f.pool }
+
+// NumRecords returns the record count.
+func (f *File) NumRecords() int { return f.numRecs }
+
+// NumPages returns the page count.
+func (f *File) NumPages() int { return len(f.pages) }
+
+// RecordsPerPage reports the page capacity in records.
+func (f *File) RecordsPerPage() int { return f.perPage }
+
+func pageCount(data []byte) int {
+	return int(binary.LittleEndian.Uint32(data[:pageHeaderLen]))
+}
+
+func setPageCount(data []byte, n int) {
+	binary.LittleEndian.PutUint32(data[:pageHeaderLen], uint32(n))
+}
+
+func (f *File) recordOffset(slot int) int {
+	return pageHeaderLen + slot*f.schema.Width()
+}
+
+// Append adds one record and returns its id. For bulk loads prefer an
+// Appender, which keeps the tail page fixed between calls.
+func (f *File) Append(t tuple.Tuple) (RID, error) {
+	ap := f.NewAppender()
+	rid, err := ap.Append(t)
+	if cerr := ap.Close(); err == nil {
+		err = cerr
+	}
+	return rid, err
+}
+
+// Appender bulk-loads records, holding the tail page fixed across calls.
+type Appender struct {
+	f      *File
+	page   disk.PageID
+	handle *buffer.Handle
+}
+
+// NewAppender positions an appender at the file tail.
+func (f *File) NewAppender() *Appender {
+	return &Appender{f: f, page: disk.InvalidPage}
+}
+
+// Append writes one record, allocating a new tail page when the current one
+// is full.
+func (a *Appender) Append(t tuple.Tuple) (RID, error) {
+	f := a.f
+	if len(t) != f.schema.Width() {
+		return RID{}, fmt.Errorf("storage: record width %d, schema wants %d", len(t), f.schema.Width())
+	}
+	if a.handle == nil {
+		if err := a.openTail(); err != nil {
+			return RID{}, err
+		}
+	}
+	data := a.handle.Bytes()
+	n := pageCount(data)
+	if n >= f.perPage {
+		if err := a.rotate(); err != nil {
+			return RID{}, err
+		}
+		data = a.handle.Bytes()
+		n = 0
+	}
+	off := f.recordOffset(n)
+	copy(data[off:off+f.schema.Width()], t)
+	setPageCount(data, n+1)
+	a.handle.MarkDirty()
+	f.numRecs++
+	return RID{Page: a.page, Slot: n}, nil
+}
+
+func (a *Appender) openTail() error {
+	f := a.f
+	if len(f.pages) == 0 {
+		return a.rotate()
+	}
+	last := f.pages[len(f.pages)-1]
+	h, err := f.pool.Fix(f.dev, last)
+	if err != nil {
+		return err
+	}
+	a.page, a.handle = last, h
+	return nil
+}
+
+func (a *Appender) rotate() error {
+	f := a.f
+	if a.handle != nil {
+		if err := a.handle.Unfix(true); err != nil {
+			return err
+		}
+		a.handle = nil
+	}
+	page, h, err := f.pool.NewPage(f.dev)
+	if err != nil {
+		return err
+	}
+	setPageCount(h.Bytes(), 0)
+	h.MarkDirty()
+	f.pages = append(f.pages, page)
+	a.page, a.handle = page, h
+	return nil
+}
+
+// Close releases the tail page.
+func (a *Appender) Close() error {
+	if a.handle == nil {
+		return nil
+	}
+	err := a.handle.Unfix(true)
+	a.handle = nil
+	return err
+}
+
+// Delete marks the record at rid deleted. Scans skip it and Fetch reports
+// ErrBadRID. The slot is reclaimed by Compact, not reused in place, so
+// outstanding record ids never alias new records.
+func (f *File) Delete(rid RID) error {
+	if err := f.checkRID(rid); err != nil {
+		return err
+	}
+	if f.deleted == nil {
+		f.deleted = make(map[RID]bool)
+	}
+	f.deleted[rid] = true
+	f.numRecs--
+	return nil
+}
+
+// checkRID validates that rid addresses a live record.
+func (f *File) checkRID(rid RID) error {
+	if f.pageIndex(rid.Page) < 0 {
+		return fmt.Errorf("%w: page %d not in file %s", ErrBadRID, rid.Page, f.name)
+	}
+	if f.deleted[rid] {
+		return fmt.Errorf("%w: record %v deleted in %s", ErrBadRID, rid, f.name)
+	}
+	return nil
+}
+
+// Compact rewrites the file without its deleted records, freeing the
+// reclaimed pages. Record ids change; indexes must be rebuilt afterwards.
+func (f *File) Compact() error {
+	if len(f.deleted) == 0 {
+		return nil
+	}
+	live, err := f.ReadAll()
+	if err != nil {
+		return err
+	}
+	if err := f.Drop(); err != nil {
+		return err
+	}
+	f.deleted = nil
+	return f.Load(live)
+}
+
+// Fetch returns a copy of the record at rid.
+func (f *File) Fetch(rid RID) (tuple.Tuple, error) {
+	t, h, err := f.FetchRef(rid)
+	if err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	if err := h.Unfix(true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FetchRef returns the record at rid as a slice aliasing the fixed buffer
+// frame, plus the handle keeping it fixed. The caller must Unfix the handle;
+// the tuple is valid until then. This is the zero-copy path hash tables use
+// to keep tuples "fixed in the buffer pool".
+func (f *File) FetchRef(rid RID) (tuple.Tuple, *buffer.Handle, error) {
+	if err := f.checkRID(rid); err != nil {
+		return nil, nil, err
+	}
+	h, err := f.pool.Fix(f.dev, rid.Page)
+	if err != nil {
+		return nil, nil, err
+	}
+	data := h.Bytes()
+	if rid.Slot < 0 || rid.Slot >= pageCount(data) {
+		h.Unfix(true)
+		return nil, nil, fmt.Errorf("%w: slot %d on page %d of %s", ErrBadRID, rid.Slot, rid.Page, f.name)
+	}
+	off := f.recordOffset(rid.Slot)
+	return tuple.Tuple(data[off : off+f.schema.Width()]), h, nil
+}
+
+func (f *File) pageIndex(p disk.PageID) int {
+	for i, pg := range f.pages {
+		if pg == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Scanner iterates over a file's records in storage order.
+type Scanner struct {
+	f      *File
+	pageIx int
+	slot   int
+	handle *buffer.Handle
+	count  int
+	keep   bool
+	closed bool
+}
+
+// Scan opens a sequential scan. keepPages controls the unfix hint: true keeps
+// scanned pages in LRU (small files that will be rescanned), false marks them
+// immediately replaceable (the large-dividend streaming case).
+func (f *File) Scan(keepPages bool) *Scanner {
+	return &Scanner{f: f, pageIx: -1, keep: keepPages}
+}
+
+// Next returns the next record (aliasing the fixed frame; valid until the
+// following Next or Close call) and its id. It returns io.EOF after the last
+// record.
+func (s *Scanner) Next() (tuple.Tuple, RID, error) {
+	if s.closed {
+		return nil, RID{}, io.EOF
+	}
+	for {
+		if s.handle != nil && s.slot < s.count {
+			rid := RID{Page: s.f.pages[s.pageIx], Slot: s.slot}
+			if s.f.deleted[rid] {
+				s.slot++
+				continue
+			}
+			off := s.f.recordOffset(s.slot)
+			t := tuple.Tuple(s.handle.Bytes()[off : off+s.f.schema.Width()])
+			s.slot++
+			return t, rid, nil
+		}
+		if s.handle != nil {
+			if err := s.handle.Unfix(s.keep); err != nil {
+				return nil, RID{}, err
+			}
+			s.handle = nil
+		}
+		s.pageIx++
+		if s.pageIx >= len(s.f.pages) {
+			s.closed = true
+			return nil, RID{}, io.EOF
+		}
+		h, err := s.f.pool.Fix(s.f.dev, s.f.pages[s.pageIx])
+		if err != nil {
+			return nil, RID{}, err
+		}
+		s.handle = h
+		s.count = pageCount(h.Bytes())
+		s.slot = 0
+	}
+}
+
+// Close releases any fixed page. Safe to call multiple times.
+func (s *Scanner) Close() error {
+	if s.handle != nil {
+		err := s.handle.Unfix(s.keep)
+		s.handle = nil
+		s.closed = true
+		return err
+	}
+	s.closed = true
+	return nil
+}
+
+// Drop flushes nothing and frees every page of the file back to its device.
+// The file is empty and reusable afterwards.
+func (f *File) Drop() error {
+	if err := f.pool.DropClean(); err != nil {
+		return err
+	}
+	for _, p := range f.pages {
+		if err := f.dev.Free(p); err != nil {
+			return err
+		}
+	}
+	f.pages = nil
+	f.numRecs = 0
+	f.deleted = nil
+	return nil
+}
+
+// Load bulk-appends all tuples.
+func (f *File) Load(tuples []tuple.Tuple) error {
+	ap := f.NewAppender()
+	for _, t := range tuples {
+		if _, err := ap.Append(t); err != nil {
+			ap.Close()
+			return err
+		}
+	}
+	return ap.Close()
+}
+
+// ReadAll returns copies of every record, for tests and small relations.
+func (f *File) ReadAll() ([]tuple.Tuple, error) {
+	out := make([]tuple.Tuple, 0, f.numRecs)
+	sc := f.Scan(true)
+	defer sc.Close()
+	for {
+		t, _, err := sc.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.Clone())
+	}
+}

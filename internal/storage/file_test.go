@@ -1,0 +1,377 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/tuple"
+)
+
+func testFile(t *testing.T, pageSize, poolBytes int) *File {
+	t.Helper()
+	dev := disk.NewDevice("t", pageSize)
+	pool := buffer.New(poolBytes)
+	schema := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+	return NewFile(pool, dev, schema, "test")
+}
+
+func TestAppendAndScan(t *testing.T) {
+	f := testFile(t, 68, 1024) // header 4 + 4 records of 16 bytes
+	if f.RecordsPerPage() != 4 {
+		t.Fatalf("RecordsPerPage = %d, want 4", f.RecordsPerPage())
+	}
+	s := f.Schema()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := f.Append(s.MustMake(i, i*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.NumRecords() != n {
+		t.Errorf("NumRecords = %d, want %d", f.NumRecords(), n)
+	}
+	if f.NumPages() != 3 {
+		t.Errorf("NumPages = %d, want 3", f.NumPages())
+	}
+
+	sc := f.Scan(true)
+	defer sc.Close()
+	for i := 0; i < n; i++ {
+		tp, rid, err := sc.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if got := s.Int64(tp, 0); got != int64(i) {
+			t.Errorf("record %d: a = %d", i, got)
+		}
+		if got := s.Int64(tp, 1); got != int64(i*i) {
+			t.Errorf("record %d: b = %d", i, got)
+		}
+		if want := i / 4; int(rid.Page) != want {
+			t.Errorf("record %d on page %d, want %d", i, rid.Page, want)
+		}
+	}
+	if _, _, err := sc.Next(); err != io.EOF {
+		t.Errorf("after last record: %v, want EOF", err)
+	}
+	if _, _, err := sc.Next(); err != io.EOF {
+		t.Errorf("repeated Next after EOF: %v, want EOF", err)
+	}
+}
+
+func TestScanEmptyFile(t *testing.T) {
+	f := testFile(t, 68, 1024)
+	sc := f.Scan(true)
+	defer sc.Close()
+	if _, _, err := sc.Next(); err != io.EOF {
+		t.Errorf("empty scan: %v, want EOF", err)
+	}
+}
+
+func TestAppenderMatchesAppend(t *testing.T) {
+	f := testFile(t, 68, 1024)
+	s := f.Schema()
+	ap := f.NewAppender()
+	rids := make([]RID, 0, 9)
+	for i := 0; i < 9; i++ {
+		rid, err := ap.Append(s.MustMake(i, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, rid := range rids {
+		tp, err := f.Fetch(rid)
+		if err != nil {
+			t.Fatalf("Fetch %v: %v", rid, err)
+		}
+		if got := s.Int64(tp, 0); got != int64(i) {
+			t.Errorf("Fetch(%v) = %d, want %d", rid, got, i)
+		}
+	}
+	if f.Pool().FixedFrames() != 0 {
+		t.Error("appender leaked fixed frames")
+	}
+}
+
+func TestAppendWrongWidth(t *testing.T) {
+	f := testFile(t, 68, 1024)
+	if _, err := f.Append(make(tuple.Tuple, 3)); err == nil {
+		t.Error("Append with wrong width should fail")
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	f := testFile(t, 68, 1024)
+	s := f.Schema()
+	rid, err := f.Append(s.MustMake(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fetch(RID{Page: 99, Slot: 0}); !errors.Is(err, ErrBadRID) {
+		t.Errorf("bad page: %v", err)
+	}
+	if _, err := f.Fetch(RID{Page: rid.Page, Slot: 7}); !errors.Is(err, ErrBadRID) {
+		t.Errorf("bad slot: %v", err)
+	}
+}
+
+func TestFetchRefAliasesFrame(t *testing.T) {
+	f := testFile(t, 68, 1024)
+	s := f.Schema()
+	rid, err := f.Append(s.MustMake(5, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, h, err := f.FetchRef(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Int64(tp, 0) != 5 {
+		t.Error("wrong record")
+	}
+	if f.Pool().FixedFrames() != 1 {
+		t.Error("FetchRef should leave the frame fixed")
+	}
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+	if f.Pool().FixedFrames() != 0 {
+		t.Error("unfix did not release")
+	}
+}
+
+func TestScanSurvivesEvictionPressure(t *testing.T) {
+	// Pool of 2 frames, file of many pages: the scan must keep working while
+	// pages are continuously evicted behind it.
+	dev := disk.NewDevice("t", 68)
+	pool := buffer.New(2 * 68)
+	schema := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+	f := NewFile(pool, dev, schema, "big")
+	const n = 200
+	for i := 0; i < n; i++ {
+		if _, err := f.Append(schema.MustMake(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	sc := f.Scan(false)
+	defer sc.Close()
+	for i := 0; i < n; i++ {
+		tp, _, err := sc.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if got := schema.Int64(tp, 0); got != int64(i) {
+			t.Fatalf("record %d read as %d", i, got)
+		}
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	f := testFile(t, 68, 1024)
+	s := f.Schema()
+	for i := 0; i < 12; i++ {
+		if _, err := f.Append(s.MustMake(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pages := f.Device().NumPages()
+	if pages == 0 {
+		t.Fatal("no pages allocated")
+	}
+	if err := f.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() != 0 || f.NumPages() != 0 {
+		t.Error("file not empty after Drop")
+	}
+	if got := f.Device().NumPages(); got != 0 {
+		t.Errorf("device still holds %d pages", got)
+	}
+	// File is reusable.
+	if _, err := f.Append(s.MustMake(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	all, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Errorf("ReadAll after reuse = %d records", len(all))
+	}
+}
+
+func TestLoadReadAllRoundTrip(t *testing.T) {
+	f := testFile(t, 68, 4096)
+	s := f.Schema()
+	in := make([]tuple.Tuple, 37)
+	for i := range in {
+		in[i] = s.MustMake(i, -i)
+	}
+	if err := f.Load(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if s.CompareAll(in[i], out[i]) != 0 {
+			t.Errorf("record %d mismatch: %s vs %s", i, s.Format(in[i]), s.Format(out[i]))
+		}
+	}
+}
+
+func TestDeleteAndCompact(t *testing.T) {
+	f := testFile(t, 68, 4096)
+	s := f.Schema()
+	rids := make([]RID, 20)
+	for i := range rids {
+		rid, err := f.Append(s.MustMake(i, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	// Delete the even records.
+	for i := 0; i < 20; i += 2 {
+		if err := f.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.NumRecords() != 10 {
+		t.Errorf("NumRecords = %d, want 10", f.NumRecords())
+	}
+	// Deleted records are unfetchable and skipped by scans.
+	if _, err := f.Fetch(rids[0]); !errors.Is(err, ErrBadRID) {
+		t.Errorf("Fetch deleted: %v", err)
+	}
+	if err := f.Delete(rids[0]); !errors.Is(err, ErrBadRID) {
+		t.Errorf("double Delete: %v", err)
+	}
+	all, err := f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("scan returned %d records", len(all))
+	}
+	for i, tp := range all {
+		if got := s.Int64(tp, 0); got != int64(2*i+1) {
+			t.Errorf("survivor %d = %d, want %d", i, got, 2*i+1)
+		}
+	}
+	// Odd records remain fetchable before compaction.
+	if tp, err := f.Fetch(rids[1]); err != nil || s.Int64(tp, 0) != 1 {
+		t.Errorf("Fetch survivor: %v", err)
+	}
+
+	pagesBefore := f.Device().NumPages()
+	if err := f.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecords() != 10 {
+		t.Errorf("NumRecords after Compact = %d", f.NumRecords())
+	}
+	if got := f.Device().NumPages(); got >= pagesBefore {
+		t.Errorf("Compact did not reclaim pages: %d -> %d", pagesBefore, got)
+	}
+	all, err = f.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Fatalf("post-compact scan = %d records", len(all))
+	}
+	// Compact on a clean file is a no-op.
+	if err := f.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any sequence of int64 pairs survives a load/scan round trip in
+// order, across varying page sizes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []int64, pageSel uint8) bool {
+		pageSizes := []int{36, 68, 132, 1024}
+		dev := disk.NewDevice("q", pageSizes[int(pageSel)%len(pageSizes)])
+		pool := buffer.New(64 * 1024)
+		schema := tuple.NewSchema(tuple.Int64Field("v"), tuple.Int64Field("w"))
+		file := NewFile(pool, dev, schema, "q")
+		for i, v := range vals {
+			if _, err := file.Append(schema.MustMake(v, int64(i))); err != nil {
+				return false
+			}
+		}
+		out, err := file.ReadAll()
+		if err != nil || len(out) != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if schema.Int64(out[i], 0) != v || schema.Int64(out[i], 1) != int64(i) {
+				return false
+			}
+		}
+		return pool.FixedFrames() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	dev := disk.NewDevice("b", disk.PaperPageSize)
+	pool := buffer.New(buffer.PaperPoolBytes)
+	schema := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+	f := NewFile(pool, dev, schema, "bench")
+	tp := schema.MustMake(1, 2)
+	ap := f.NewAppender()
+	defer ap.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ap.Append(tp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	dev := disk.NewDevice("b", disk.PaperPageSize)
+	pool := buffer.New(4 * buffer.PaperPoolBytes)
+	schema := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+	f := NewFile(pool, dev, schema, "bench")
+	for i := 0; i < 10000; i++ {
+		if _, err := f.Append(schema.MustMake(i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := f.Scan(true)
+		for {
+			_, _, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		sc.Close()
+	}
+}

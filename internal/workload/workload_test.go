@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+func TestPaperCaseIsExactProduct(t *testing.T) {
+	inst, err := Generate(PaperCase(25, 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inst.Dividend); got != 2500 {
+		t.Errorf("|R| = %d, want 2500", got)
+	}
+	if got := len(inst.Divisor); got != 25 {
+		t.Errorf("|S| = %d, want 25", got)
+	}
+	if got := len(inst.QuotientIDs); got != 100 {
+		t.Errorf("|Q| = %d, want 100", got)
+	}
+}
+
+func TestGroundTruthMatchesReference(t *testing.T) {
+	cfgs := []Config{
+		PaperCase(10, 20, 2),
+		{DivisorTuples: 8, QuotientCandidates: 30, FullFraction: 0.4, MatchFraction: 0.6,
+			NoisePerCandidate: 2, DuplicateFactor: 2, DivisorDuplicateFactor: 2, Shuffle: true, Seed: 3},
+		{DivisorTuples: 5, QuotientCandidates: 10, FullFraction: 0, MatchFraction: 0.5, Seed: 4},
+	}
+	for i, cfg := range cfgs {
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := division.Spec{
+			Dividend:    exec.NewMemScan(TranscriptSchema, inst.Dividend),
+			Divisor:     exec.NewMemScan(CourseSchema, inst.Divisor),
+			DivisorCols: []int{1},
+		}
+		ref, err := division.Reference(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref) != len(inst.QuotientIDs) {
+			t.Fatalf("cfg %d: reference %d vs ground truth %d quotient tuples",
+				i, len(ref), len(inst.QuotientIDs))
+		}
+		qs := sp.QuotientSchema()
+		for j, tp := range ref { // Reference returns sorted tuples
+			if got := qs.Int64(tp, 0); got != inst.QuotientIDs[j] {
+				t.Fatalf("cfg %d: quotient[%d] = %d, want %d", i, j, got, inst.QuotientIDs[j])
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{DivisorTuples: 6, QuotientCandidates: 10, FullFraction: 0.5,
+		MatchFraction: 0.5, Shuffle: true, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Dividend) != len(b.Dividend) {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Dividend {
+		if TranscriptSchema.CompareAll(a.Dividend[i], b.Dividend[i]) != 0 {
+			t.Fatal("same seed produced different tuples")
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{DivisorTuples: -1}); err == nil {
+		t.Error("negative cardinality accepted")
+	}
+	if _, err := Generate(Config{FullFraction: 1.5}); err == nil {
+		t.Error("FullFraction > 1 accepted")
+	}
+}
+
+func TestDuplicateFactors(t *testing.T) {
+	cfg := PaperCase(4, 5, 9)
+	cfg.DuplicateFactor = 3
+	cfg.DivisorDuplicateFactor = 2
+	inst, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inst.Dividend); got != 3*4*5 {
+		t.Errorf("|R| with duplicates = %d, want 60", got)
+	}
+	if got := len(inst.Divisor); got != 8 {
+		t.Errorf("|S| with duplicates = %d, want 8", got)
+	}
+	// Ground truth unchanged by duplication.
+	if got := len(inst.QuotientIDs); got != 5 {
+		t.Errorf("quotient = %d, want 5", got)
+	}
+}
+
+func TestZipfSkewConcentratesCourses(t *testing.T) {
+	mk := func(s float64) map[int64]int {
+		cfg := Config{
+			DivisorTuples:      50,
+			QuotientCandidates: 400,
+			FullFraction:       0,
+			MatchFraction:      0.3,
+			CourseZipfS:        s,
+			Seed:               5,
+		}
+		inst, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[int64]int)
+		for _, tp := range inst.Dividend {
+			counts[TranscriptSchema.Int64(tp, 1)]++
+		}
+		return counts
+	}
+	uniform := mk(0)
+	skewed := mk(2.0)
+
+	maxOf := func(m map[int64]int) (max, total int) {
+		for _, c := range m {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		return
+	}
+	uMax, uTot := maxOf(uniform)
+	sMax, sTot := maxOf(skewed)
+	uShare := float64(uMax) / float64(uTot)
+	sShare := float64(sMax) / float64(sTot)
+	if sShare < 2*uShare {
+		t.Errorf("zipf skew not visible: top-course share %.3f (skewed) vs %.3f (uniform)", sShare, uShare)
+	}
+	// Ground truth still consistent with the reference.
+	inst, err := Generate(Config{
+		DivisorTuples: 10, QuotientCandidates: 50, FullFraction: 0.3,
+		MatchFraction: 0.5, CourseZipfS: 1.5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := division.Spec{
+		Dividend:    exec.NewMemScan(TranscriptSchema, inst.Dividend),
+		Divisor:     exec.NewMemScan(CourseSchema, inst.Divisor),
+		DivisorCols: []int{1},
+	}
+	ref, err := division.Reference(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(inst.QuotientIDs) {
+		t.Errorf("zipf ground truth: reference %d vs %d", len(ref), len(inst.QuotientIDs))
+	}
+}
+
+func TestLoadProducesScannableFiles(t *testing.T) {
+	inst, err := Generate(PaperCase(10, 10, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(buffer.PaperPoolBytes)
+	rel, err := Load(pool, inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Dividend.NumRecords() != 100 || rel.Divisor.NumRecords() != 10 {
+		t.Errorf("loaded %d/%d records", rel.Dividend.NumRecords(), rel.Divisor.NumRecords())
+	}
+	// Device stats were reset after loading: the experiment starts cold.
+	if s := rel.DividendDev.Stats(); s.Reads != 0 {
+		t.Errorf("dividend device has %d reads before the experiment", s.Reads)
+	}
+	n, err := exec.Drain(exec.NewTableScan(rel.Dividend, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("scan returned %d records", n)
+	}
+	// Scanning 100 16-byte records at 8 KB pages = 1 page = 1 sequential read.
+	if s := rel.DividendDev.Stats(); s.Reads != 1 || s.Seeks != 1 {
+		t.Errorf("scan stats = %+v, want 1 read / 1 seek", s)
+	}
+}
+
+func TestUniversityGenerator(t *testing.T) {
+	u := NewUniversity(3, 5, 50, 10, 13)
+	if len(u.Courses) != 8 {
+		t.Fatalf("courses = %d, want 8", len(u.Courses))
+	}
+	nDB := 0
+	for _, c := range u.Courses {
+		if strings.Contains(CourseTitleSchema.Char(c, 1), "database") {
+			nDB++
+		}
+	}
+	if nDB != 3 {
+		t.Errorf("database courses = %d, want 3", nDB)
+	}
+
+	// Dividing the transcript by the database courses must yield at least
+	// the full students (a random student may incidentally take all three).
+	var dbCourses []int64
+	for _, c := range u.Courses {
+		if strings.Contains(CourseTitleSchema.Char(c, 1), "database") {
+			dbCourses = append(dbCourses, CourseTitleSchema.Int64(c, 0))
+		}
+	}
+	sp := division.Spec{
+		Dividend:    exec.NewMemScan(TranscriptSchema, u.Transcript),
+		Divisor:     exec.NewMemScan(CourseSchema, courseTuples(dbCourses)),
+		DivisorCols: []int{1},
+	}
+	ref, err := division.Reference(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) < 10 {
+		t.Errorf("only %d students take all database courses, want >= 10", len(ref))
+	}
+}
+
+func courseTuples(ids []int64) (out []tuple.Tuple) {
+	for _, id := range ids {
+		out = append(out, CourseSchema.MustMake(id))
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package reldiv
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+// RowReader supplies rows one at a time; Next returns io.EOF after the last
+// row. Rows must match the declared columns (int/int64 for integer columns,
+// string for string columns).
+type RowReader interface {
+	Next() ([]any, error)
+}
+
+// RowReaderFunc adapts a function to RowReader.
+type RowReaderFunc func() ([]any, error)
+
+// Next implements RowReader.
+func (f RowReaderFunc) Next() ([]any, error) { return f() }
+
+// SliceReader returns a RowReader over a fixed slice of rows.
+func SliceReader(rows [][]any) RowReader {
+	i := 0
+	return RowReaderFunc(func() ([]any, error) {
+		if i >= len(rows) {
+			return nil, io.EOF
+		}
+		r := rows[i]
+		i++
+		return r, nil
+	})
+}
+
+// StreamInput describes one streamed relation: its columns and a factory
+// producing a fresh reader. The factory may be called more than once —
+// several algorithms scan an input twice (e.g. the divisor for the scalar
+// count), so the stream must be replayable.
+type StreamInput struct {
+	Columns []Column
+	Open    func() (RowReader, error)
+}
+
+// rowSourceOp adapts a StreamInput to the internal iterator protocol.
+type rowSourceOp struct {
+	in     StreamInput
+	schema *tuple.Schema
+	reader RowReader
+	buf    tuple.Tuple
+}
+
+func newRowSourceOp(in StreamInput) (*rowSourceOp, error) {
+	if len(in.Columns) == 0 {
+		return nil, fmt.Errorf("reldiv: stream input needs columns")
+	}
+	if in.Open == nil {
+		return nil, fmt.Errorf("reldiv: stream input needs an Open factory")
+	}
+	fields := make([]tuple.Field, len(in.Columns))
+	for i, c := range in.Columns {
+		fields[i] = tuple.Field{Name: c.Name, Kind: c.kind, Width: c.width}
+	}
+	return &rowSourceOp{in: in, schema: tuple.NewSchema(fields...)}, nil
+}
+
+func (r *rowSourceOp) Schema() *tuple.Schema { return r.schema }
+
+func (r *rowSourceOp) Open() error {
+	reader, err := r.in.Open()
+	if err != nil {
+		return err
+	}
+	r.reader = reader
+	r.buf = r.schema.New()
+	return nil
+}
+
+func (r *rowSourceOp) Next() (tuple.Tuple, error) {
+	if r.reader == nil {
+		return nil, fmt.Errorf("reldiv: stream read before open")
+	}
+	row, err := r.reader.Next()
+	if err != nil {
+		return nil, err
+	}
+	t, err := r.schema.Make(row...)
+	if err != nil {
+		return nil, err
+	}
+	copy(r.buf, t)
+	return r.buf, nil
+}
+
+func (r *rowSourceOp) Close() error {
+	if c, ok := r.reader.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	r.reader = nil
+	return nil
+}
+
+// DivideStream divides a streamed dividend by a streamed divisor without
+// materializing either as a Relation, invoking emit for every quotient row.
+// on names the dividend columns matched against the divisor's columns (nil
+// matches by column name). With Options.EarlyEmit (and the default
+// hash-division algorithm), quotient rows are emitted as soon as they
+// complete, before the dividend is fully consumed — hash-division as "a
+// producer in a dataflow query processing system" (§3.3).
+func DivideStream(dividend, divisor StreamInput, on []string, opts *Options, emit func(row []any) error) error {
+	o := opts.orDefault()
+	dividendOp, err := newRowSourceOp(dividend)
+	if err != nil {
+		return err
+	}
+	divisorOp, err := newRowSourceOp(divisor)
+	if err != nil {
+		return err
+	}
+
+	if on == nil {
+		on = divisorOp.schema.Columns()
+	}
+	cols := make([]int, len(on))
+	for i, c := range on {
+		j := dividendOp.schema.IndexOf(c)
+		if j < 0 {
+			return fmt.Errorf("reldiv: dividend has no column %q", c)
+		}
+		cols[i] = j
+	}
+	sp := division.Spec{
+		Dividend:    dividendOp,
+		Divisor:     divisorOp,
+		DivisorCols: cols,
+	}
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+
+	env := division.Env{
+		Pool:               buffer.New(buffer.PaperPoolBytes),
+		TempDev:            disk.NewDevice("temp", disk.PaperRunPageSize),
+		AssumeUniqueInputs: o.AssumeUniqueInputs,
+	}
+
+	var op exec.Operator
+	alg := o.Algorithm
+	if alg == Auto {
+		alg = HashDivision
+	}
+	if alg == HashDivision {
+		op = division.NewHashDivision(sp, env, division.HashDivisionOptions{
+			EarlyEmit:    o.EarlyEmit,
+			MemoryBudget: o.MemoryBudget,
+		})
+	} else {
+		ialg, err := alg.internal()
+		if err != nil {
+			return err
+		}
+		op, err = division.New(ialg, sp, env)
+		if err != nil {
+			return err
+		}
+	}
+
+	qs := sp.QuotientSchema()
+	return exec.ForEach(op, func(t tuple.Tuple) error {
+		return emit(qs.Row(t))
+	})
+}

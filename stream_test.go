@@ -1,0 +1,132 @@
+package reldiv
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func streamInputs() (StreamInput, StreamInput) {
+	dividendRows := [][]any{
+		{int64(1), int64(101)},
+		{int64(1), int64(102)},
+		{int64(2), int64(101)},
+		{int64(3), int64(101)},
+		{int64(3), int64(102)},
+		{int64(3), int64(999)},
+	}
+	divisorRows := [][]any{{int64(101)}, {int64(102)}}
+	dividend := StreamInput{
+		Columns: []Column{Int64Col("student"), Int64Col("course")},
+		Open:    func() (RowReader, error) { return SliceReader(dividendRows), nil },
+	}
+	divisor := StreamInput{
+		Columns: []Column{Int64Col("course")},
+		Open:    func() (RowReader, error) { return SliceReader(divisorRows), nil },
+	}
+	return dividend, divisor
+}
+
+func collectStream(t *testing.T, opts *Options) []int64 {
+	t.Helper()
+	dividend, divisor := streamInputs()
+	var got []int64
+	err := DivideStream(dividend, divisor, nil, opts, func(row []any) error {
+		got = append(got, row[0].(int64))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestDivideStream(t *testing.T) {
+	got := collectStream(t, nil)
+	if len(got) != 2 {
+		t.Fatalf("quotient = %v, want students 1 and 3", got)
+	}
+	seen := map[int64]bool{got[0]: true, got[1]: true}
+	if !seen[1] || !seen[3] {
+		t.Errorf("quotient = %v", got)
+	}
+}
+
+func TestDivideStreamEarlyEmit(t *testing.T) {
+	got := collectStream(t, &Options{EarlyEmit: true})
+	if len(got) != 2 {
+		t.Errorf("early emit quotient = %v", got)
+	}
+}
+
+func TestDivideStreamOtherAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{Naive, SortAggregationJoin, HashAggregationJoin} {
+		got := collectStream(t, &Options{Algorithm: alg})
+		if len(got) != 2 {
+			t.Errorf("%v: quotient = %v", alg, got)
+		}
+	}
+}
+
+func TestDivideStreamEmitError(t *testing.T) {
+	dividend, divisor := streamInputs()
+	sentinel := errors.New("stop")
+	err := DivideStream(dividend, divisor, nil, nil, func(row []any) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("emit error not propagated: %v", err)
+	}
+}
+
+func TestDivideStreamBadInputs(t *testing.T) {
+	dividend, divisor := streamInputs()
+	if err := DivideStream(StreamInput{}, divisor, nil, nil, nil); err == nil {
+		t.Error("missing columns accepted")
+	}
+	noOpen := dividend
+	noOpen.Open = nil
+	if err := DivideStream(noOpen, divisor, nil, nil, nil); err == nil {
+		t.Error("missing factory accepted")
+	}
+	if err := DivideStream(dividend, divisor, []string{"nope"}, nil, nil); err == nil {
+		t.Error("unknown match column accepted")
+	}
+	// Row with the wrong type surfaces as an error.
+	bad := StreamInput{
+		Columns: []Column{Int64Col("student"), Int64Col("course")},
+		Open: func() (RowReader, error) {
+			return SliceReader([][]any{{"oops", int64(1)}}), nil
+		},
+	}
+	if err := DivideStream(bad, divisor, nil, nil, func([]any) error { return nil }); err == nil {
+		t.Error("bad row type accepted")
+	}
+}
+
+func TestSliceReaderEOF(t *testing.T) {
+	r := SliceReader(nil)
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty reader: %v", err)
+	}
+}
+
+func TestStreamReplayability(t *testing.T) {
+	// Count how many times the divisor factory runs: with-join algorithms
+	// scan it more than once, which is why StreamInput.Open is a factory.
+	dividend, divisor := streamInputs()
+	opens := 0
+	orig := divisor.Open
+	divisor.Open = func() (RowReader, error) {
+		opens++
+		return orig()
+	}
+	err := DivideStream(dividend, divisor, nil,
+		&Options{Algorithm: HashAggregationJoin}, func([]any) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opens < 2 {
+		t.Errorf("divisor opened %d times; with-join algorithms need a replayable stream", opens)
+	}
+}
