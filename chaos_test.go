@@ -1,0 +1,230 @@
+package reldiv
+
+// Chaos suite: every division algorithm — serial, partitioned, and parallel
+// under both partitioning strategies — runs against storage devices wrapped
+// in the deterministic fault injector. Under purely transient fault plans
+// the buffer pool's retry-with-backoff must hide every fault and the
+// quotient must be exactly right; under permanent-corruption plans the run
+// must surface a typed error (disk.CorruptPageError / disk.ErrTransient
+// wrapped), never a wrong answer, a panic, a leaked buffer frame, or a
+// leaked goroutine.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/faultinject"
+	"repro/internal/parallel"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// typedFault reports whether err is one of the documented fault types every
+// query is allowed to return under injected failures.
+func typedFault(err error) bool {
+	var cpe *disk.CorruptPageError
+	return disk.IsTransient(err) || errors.Is(err, disk.ErrCorrupt) || errors.As(err, &cpe)
+}
+
+func waitGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func chaosInstance(t *testing.T) *workload.Instance {
+	t.Helper()
+	inst, err := workload.Generate(workload.Config{
+		DivisorTuples:      20,
+		QuotientCandidates: 150,
+		FullFraction:       0.4,
+		MatchFraction:      0.7,
+		NoisePerCandidate:  2,
+		DuplicateFactor:    2,
+		Shuffle:            true,
+		Seed:               1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestChaosSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite in short mode")
+	}
+	inst := chaosInstance(t)
+
+	// Ground truth from unfaulted memory scans.
+	ref, err := division.Reference(division.Spec{
+		Dividend:    exec.NewMemScan(workload.TranscriptSchema, inst.Dividend),
+		Divisor:     exec.NewMemScan(workload.CourseSchema, inst.Divisor),
+		DivisorCols: []int{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plans := []struct {
+		name string
+		plan faultinject.Plan
+		// transientOnly plans are fully absorbed by the pool's retries, so
+		// every algorithm MUST succeed with the exact quotient.
+		transientOnly bool
+	}{
+		{"transient-reads", faultinject.Plan{ReadErrEvery: 5}, true},
+		{"transient-writes", faultinject.Plan{WriteErrEvery: 4}, true},
+		{"bit-flips", faultinject.Plan{BitFlipEvery: 7}, true},
+		{"mixed-seeded", faultinject.Plan{Seed: 3, ReadErrProb: 0.03, BitFlipProb: 0.02}, false},
+		{"torn-writes", faultinject.Plan{TornWriteEvery: 9, MaxFaults: 3}, false},
+	}
+
+	for _, pc := range plans {
+		t.Run(pc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			pool := buffer.New(64 * 1024)
+			dividendDev := faultinject.Wrap(disk.NewDevice("dividend", disk.PaperPageSize), pc.plan)
+			divisorDev := faultinject.Wrap(disk.NewDevice("divisor", disk.PaperPageSize), pc.plan)
+			rel, err := workload.LoadOn(pool, inst, dividendDev, divisorDev)
+			if err != nil {
+				// Loading itself may hit permanent corruption; transient
+				// plans must load fine.
+				if pc.transientOnly || !typedFault(err) {
+					t.Fatalf("load failed: %v", err)
+				}
+				t.Skipf("instance unloadable under %s: %v", pc.name, err)
+			}
+			tempDev := faultinject.Wrap(disk.NewDevice("temp", disk.PaperRunPageSize), pc.plan)
+			env := division.Env{Pool: pool, TempDev: tempDev, SortBytes: 16 * 1024}
+			storageSpec := func() division.Spec {
+				return division.Spec{
+					Dividend:    exec.NewTableScan(rel.Dividend, false),
+					Divisor:     exec.NewTableScan(rel.Divisor, true),
+					DivisorCols: []int{1},
+				}
+			}
+			qs := storageSpec().QuotientSchema()
+
+			check := func(t *testing.T, label string, got []tuple.Tuple, err error) {
+				t.Helper()
+				if err != nil {
+					if pc.transientOnly {
+						t.Fatalf("%s failed under transient-only faults: %v", label, err)
+					}
+					if !typedFault(err) {
+						t.Fatalf("%s returned untyped error: %v", label, err)
+					}
+					return
+				}
+				if !division.EqualTupleSets(qs, got, ref) {
+					t.Errorf("%s: WRONG quotient under faults (%d vs %d) — corruption leaked into results",
+						label, len(got), len(ref))
+				}
+			}
+
+			// Serial: all four general algorithms.
+			for _, alg := range []division.Algorithm{
+				division.AlgNaive, division.AlgSortAggJoin,
+				division.AlgHashAggJoin, division.AlgHashDivision,
+			} {
+				got, err := division.Run(alg, storageSpec(), env)
+				check(t, alg.String(), got, err)
+				if pool.FixedFrames() != 0 {
+					t.Fatalf("%v left %d frames fixed", alg, pool.FixedFrames())
+				}
+			}
+
+			// Partitioned hash-division (spill files under fault injection).
+			got, _, _, err := division.DivideAdaptive(storageSpec(), env, 24*1024, 64)
+			check(t, "adaptive", got, err)
+			if pool.FixedFrames() != 0 {
+				t.Fatalf("adaptive left %d frames fixed", pool.FixedFrames())
+			}
+
+			// Parallel, both partitioning strategies.
+			for _, strategy := range []division.PartitionStrategy{
+				division.QuotientPartitioning, division.DivisorPartitioning,
+			} {
+				res, err := parallel.Divide(storageSpec(), parallel.Config{
+					Workers: 4, Strategy: strategy,
+				})
+				var q []tuple.Tuple
+				if res != nil {
+					q = res.Quotient
+				}
+				check(t, "parallel/"+strategy.String(), q, err)
+				if pool.FixedFrames() != 0 {
+					t.Fatalf("parallel/%v left %d frames fixed", strategy, pool.FixedFrames())
+				}
+				waitGoroutines(t, before)
+			}
+
+			if pc.transientOnly {
+				faults := dividendDev.FaultStats().Total() + divisorDev.FaultStats().Total() +
+					tempDev.FaultStats().Total()
+				if faults == 0 {
+					t.Error("fault plan injected nothing — the suite tested nothing")
+				}
+				if st := pool.Stats(); st.Retries == 0 {
+					t.Error("pool reports zero retries despite injected transient faults")
+				}
+			}
+			waitGoroutines(t, before)
+		})
+	}
+}
+
+// TestChaosCancellationUnderFaults: cancelling a parallel division whose
+// devices are also faulting must still terminate promptly with a typed or
+// context error, leaking nothing.
+func TestChaosCancellationUnderFaults(t *testing.T) {
+	inst := chaosInstance(t)
+	before := runtime.NumGoroutine()
+	pool := buffer.New(64 * 1024)
+	plan := faultinject.Plan{ReadErrEvery: 6}
+	rel, err := workload.LoadOn(pool, inst,
+		faultinject.Wrap(disk.NewDevice("dividend", disk.PaperPageSize), plan),
+		faultinject.Wrap(disk.NewDevice("divisor", disk.PaperPageSize), plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := parallel.DivideContext(ctx, division.Spec{
+			Dividend:    exec.NewTableScan(rel.Dividend, false),
+			Divisor:     exec.NewTableScan(rel.Divisor, true),
+			DivisorCols: []int{1},
+		}, parallel.Config{Workers: 4})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) && !typedFault(err) {
+			t.Fatalf("cancelled faulting division returned untyped error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled division under faults did not terminate")
+	}
+	if pool.FixedFrames() != 0 {
+		t.Errorf("cancellation leaked %d fixed frames", pool.FixedFrames())
+	}
+	waitGoroutines(t, before)
+}

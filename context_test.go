@@ -1,0 +1,99 @@
+package reldiv
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func bigRelations(students, courses int) (*Relation, *Relation) {
+	dividend := NewRelation("transcript", Int64Col("student"), Int64Col("course"))
+	for s := 0; s < students; s++ {
+		for c := 0; c < courses; c++ {
+			dividend.MustInsert(s, c)
+		}
+	}
+	divisor := NewRelation("courses", Int64Col("course"))
+	for c := 0; c < courses; c++ {
+		divisor.MustInsert(c)
+	}
+	return dividend, divisor
+}
+
+// TestDivideContextMatchesDivide: a background context changes nothing.
+func TestDivideContextMatchesDivide(t *testing.T) {
+	dividend, divisor := bigRelations(50, 8)
+	want, err := Divide(dividend, divisor, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []*Options{
+		nil,
+		{Algorithm: HashDivision},
+		{Workers: 4},
+		{Workers: 3, DivisorPartitioned: true},
+	} {
+		got, err := DivideContext(context.Background(), dividend, divisor, nil, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Errorf("%+v: %d rows, want %d", opts, got.NumRows(), want.NumRows())
+		}
+	}
+}
+
+// TestDivideContextPreCancelled: an already-dead context fails fast for both
+// the serial and the parallel paths.
+func TestDivideContextPreCancelled(t *testing.T) {
+	dividend, divisor := bigRelations(50, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opts := range []*Options{nil, {Workers: 4}} {
+		if _, err := DivideContext(ctx, dividend, divisor, nil, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("opts %+v: pre-cancelled division returned %v", opts, err)
+		}
+	}
+}
+
+// TestDivideContextCancelMidParallel cancels a running parallel division;
+// it must stop promptly with context.Canceled.
+func TestDivideContextCancelMidParallel(t *testing.T) {
+	dividend, divisor := bigRelations(3000, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := DivideContext(ctx, dividend, divisor, nil, &Options{Workers: 4})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled division returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled parallel division did not return")
+	}
+}
+
+// TestOptionsTimeout: Timeout is enforced on the serial path.
+func TestOptionsTimeout(t *testing.T) {
+	dividend, divisor := bigRelations(400, 50)
+	deadline := time.Now().Add(2 * time.Second)
+	// The division is fast; loop until the shrinking timeout bites to avoid
+	// a flaky fixed threshold.
+	for timeout := 500 * time.Microsecond; time.Now().Before(deadline); timeout /= 2 {
+		_, err := DivideContext(context.Background(), dividend, divisor, nil,
+			&Options{Algorithm: Naive, Timeout: timeout})
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("timeout surfaced as %v", err)
+		}
+		return
+	}
+	t.Skip("division always beat the timeout on this machine")
+}

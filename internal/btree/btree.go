@@ -37,7 +37,7 @@ var ErrTreeFull = errors.New("btree: page too small for key width")
 // Tree is a B+-tree of fixed-width keys mapping to storage record ids.
 type Tree struct {
 	pool      *buffer.Pool
-	dev       *disk.Device
+	dev       disk.Dev
 	keySchema *tuple.Schema
 	keyWidth  int
 	leafEnt   int // bytes per leaf entry: key + RID(8)
@@ -51,7 +51,7 @@ type Tree struct {
 
 // New creates an empty tree whose keys follow keySchema, stored on dev
 // through pool.
-func New(pool *buffer.Pool, dev *disk.Device, keySchema *tuple.Schema) (*Tree, error) {
+func New(pool *buffer.Pool, dev disk.Dev, keySchema *tuple.Schema) (*Tree, error) {
 	t := &Tree{
 		pool:      pool,
 		dev:       dev,

@@ -20,7 +20,7 @@ type Entry struct {
 // chosen fill factor and then each internal level in one pass — the standard
 // way to index an existing sorted file, far cheaper than repeated Insert.
 // fill is the leaf/internal fill fraction in (0, 1]; 0 picks 1.0 (packed).
-func BulkLoad(pool *buffer.Pool, dev *disk.Device, keySchema *tuple.Schema, entries []Entry, fill float64) (*Tree, error) {
+func BulkLoad(pool *buffer.Pool, dev disk.Dev, keySchema *tuple.Schema, entries []Entry, fill float64) (*Tree, error) {
 	if fill <= 0 || fill > 1 {
 		fill = 1
 	}

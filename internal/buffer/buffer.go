@@ -7,6 +7,17 @@
 // Scans and operators above receive direct references into the pool
 // ("copying is avoided as scans give memory addresses to records fixed in the
 // buffer pool"), so a frame's bytes stay valid exactly while it is fixed.
+//
+// # Fault tolerance
+//
+// The pool is the integrity boundary of the storage path. Every page it
+// writes back is checksummed (disk.Checksum) and the checksum is verified
+// when the page is next read into a frame. Transient device faults
+// (disk.IsTransient) and checksum mismatches are retried with bounded
+// exponential backoff (RetryPolicy); a mismatch that survives all retries
+// surfaces as *disk.CorruptPageError carrying the device name and page id.
+// Pages never written through the pool (e.g. read before first write) have
+// no recorded checksum and are not verified.
 package buffer
 
 import (
@@ -14,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/disk"
 )
@@ -54,6 +66,29 @@ func (p Policy) String() string {
 	}
 }
 
+// RetryPolicy bounds how the pool reissues faulted transfers. Attempts
+// counts total tries (first try included); Backoff is the sleep before the
+// first retry, doubling per retry. The zero value disables retries entirely
+// (one attempt, no verification is still performed).
+type RetryPolicy struct {
+	Attempts int
+	Backoff  time.Duration
+}
+
+// DefaultRetryPolicy is what New installs: four attempts with a short
+// doubling backoff — enough to ride out injected transient faults without
+// stalling tests.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, Backoff: 50 * time.Microsecond}
+}
+
+func (rp RetryPolicy) attempts() int {
+	if rp.Attempts < 1 {
+		return 1
+	}
+	return rp.Attempts
+}
+
 // PaperPoolBytes is the paper's initial 256 KB buffer size.
 const PaperPoolBytes = 256 * 1024
 
@@ -61,7 +96,7 @@ const PaperPoolBytes = 256 * 1024
 const PaperSortBytes = 100 * 1024
 
 type frameKey struct {
-	dev  *disk.Device // nil for virtual frames
+	dev  disk.Dev // nil for virtual frames
 	page disk.PageID
 }
 
@@ -77,26 +112,30 @@ type frame struct {
 
 // Stats describe pool behaviour since creation or the last ResetStats.
 type Stats struct {
-	Hits        int // Fix found the page resident
-	Misses      int // Fix had to read the page from its device
-	Evictions   int // frames pushed out to make room
-	WriteBacks  int // dirty frames written to their device on eviction/flush
-	PeakBytes   int // high-water mark of pool memory
-	LiveBytes   int // current pool memory
-	VirtualLost int // virtual frames discarded by eviction
-	_           [0]byte
+	Hits          int // Fix found the page resident
+	Misses        int // Fix had to read the page from its device
+	Evictions     int // frames pushed out to make room
+	WriteBacks    int // dirty frames written to their device on eviction/flush
+	PeakBytes     int // high-water mark of pool memory
+	LiveBytes     int // current pool memory
+	VirtualLost   int // virtual frames discarded by eviction
+	Retries       int // transfers reissued after a transient fault or mismatch
+	ChecksumFails int // reads whose content did not match the recorded checksum
+	_             [0]byte
 }
 
 // Pool is the buffer manager. It is safe for concurrent use.
 type Pool struct {
-	mu       sync.Mutex
-	maxBytes int
-	policy   Policy
-	frames   map[frameKey]*frame
-	lru      *list.List // unpinned frames; front = next eviction candidate
-	nextVirt disk.PageID
-	curBytes int
-	stats    Stats
+	mu        sync.Mutex
+	maxBytes  int
+	policy    Policy
+	retry     RetryPolicy
+	frames    map[frameKey]*frame
+	lru       *list.List // unpinned frames; front = next eviction candidate
+	checksums map[frameKey]uint64
+	nextVirt  disk.PageID
+	curBytes  int
+	stats     Stats
 }
 
 // New creates an LRU pool limited to maxBytes of frame memory. The pool
@@ -113,15 +152,26 @@ func NewWithPolicy(maxBytes int, policy Policy) *Pool {
 		panic(fmt.Sprintf("buffer: pool size must be positive, got %d", maxBytes))
 	}
 	return &Pool{
-		maxBytes: maxBytes,
-		policy:   policy,
-		frames:   make(map[frameKey]*frame),
-		lru:      list.New(),
+		maxBytes:  maxBytes,
+		policy:    policy,
+		retry:     DefaultRetryPolicy(),
+		frames:    make(map[frameKey]*frame),
+		lru:       list.New(),
+		checksums: make(map[frameKey]uint64),
 	}
 }
 
 // PolicyName reports the configured replacement policy.
 func (p *Pool) PolicyName() Policy { return p.policy }
+
+// SetRetryPolicy replaces the transfer retry policy (DefaultRetryPolicy by
+// default). A zero RetryPolicy disables retries; checksum verification stays
+// on regardless.
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
+	p.mu.Lock()
+	p.retry = rp
+	p.mu.Unlock()
+}
 
 // MaxBytes returns the configured memory limit.
 func (p *Pool) MaxBytes() int { return p.maxBytes }
@@ -179,6 +229,76 @@ func (h *Handle) Unfix(keepLRU bool) error {
 	return nil
 }
 
+// writePageLocked writes a frame's bytes to its device, retrying transient
+// faults per the retry policy, and records the page checksum for
+// verification on the next read. Backoff sleeps happen under the pool lock;
+// with the default microsecond-scale policy that is harmless, and it keeps
+// the frame bytes stable while they are on their way to the device.
+func (p *Pool) writePageLocked(key frameKey, data []byte) error {
+	var err error
+	backoff := p.retry.Backoff
+	for attempt := 0; attempt < p.retry.attempts(); attempt++ {
+		if attempt > 0 {
+			p.stats.Retries++
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+		err = key.dev.Write(key.page, data)
+		if err == nil {
+			p.checksums[key] = disk.Checksum(data)
+			return nil
+		}
+		if !disk.IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("buffer: write of page %d on %s gave up after %d attempts: %w",
+		key.page, key.dev.Name(), p.retry.attempts(), err)
+}
+
+// readPageLocked reads a page into data, retrying transient faults and
+// checksum mismatches (in-flight corruption heals on re-read); a mismatch
+// that outlives the retries is permanent corruption and surfaces as
+// *disk.CorruptPageError. Pages without a recorded checksum — never written
+// through this pool — are not verified.
+func (p *Pool) readPageLocked(key frameKey, data []byte) error {
+	var err error
+	backoff := p.retry.Backoff
+	for attempt := 0; attempt < p.retry.attempts(); attempt++ {
+		if attempt > 0 {
+			p.stats.Retries++
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+		err = key.dev.Read(key.page, data)
+		if err != nil {
+			if disk.IsTransient(err) {
+				continue
+			}
+			return err
+		}
+		want, ok := p.checksums[key]
+		if !ok {
+			return nil
+		}
+		got := disk.Checksum(data)
+		if got == want {
+			return nil
+		}
+		p.stats.ChecksumFails++
+		err = &disk.CorruptPageError{Device: key.dev.Name(), Page: key.page, Want: want, Got: got}
+	}
+	if disk.IsTransient(err) {
+		err = fmt.Errorf("buffer: read of page %d on %s gave up after %d attempts: %w",
+			key.page, key.dev.Name(), p.retry.attempts(), err)
+	}
+	return err
+}
+
 // ensureRoomLocked evicts unpinned frames until need more bytes fit, writing
 // back dirty real frames and discarding virtual ones.
 func (p *Pool) ensureRoomLocked(need int) error {
@@ -201,7 +321,7 @@ func (p *Pool) ensureRoomLocked(need int) error {
 		p.lru.Remove(el)
 		f.lruElem = nil
 		if f.dirty && !f.virtual {
-			if err := f.key.dev.Write(f.key.page, f.data); err != nil {
+			if err := p.writePageLocked(f.key, f.data); err != nil {
 				return fmt.Errorf("buffer: write-back: %w", err)
 			}
 			p.stats.WriteBacks++
@@ -234,8 +354,10 @@ func (p *Pool) pinLocked(f *frame) {
 }
 
 // Fix pins the given device page in the pool, reading it from the device if
-// it is not resident, and returns a handle to its bytes.
-func (p *Pool) Fix(dev *disk.Device, page disk.PageID) (*Handle, error) {
+// it is not resident, and returns a handle to its bytes. Reads are verified
+// against the page's recorded checksum and retried on transient faults; see
+// the package comment for the fault-tolerance contract.
+func (p *Pool) Fix(dev disk.Dev, page disk.PageID) (*Handle, error) {
 	key := frameKey{dev: dev, page: page}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -249,7 +371,7 @@ func (p *Pool) Fix(dev *disk.Device, page disk.PageID) (*Handle, error) {
 		return nil, err
 	}
 	f := &frame{key: key, data: make([]byte, dev.PageSize())}
-	if err := dev.Read(page, f.data); err != nil {
+	if err := p.readPageLocked(key, f.data); err != nil {
 		return nil, err
 	}
 	p.addFrameLocked(f)
@@ -260,7 +382,7 @@ func (p *Pool) Fix(dev *disk.Device, page disk.PageID) (*Handle, error) {
 // NewPage allocates a fresh page on the device and fixes a zeroed frame for
 // it without reading (the page is new, so its device content is irrelevant).
 // The frame starts dirty so it reaches the device on eviction or flush.
-func (p *Pool) NewPage(dev *disk.Device) (disk.PageID, *Handle, error) {
+func (p *Pool) NewPage(dev disk.Dev) (disk.PageID, *Handle, error) {
 	page := dev.Alloc()
 	key := frameKey{dev: dev, page: page}
 	p.mu.Lock()
@@ -314,7 +436,7 @@ func (p *Pool) FlushAll() error {
 	defer p.mu.Unlock()
 	for _, f := range p.frames {
 		if f.dirty && !f.virtual {
-			if err := f.key.dev.Write(f.key.page, f.data); err != nil {
+			if err := p.writePageLocked(f.key, f.data); err != nil {
 				return fmt.Errorf("buffer: flush: %w", err)
 			}
 			f.dirty = false
@@ -334,7 +456,7 @@ func (p *Pool) DropClean() error {
 		next := el.Next()
 		f := el.Value.(*frame)
 		if f.dirty && !f.virtual {
-			if err := f.key.dev.Write(f.key.page, f.data); err != nil {
+			if err := p.writePageLocked(f.key, f.data); err != nil {
 				return fmt.Errorf("buffer: drop: %w", err)
 			}
 			p.stats.WriteBacks++

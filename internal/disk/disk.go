@@ -105,6 +105,36 @@ func (s Stats) String() string {
 		s.Seeks, s.Transfers, s.Reads, s.Writes, s.Bytes)
 }
 
+// Dev is the paged-device interface the buffer manager and file layers
+// consume. *Device is the in-memory implementation; fault injectors wrap any
+// Dev to produce transient errors and corruption (internal/faultinject), so
+// every layer above must accept Dev rather than the concrete type.
+//
+// Implementations must be safe for concurrent use. Read errors wrapping
+// ErrTransient may be retried; see errors.go for the fault taxonomy.
+type Dev interface {
+	// Name identifies the device in diagnostics and errors.
+	Name() string
+	// PageSize returns the transfer unit in bytes.
+	PageSize() int
+	// NumPages returns the number of allocated (live) pages.
+	NumPages() int
+	// Alloc allocates one zeroed page.
+	Alloc() PageID
+	// AllocExtent allocates n physically contiguous zeroed pages.
+	AllocExtent(n int) PageID
+	// Free releases a page for reuse.
+	Free(p PageID) error
+	// Read copies page p into buf (exactly one page long).
+	Read(p PageID, buf []byte) error
+	// Write copies buf onto page p.
+	Write(p PageID, buf []byte) error
+	// Stats returns a snapshot of the transfer statistics.
+	Stats() Stats
+	// ResetStats zeroes the statistics.
+	ResetStats()
+}
+
 // ErrBadPage is returned for out-of-range or freed page accesses.
 var ErrBadPage = errors.New("disk: bad page id")
 
@@ -123,6 +153,8 @@ type Device struct {
 	last  PageID // last page touched, for sequential-access detection
 	stats Stats
 }
+
+var _ Dev = (*Device)(nil)
 
 // NewDevice creates an empty device with the given page (transfer) size.
 func NewDevice(name string, pageSize int) *Device {

@@ -1,0 +1,50 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// ErrTransient marks I/O faults that are worth retrying: the device (or a
+// fault injector standing in for one) reports that the same transfer may
+// succeed if reissued. The buffer manager retries such faults with bounded
+// backoff before giving up. Classify with IsTransient rather than comparing
+// directly, so wrapped errors are recognized.
+var ErrTransient = errors.New("disk: transient I/O fault")
+
+// IsTransient reports whether err is (or wraps) a transient I/O fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// ErrCorrupt is the sentinel all page-corruption errors wrap; use
+// errors.Is(err, disk.ErrCorrupt) to detect corruption generically and
+// errors.As with *CorruptPageError to recover the device and page.
+var ErrCorrupt = errors.New("disk: page corruption")
+
+// CorruptPageError reports that a page's content did not match its recorded
+// checksum even after retries: a torn write or persistent bit rot. It is a
+// permanent error — retrying the read returns the same bytes.
+type CorruptPageError struct {
+	Device string // device name
+	Page   PageID
+	Want   uint64 // recorded checksum
+	Got    uint64 // checksum of the bytes read
+}
+
+// Error implements error.
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("disk: corrupt page %d on %s: checksum %#x, want %#x",
+		e.Page, e.Device, e.Got, e.Want)
+}
+
+// Unwrap lets errors.Is(err, ErrCorrupt) match.
+func (e *CorruptPageError) Unwrap() error { return ErrCorrupt }
+
+// Checksum is the page checksum the buffer manager records on write and
+// verifies on read (FNV-1a; cheap, deterministic, and plenty for fault
+// detection — this is not a cryptographic integrity check).
+func Checksum(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}

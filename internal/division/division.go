@@ -90,7 +90,7 @@ func (sp Spec) QuotientSchema() *tuple.Schema {
 // memory budget, hash table sizing, and optional deterministic CPU counters.
 type Env struct {
 	Pool      *buffer.Pool
-	TempDev   *disk.Device
+	TempDev   disk.Dev
 	SortBytes int     // external sort budget; 0 = paper default (100 KB)
 	HBS       float64 // target average hash bucket size; 0 = 2 (§4.6)
 	// ExpectedDivisor/ExpectedQuotient size the hash tables; 0 picks

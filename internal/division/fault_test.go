@@ -7,6 +7,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/disk"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/tuple"
 )
 
@@ -22,10 +23,10 @@ func faultSpec(failDividendAfter, failDivisorAfter int) Spec {
 	}
 	sp := makeSpec(dividend, divisor)
 	if failDividendAfter >= 0 {
-		sp.Dividend = exec.NewFaultScan(sp.Dividend, failDividendAfter)
+		sp.Dividend = faultinject.NewScan(sp.Dividend, failDividendAfter)
 	}
 	if failDivisorAfter >= 0 {
-		sp.Divisor = exec.NewFaultScan(sp.Divisor, failDivisorAfter)
+		sp.Divisor = faultinject.NewScan(sp.Divisor, failDivisorAfter)
 	}
 	return sp
 }
@@ -49,7 +50,7 @@ func TestFaultPropagation(t *testing.T) {
 				env := Env{Pool: pool, TempDev: disk.NewDevice("temp", disk.PaperRunPageSize)}
 				sp := faultSpec(inject.dividendAt, inject.divisorAt)
 				_, err := Run(alg, sp, env)
-				if !errors.Is(err, exec.ErrInjected) {
+				if !errors.Is(err, faultinject.ErrInjected) {
 					t.Fatalf("error not propagated: %v", err)
 				}
 				if pool.FixedFrames() != 0 {
@@ -71,7 +72,7 @@ func TestFaultInPartitionedDivision(t *testing.T) {
 			sp := faultSpec(30, -1)
 			op := NewPartitionedHashDivision(sp, env, strategy, 4, HashDivisionOptions{})
 			_, err := exec.Collect(op)
-			if !errors.Is(err, exec.ErrInjected) {
+			if !errors.Is(err, faultinject.ErrInjected) {
 				t.Fatalf("error not propagated: %v", err)
 			}
 			if pool.FixedFrames() != 0 {
@@ -91,7 +92,7 @@ func TestFaultInCombinedDivision(t *testing.T) {
 	sp := faultSpec(30, -1)
 	op := NewCombinedPartitionedHashDivision(sp, env, 2, 2, HashDivisionOptions{})
 	_, err := exec.Collect(op)
-	if !errors.Is(err, exec.ErrInjected) {
+	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("error not propagated: %v", err)
 	}
 	if pool.FixedFrames() != 0 {
@@ -106,11 +107,11 @@ func TestFaultInCombinedDivision(t *testing.T) {
 func TestFaultAtOpen(t *testing.T) {
 	for _, alg := range Algorithms {
 		sp := faultSpec(-1, -1)
-		fs := exec.NewFaultScan(sp.Dividend, 0)
+		fs := faultinject.NewScan(sp.Dividend, 0)
 		fs.FailOpen = true
 		sp.Dividend = fs
 		env := Env{Pool: buffer.New(1 << 20), TempDev: disk.NewDevice("t", disk.PaperRunPageSize)}
-		if _, err := Run(alg, sp, env); !errors.Is(err, exec.ErrInjected) {
+		if _, err := Run(alg, sp, env); !errors.Is(err, faultinject.ErrInjected) {
 			t.Errorf("%v: open failure not propagated: %v", alg, err)
 		}
 	}
@@ -133,7 +134,7 @@ func TestFaultStreamingHashDivision(t *testing.T) {
 		}
 		_ = q
 	}
-	if !errors.Is(err, exec.ErrInjected) {
+	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("streaming error not propagated: %v", err)
 	}
 	if cerr := hd.Close(); cerr != nil {

@@ -1,0 +1,45 @@
+package exec_test
+
+// The fault-propagation test for Exchange lives in an external test package
+// so it can draw its failure from internal/faultinject (which imports exec —
+// the injector is the single chaos source, so exec's in-package tests cannot
+// use it without a cycle).
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/faultinject"
+	"repro/internal/tuple"
+)
+
+func TestExchangePropagatesErrors(t *testing.T) {
+	schema := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+	in := make([]tuple.Tuple, 100)
+	for i := range in {
+		in[i] = schema.MustMake(int64(i), 0)
+	}
+	e := exec.NewExchange(faultinject.NewScan(exec.NewMemScan(schema, in), 50), 8, 2)
+	if err := e.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	seen := 0
+	for {
+		_, err = e.Next()
+		if err != nil {
+			break
+		}
+		seen++
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if seen != 50 {
+		t.Errorf("saw %d tuples before the error, want 50", seen)
+	}
+	if cerr := e.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+}

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"errors"
 	"math/rand"
 	"testing"
 
@@ -30,35 +29,6 @@ func TestExchangeEmptyInput(t *testing.T) {
 	e := NewExchange(NewMemScan(pairSchema, nil), 8, 2)
 	if got := rows(t, e); len(got) != 0 {
 		t.Errorf("empty exchange = %v", got)
-	}
-}
-
-func TestExchangePropagatesErrors(t *testing.T) {
-	in := make([]tuple.Tuple, 100)
-	for i := range in {
-		in[i] = pairSchema.MustMake(int64(i), 0)
-	}
-	e := NewExchange(NewFaultScan(NewMemScan(pairSchema, in), 50), 8, 2)
-	if err := e.Open(); err != nil {
-		t.Fatal(err)
-	}
-	var err error
-	seen := 0
-	for {
-		_, err = e.Next()
-		if err != nil {
-			break
-		}
-		seen++
-	}
-	if !errors.Is(err, ErrInjected) {
-		t.Fatalf("error not propagated: %v", err)
-	}
-	if seen != 50 {
-		t.Errorf("saw %d tuples before the error, want 50", seen)
-	}
-	if cerr := e.Close(); cerr != nil {
-		t.Fatal(cerr)
 	}
 }
 

@@ -53,65 +53,82 @@ func (c *Counters) CostMS(compMS, hashMS, moveMS, bitMS float64) float64 {
 }
 
 // Drain runs op to completion, discarding tuples, and returns the row count.
-// It opens and closes the operator.
-func Drain(op Operator) (int, error) {
-	if err := op.Open(); err != nil {
+// It opens and closes the operator. Like Collect and ForEach it is an
+// operator-tree boundary: a panic anywhere in the tree is recovered into a
+// *PanicError after the tree is closed, so resources are released and the
+// process survives.
+func Drain(op Operator) (n int, err error) {
+	defer RecoverPanic(&err)
+	if err = op.Open(); err != nil {
 		return 0, err
 	}
-	n := 0
-	for {
-		_, err := op.Next()
-		if err == io.EOF {
-			break
+	defer func() {
+		if cerr := op.Close(); err == nil {
+			err = cerr
 		}
-		if err != nil {
-			op.Close()
-			return n, err
+	}()
+	for {
+		_, nerr := op.Next()
+		if nerr == io.EOF {
+			return n, nil
+		}
+		if nerr != nil {
+			return n, nerr
 		}
 		n++
 	}
-	return n, op.Close()
 }
 
 // Collect runs op to completion and returns clones of every output tuple.
-// It opens and closes the operator.
-func Collect(op Operator) ([]tuple.Tuple, error) {
-	if err := op.Open(); err != nil {
+// It opens and closes the operator (even on error or panic).
+func Collect(op Operator) (out []tuple.Tuple, err error) {
+	defer RecoverPanic(&err)
+	if err = op.Open(); err != nil {
 		return nil, err
 	}
-	var out []tuple.Tuple
-	for {
-		t, err := op.Next()
-		if err == io.EOF {
-			break
+	defer func() {
+		if cerr := op.Close(); err == nil {
+			err = cerr
 		}
 		if err != nil {
-			op.Close()
-			return nil, err
+			out = nil
+		}
+	}()
+	for {
+		t, nerr := op.Next()
+		if nerr == io.EOF {
+			return out, nil
+		}
+		if nerr != nil {
+			return nil, nerr
 		}
 		out = append(out, t.Clone())
 	}
-	return out, op.Close()
 }
 
 // ForEach runs op to completion, invoking fn on each tuple (which fn must
-// not retain without cloning).
-func ForEach(op Operator, fn func(tuple.Tuple) error) error {
-	if err := op.Open(); err != nil {
+// not retain without cloning). The operator is closed on every path,
+// including an error from fn or a panic in the tree.
+func ForEach(op Operator, fn func(tuple.Tuple) error) (err error) {
+	defer RecoverPanic(&err)
+	if err = op.Open(); err != nil {
 		return err
 	}
+	defer func() {
+		if cerr := op.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	for {
-		t, err := op.Next()
-		if err == io.EOF {
-			return op.Close()
+		t, nerr := op.Next()
+		if nerr == io.EOF {
+			return nil
 		}
-		if err != nil {
-			op.Close()
-			return err
+		if nerr != nil {
+			return nerr
 		}
-		if err := fn(t); err != nil {
-			op.Close()
-			return err
+		if nerr := fn(t); nerr != nil {
+			return nerr
 		}
 	}
 }

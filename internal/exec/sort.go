@@ -32,7 +32,7 @@ type SortConfig struct {
 	// Pool and TempDev host spilled runs. They may be nil when the caller
 	// guarantees the input fits in MemoryBytes.
 	Pool    *buffer.Pool
-	TempDev *disk.Device
+	TempDev disk.Dev
 	// ReplacementSelection switches run formation from load-sort-store
 	// quicksort runs to a replacement-selection heap, which produces runs
 	// averaging twice the memory size on random input (and a single run on

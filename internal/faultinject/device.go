@@ -1,0 +1,144 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// Device wraps a disk.Dev and injects faults on its Read/Write paths
+// according to a Plan. It implements disk.Dev, so it can stand under the
+// buffer manager (and therefore under every file, B+-tree, and sort run)
+// without any layer above knowing.
+//
+// Fault semantics:
+//
+//   - Transient read/write errors wrap both ErrInjected and
+//     disk.ErrTransient: the operation did not happen, and retrying it may
+//     succeed. The buffer pool's retry policy recovers from these.
+//   - Bit flips corrupt one bit of the buffer returned by Read; the stored
+//     page stays intact, so a re-read returns clean data. The pool's
+//     checksum verification catches the corruption and the retry heals it.
+//   - Torn writes persist only the first half of the page (the rest keeps
+//     its previous content) while reporting success — the classic partial
+//     sector write. The damage is permanent: every later read of the page
+//     fails checksum verification and surfaces *disk.CorruptPageError.
+type Device struct {
+	inner disk.Dev
+	inj   *injector
+
+	// op counters, guarded by inj.mu
+	reads  int
+	writes int
+}
+
+var _ disk.Dev = (*Device)(nil)
+
+// Wrap layers a fault injector with the given plan over dev.
+func Wrap(dev disk.Dev, plan Plan) *Device {
+	return &Device{inner: dev, inj: newInjector(plan)}
+}
+
+// FaultStats reports the faults injected so far.
+func (d *Device) FaultStats() Stats { return d.inj.Stats() }
+
+// Inner returns the wrapped device.
+func (d *Device) Inner() disk.Dev { return d.inner }
+
+// Name implements disk.Dev.
+func (d *Device) Name() string { return d.inner.Name() }
+
+// PageSize implements disk.Dev.
+func (d *Device) PageSize() int { return d.inner.PageSize() }
+
+// NumPages implements disk.Dev.
+func (d *Device) NumPages() int { return d.inner.NumPages() }
+
+// Alloc implements disk.Dev. Allocation is metadata; no faults are injected.
+func (d *Device) Alloc() disk.PageID { return d.inner.Alloc() }
+
+// AllocExtent implements disk.Dev.
+func (d *Device) AllocExtent(n int) disk.PageID { return d.inner.AllocExtent(n) }
+
+// Free implements disk.Dev.
+func (d *Device) Free(p disk.PageID) error { return d.inner.Free(p) }
+
+// Read implements disk.Dev, injecting transient errors and bit flips.
+func (d *Device) Read(p disk.PageID, buf []byte) error {
+	d.inj.mu.Lock()
+	d.reads++
+	n := d.reads
+	fail := d.inj.due(n, d.inj.plan.ReadErrEvery, d.inj.plan.ReadErrProb)
+	if fail {
+		d.inj.stats.ReadErrors++
+	}
+	flip := false
+	var flipBit int
+	if !fail {
+		flip = d.inj.due(n, d.inj.plan.BitFlipEvery, d.inj.plan.BitFlipProb)
+		if flip {
+			d.inj.stats.BitFlips++
+			// Deterministic bit choice: from the PRNG when seeded schedules
+			// are in play, spread by op count otherwise.
+			flipBit = (n * 8191) % (len(buf) * 8)
+			if d.inj.plan.BitFlipProb > 0 {
+				flipBit = d.inj.rng.Intn(len(buf) * 8)
+			}
+		}
+	}
+	d.inj.mu.Unlock()
+
+	if fail {
+		return fmt.Errorf("%w: read of page %d on %s (%w)", ErrInjected, p, d.inner.Name(), disk.ErrTransient)
+	}
+	if err := d.inner.Read(p, buf); err != nil {
+		return err
+	}
+	if flip {
+		buf[flipBit/8] ^= 1 << (flipBit % 8)
+	}
+	return nil
+}
+
+// Write implements disk.Dev, injecting transient errors and torn writes.
+func (d *Device) Write(p disk.PageID, buf []byte) error {
+	d.inj.mu.Lock()
+	d.writes++
+	n := d.writes
+	fail := d.inj.due(n, d.inj.plan.WriteErrEvery, d.inj.plan.WriteErrProb)
+	if fail {
+		d.inj.stats.WriteErrors++
+	}
+	torn := false
+	if !fail {
+		torn = d.inj.due(n, d.inj.plan.TornWriteEvery, d.inj.plan.TornWriteProb)
+		if torn {
+			d.inj.stats.TornWrites++
+		}
+	}
+	d.inj.mu.Unlock()
+
+	if fail {
+		return fmt.Errorf("%w: write of page %d on %s (%w)", ErrInjected, p, d.inner.Name(), disk.ErrTransient)
+	}
+	if torn {
+		// Persist only the first half: read the page's current content and
+		// splice the new first half over it, then report success.
+		old := make([]byte, len(buf))
+		if err := d.inner.Read(p, old); err != nil {
+			// A page that was never readable can't tear meaningfully; fall
+			// through to a full write.
+			return d.inner.Write(p, buf)
+		}
+		half := len(buf) / 2
+		copy(old[:half], buf[:half])
+		return d.inner.Write(p, old)
+	}
+	return d.inner.Write(p, buf)
+}
+
+// Stats implements disk.Dev (transfer statistics of the wrapped device).
+func (d *Device) Stats() disk.Stats { return d.inner.Stats() }
+
+// ResetStats implements disk.Dev.
+func (d *Device) ResetStats() { d.inner.ResetStats() }

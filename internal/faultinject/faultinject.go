@@ -1,0 +1,99 @@
+// Package faultinject is the repository's single chaos source: a
+// deterministic, seed-driven fault injector for the storage and execution
+// layers. It replaces the ad-hoc fault operators that used to live in the
+// test kits, so every robustness test draws its failures from one schedule
+// vocabulary:
+//
+//   - Device wraps a disk.Dev and injects transient read/write errors,
+//     bit-flip corruption of read buffers, and torn writes, either on
+//     deterministic every-Nth schedules or with seeded probabilities.
+//   - Scan wraps an exec.Operator and fails the tuple stream at a chosen
+//     point, for pipeline-level fault propagation tests.
+//
+// All decisions derive from the Plan and the order of operations, never from
+// wall-clock time or global randomness, so a failing chaos test replays
+// exactly under `go test -run`.
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the sentinel every injected fault wraps. Tests use
+// errors.Is(err, faultinject.ErrInjected) to distinguish scheduled chaos
+// from genuine bugs.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Plan schedules which operations fault. Every-N fields trigger
+// deterministically on the Nth, 2Nth, ... operation of their kind (0
+// disables); Prob fields trigger with the given probability from a PRNG
+// seeded with Seed (the sequence of draws, and hence the faults, is fully
+// determined by Seed and the operation order). Both kinds can be combined.
+type Plan struct {
+	Seed int64
+
+	// Device schedules (used by Device).
+	ReadErrEvery   int     // every Nth read fails with a transient error
+	WriteErrEvery  int     // every Nth write fails with a transient error
+	BitFlipEvery   int     // every Nth read returns data with one bit flipped
+	TornWriteEvery int     // every Nth write persists only the first half
+	ReadErrProb    float64 // per-read transient-error probability
+	WriteErrProb   float64 // per-write transient-error probability
+	BitFlipProb    float64 // per-read bit-flip probability
+	TornWriteProb  float64 // per-write torn-write probability
+
+	// MaxFaults caps the total injected faults (0 = unlimited), letting a
+	// test inject exactly one failure and then watch recovery.
+	MaxFaults int
+}
+
+// Stats count the faults actually injected, by kind.
+type Stats struct {
+	ReadErrors  int
+	WriteErrors int
+	BitFlips    int
+	TornWrites  int
+}
+
+// Total is the sum over all fault kinds.
+func (s Stats) Total() int {
+	return s.ReadErrors + s.WriteErrors + s.BitFlips + s.TornWrites
+}
+
+// injector is the shared deterministic decision core.
+type injector struct {
+	mu    sync.Mutex
+	plan  Plan
+	rng   *rand.Rand
+	stats Stats
+}
+
+func newInjector(plan Plan) *injector {
+	return &injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// due decides one operation, combining the every-N counter (opCount is
+// 1-based) with the probabilistic draw. The PRNG is consulted only when a
+// probability is configured, so pure every-N plans never touch it and stay
+// independent of other schedules' draws.
+func (in *injector) due(opCount, every int, prob float64) bool {
+	if in.plan.MaxFaults > 0 && in.stats.Total() >= in.plan.MaxFaults {
+		return false
+	}
+	if every > 0 && opCount%every == 0 {
+		return true
+	}
+	if prob > 0 && in.rng.Float64() < prob {
+		return true
+	}
+	return false
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}

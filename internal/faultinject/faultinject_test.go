@@ -1,0 +1,226 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+)
+
+func fillPage(dev disk.Dev) []byte {
+	buf := make([]byte, dev.PageSize())
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	return buf
+}
+
+func TestTransientReadErrorClassified(t *testing.T) {
+	dev := Wrap(disk.NewDevice("d", 1024), Plan{ReadErrEvery: 1})
+	p := dev.Alloc()
+	buf := make([]byte, 1024)
+	err := dev.Read(p, buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !disk.IsTransient(err) {
+		t.Fatalf("injected read error must be transient: %v", err)
+	}
+	if s := dev.FaultStats(); s.ReadErrors != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMaxFaultsBoundsInjection(t *testing.T) {
+	dev := Wrap(disk.NewDevice("d", 64), Plan{ReadErrEvery: 1, MaxFaults: 2})
+	p := dev.Alloc()
+	buf := make([]byte, 64)
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if err := dev.Read(p, buf); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Errorf("MaxFaults=2 but %d reads failed", fails)
+	}
+}
+
+func TestBitFlipIsTransientCorruption(t *testing.T) {
+	inner := disk.NewDevice("d", 256)
+	dev := Wrap(inner, Plan{BitFlipEvery: 1, MaxFaults: 1})
+	p := dev.Alloc()
+	want := fillPage(inner)
+	if err := dev.Write(p, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 256)
+	if err := dev.Read(p, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != want[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("bit flip changed %d bytes, want exactly 1", diff)
+	}
+	// The stored page is intact: the next read is clean.
+	if err := dev.Read(p, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("second read still corrupt at byte %d", i)
+		}
+	}
+}
+
+func TestSeededScheduleIsDeterministic(t *testing.T) {
+	run := func() []int {
+		dev := Wrap(disk.NewDevice("d", 64), Plan{Seed: 42, ReadErrProb: 0.3})
+		p := dev.Alloc()
+		buf := make([]byte, 64)
+		var fails []int
+		for i := 0; i < 50; i++ {
+			if err := dev.Read(p, buf); err != nil {
+				fails = append(fails, i)
+			}
+		}
+		return fails
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("probabilistic schedule injected nothing in 50 reads")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestPoolRetriesTransientFaults drives the whole contract: the buffer pool
+// must absorb scheduled transient read errors without the caller noticing.
+func TestPoolRetriesTransientFaults(t *testing.T) {
+	inner := disk.NewDevice("data", 512)
+	dev := Wrap(inner, Plan{ReadErrEvery: 2}) // every other read fails
+	pool := buffer.New(8 * 512)
+	page, h, err := pool.NewPage(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(h.Bytes(), fillPage(inner))
+	h.MarkDirty()
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropClean(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		h, err := pool.Fix(dev, page)
+		if err != nil {
+			t.Fatalf("fix %d: pool did not absorb transient fault: %v", i, err)
+		}
+		if h.Bytes()[3] != byte(3*7) {
+			t.Fatalf("fix %d returned wrong data", i)
+		}
+		if err := h.Unfix(false); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.DropClean(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := pool.Stats(); st.Retries == 0 {
+		t.Error("pool reports zero retries despite scheduled faults")
+	}
+}
+
+// TestPoolHealsBitFlips: checksum verification catches in-flight corruption
+// and the retry re-reads clean data.
+func TestPoolHealsBitFlips(t *testing.T) {
+	inner := disk.NewDevice("data", 512)
+	dev := Wrap(inner, Plan{BitFlipEvery: 3})
+	pool := buffer.New(8 * 512)
+	page, h, err := pool.NewPage(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillPage(inner)
+	copy(h.Bytes(), want)
+	h.MarkDirty()
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := pool.DropClean(); err != nil {
+			t.Fatal(err)
+		}
+		h, err := pool.Fix(dev, page)
+		if err != nil {
+			t.Fatalf("fix %d: %v", i, err)
+		}
+		for j, b := range h.Bytes() {
+			if b != want[j] {
+				t.Fatalf("fix %d returned corrupt byte %d despite checksums", i, j)
+			}
+		}
+		if err := h.Unfix(false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := pool.Stats(); st.ChecksumFails == 0 {
+		t.Error("no checksum failures recorded despite scheduled bit flips")
+	}
+}
+
+// TestTornWriteSurfacesCorruptPageError: a torn write is permanent, so after
+// the bounded retries the pool must report a typed corruption error.
+func TestTornWriteSurfacesCorruptPageError(t *testing.T) {
+	inner := disk.NewDevice("data", 512)
+	dev := Wrap(inner, Plan{TornWriteEvery: 1, MaxFaults: 1})
+	pool := buffer.New(8 * 512)
+	page, h, err := pool.NewPage(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(h.Bytes(), fillPage(inner))
+	h.MarkDirty()
+	if err := h.Unfix(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil { // the torn write happens here
+		t.Fatal(err)
+	}
+	if err := pool.DropClean(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = pool.Fix(dev, page)
+	var cpe *disk.CorruptPageError
+	if !errors.As(err, &cpe) {
+		t.Fatalf("want *disk.CorruptPageError, got %v", err)
+	}
+	if !errors.Is(err, disk.ErrCorrupt) {
+		t.Error("corruption error must match disk.ErrCorrupt")
+	}
+	if cpe.Device != "data" || cpe.Page != page {
+		t.Errorf("error names %s page %d, want data page %d", cpe.Device, cpe.Page, page)
+	}
+	if pool.FixedFrames() != 0 {
+		t.Errorf("failed Fix leaked %d fixed frames", pool.FixedFrames())
+	}
+}

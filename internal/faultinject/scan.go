@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+// Scan wraps an operator and fails its tuple stream with ErrInjected after
+// passing through a fixed number of tuples (or at Open when FailOpen is
+// set). It is the pipeline-level face of the injector: every operator and
+// algorithm above must propagate the error and release its resources.
+type Scan struct {
+	Input     exec.Operator
+	FailAfter int  // tuples to pass before failing
+	FailOpen  bool // fail at Open instead
+	passed    int
+	opened    bool
+}
+
+var _ exec.Operator = (*Scan)(nil)
+
+// NewScan fails input's stream after n tuples.
+func NewScan(input exec.Operator, n int) *Scan {
+	return &Scan{Input: input, FailAfter: n}
+}
+
+// Schema implements exec.Operator.
+func (f *Scan) Schema() *tuple.Schema { return f.Input.Schema() }
+
+// Open implements exec.Operator.
+func (f *Scan) Open() error {
+	if f.FailOpen {
+		return fmt.Errorf("%w: at open", ErrInjected)
+	}
+	f.passed = 0
+	f.opened = true
+	return f.Input.Open()
+}
+
+// Next implements exec.Operator.
+func (f *Scan) Next() (tuple.Tuple, error) {
+	if !f.opened {
+		return nil, fmt.Errorf("faultinject: Scan.Next called before Open")
+	}
+	if f.passed >= f.FailAfter {
+		return nil, fmt.Errorf("%w: after %d tuples", ErrInjected, f.passed)
+	}
+	t, err := f.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	f.passed++
+	return t, nil
+}
+
+// Close implements exec.Operator.
+func (f *Scan) Close() error {
+	f.opened = false
+	return f.Input.Close()
+}

@@ -23,6 +23,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -75,6 +76,15 @@ type Result struct {
 
 // Divide runs the parallel hash-division described by cfg.
 func Divide(sp division.Spec, cfg Config) (*Result, error) {
+	return DivideContext(context.Background(), sp, cfg)
+}
+
+// DivideContext is Divide under a context: cancellation (or a timeout on
+// ctx) stops the coordinator and every worker promptly, the first error wins
+// — later cancellation-induced errors never mask the root cause — and no
+// goroutine or quotient memory outlives the call. A panic in a worker is
+// recovered into an *exec.PanicError and treated like any other failure.
+func DivideContext(ctx context.Context, sp division.Spec, cfg Config) (*Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,21 +99,48 @@ func Divide(sp division.Spec, cfg Config) (*Result, error) {
 	}
 	switch cfg.Strategy {
 	case division.QuotientPartitioning:
-		return divideQuotientPartitioned(sp, cfg)
+		return divideQuotientPartitioned(ctx, sp, cfg)
 	case division.DivisorPartitioning:
-		return divideDivisorPartitioned(sp, cfg)
+		return divideDivisorPartitioned(ctx, sp, cfg)
 	default:
 		return nil, fmt.Errorf("parallel: unknown strategy %v", cfg.Strategy)
 	}
 }
 
+// firstError implements first-error-wins propagation: the first failure is
+// recorded and cancels the shared context so every other participant unwinds;
+// their secondary errors (usually context.Canceled) are discarded.
+type firstError struct {
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	err    error
+}
+
+func (f *firstError) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+		f.cancel()
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstError) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
 // collectDistinctDivisor reads the divisor once at the coordinator,
 // eliminating duplicates.
-func collectDistinctDivisor(sp division.Spec) ([]tuple.Tuple, error) {
+func collectDistinctDivisor(ctx context.Context, sp division.Spec) ([]tuple.Tuple, error) {
 	ss := sp.Divisor.Schema()
 	tab := hashtab.NewForExpected(ss, 256, 2)
 	var out []tuple.Tuple
-	err := exec.ForEach(sp.Divisor, func(t tuple.Tuple) error {
+	err := exec.ForEach(exec.NewContextScan(ctx, sp.Divisor), func(t tuple.Tuple) error {
 		if e, created := tab.GetOrInsert(t); created {
 			out = append(out, e.Tuple)
 		}
@@ -136,14 +173,15 @@ type worker struct {
 	in      chan []tuple.Tuple
 	stats   WorkerStats
 	out     []tuple.Tuple
-	err     error
 	divisor []tuple.Tuple
 }
 
 // run executes the local hash-division: build the divisor table, absorb the
-// dividend stream, scan the quotient table.
-func (w *worker) run(sp division.Spec, hbs float64, wg *sync.WaitGroup) {
-	defer wg.Done()
+// dividend stream, scan the quotient table. It returns promptly with ctx.Err()
+// once ctx is cancelled, and converts a panic anywhere in the worker into an
+// *exec.PanicError instead of crashing the process.
+func (w *worker) run(ctx context.Context, sp division.Spec, hbs float64) (err error) {
+	defer exec.RecoverPanic(&err)
 	ds := sp.Dividend.Schema()
 	ss := sp.Divisor.Schema()
 	qCols := sp.QuotientCols()
@@ -160,7 +198,18 @@ func (w *worker) run(sp division.Spec, hbs float64, wg *sync.WaitGroup) {
 	w.stats.DivisorTuples = divisorCount
 	quotientTable := hashtab.NewForExpected(qs, 256, hbs)
 
-	for batch := range w.in {
+receive:
+	for {
+		var batch []tuple.Tuple
+		var ok bool
+		select {
+		case batch, ok = <-w.in:
+			if !ok {
+				break receive
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 		for _, t := range batch {
 			w.stats.DividendTuples++
 			de := divisorTable.LookupProjected(t, ds, sp.DivisorCols)
@@ -175,9 +224,9 @@ func (w *worker) run(sp division.Spec, hbs float64, wg *sync.WaitGroup) {
 		}
 	}
 	if divisorCount == 0 {
-		return
+		return nil
 	}
-	w.err = quotientTable.Iterate(func(e *hashtab.Element) error {
+	return quotientTable.Iterate(func(e *hashtab.Element) error {
 		if e.Bits.AllSet() {
 			w.out = append(w.out, e.Tuple)
 			w.stats.QuotientTuples++
@@ -186,11 +235,25 @@ func (w *worker) run(sp division.Spec, hbs float64, wg *sync.WaitGroup) {
 	})
 }
 
+// spawnWorkers starts one goroutine per worker; each reports its outcome to
+// fe so the first failure cancels the rest.
+func spawnWorkers(ctx context.Context, workers []*worker, sp division.Spec, hbs float64, wg *sync.WaitGroup, fe *firstError) {
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			fe.set(w.run(ctx, sp, hbs))
+		}(w)
+	}
+}
+
 // shipDividend partitions the dividend stream over the workers' channels on
 // cols, applying the optional bit vector filter, and accounts the traffic.
 // Tuples are packed into per-destination batches backed by contiguous
-// buffers, so one channel send carries shuffleBatch tuples.
-func shipDividend(sp division.Spec, workers []*worker, cols []int, bv *bitmap.Bitmap, net *NetworkStats) error {
+// buffers, so one channel send carries shuffleBatch tuples. Every channel send
+// selects against ctx.Done() — if a worker dies its channel stops draining,
+// and an unconditional send would deadlock the coordinator.
+func shipDividend(ctx context.Context, sp division.Spec, workers []*worker, cols []int, bv *bitmap.Bitmap, net *NetworkStats) error {
 	ds := sp.Dividend.Schema()
 	width := ds.Width()
 	k := uint64(len(workers))
@@ -204,15 +267,20 @@ func shipDividend(sp division.Spec, workers []*worker, cols []int, bv *bitmap.Bi
 	for i := range workers {
 		reset(i)
 	}
-	flush := func(i int) {
+	flush := func(i int) error {
 		if len(batches[i]) == 0 {
-			return
+			return nil
 		}
-		workers[i].in <- batches[i]
-		reset(i)
+		select {
+		case workers[i].in <- batches[i]:
+			reset(i)
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 
-	err := exec.ForEach(sp.Dividend, func(t tuple.Tuple) error {
+	err := exec.ForEach(exec.NewContextScan(ctx, sp.Dividend), func(t tuple.Tuple) error {
 		h := ds.Hash(t, sp.DivisorCols)
 		if bv != nil {
 			if !bv.Test(int(h % uint64(bv.Len()))) {
@@ -235,19 +303,25 @@ func shipDividend(sp division.Spec, workers []*worker, cols []int, bv *bitmap.Bi
 		arenas[d] = arena
 		batches[d] = append(batches[d], tuple.Tuple(arena[off:off+width]))
 		if len(batches[d]) >= shuffleBatch {
-			flush(d)
+			return flush(d)
 		}
 		return nil
 	})
 	for i := range workers {
-		flush(i)
+		if ferr := flush(i); err == nil {
+			err = ferr
+		}
 	}
 	return err
 }
 
-func divideQuotientPartitioned(sp division.Spec, cfg Config) (*Result, error) {
+func divideQuotientPartitioned(ctx context.Context, sp division.Spec, cfg Config) (*Result, error) {
 	start := time.Now()
-	divisor, err := collectDistinctDivisor(sp)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fe := &firstError{cancel: cancel}
+
+	divisor, err := collectDistinctDivisor(ctx, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -274,25 +348,21 @@ func divideQuotientPartitioned(sp division.Spec, cfg Config) (*Result, error) {
 			in:      make(chan []tuple.Tuple, cfg.ChannelDepth),
 			divisor: divisor,
 		}
-		wg.Add(1)
-		go workers[i].run(sp, cfg.HBS, &wg)
 	}
+	spawnWorkers(ctx, workers, sp, cfg.HBS, &wg, fe)
 
 	// Partition the dividend on the QUOTIENT attributes.
-	shipErr := shipDividend(sp, workers, sp.QuotientCols(), bv, &res.Network)
+	fe.set(shipDividend(ctx, sp, workers, sp.QuotientCols(), bv, &res.Network))
 	for _, w := range workers {
 		close(w.in)
 	}
 	wg.Wait()
-	if shipErr != nil {
-		return nil, shipErr
+	if ferr := fe.get(); ferr != nil {
+		return nil, ferr
 	}
 
 	qWidth := int64(sp.QuotientSchema().Width())
 	for i, w := range workers {
-		if w.err != nil {
-			return nil, w.err
-		}
 		res.Workers[i] = w.stats
 		// Quotient clusters are concatenated; shipping them to the
 		// coordinator is network traffic too.
@@ -304,9 +374,13 @@ func divideQuotientPartitioned(sp division.Spec, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-func divideDivisorPartitioned(sp division.Spec, cfg Config) (*Result, error) {
+func divideDivisorPartitioned(ctx context.Context, sp division.Spec, cfg Config) (*Result, error) {
 	start := time.Now()
-	divisor, err := collectDistinctDivisor(sp)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fe := &firstError{cancel: cancel}
+
+	divisor, err := collectDistinctDivisor(ctx, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -353,18 +427,17 @@ func divideDivisorPartitioned(sp division.Spec, cfg Config) (*Result, error) {
 		}
 		res.Network.TuplesShipped += int64(len(clusters[i]))
 		res.Network.BytesShipped += int64(len(clusters[i])) * sWidth
-		wg.Add(1)
-		go workers[i].run(sp, cfg.HBS, &wg)
 	}
+	spawnWorkers(ctx, workers, sp, cfg.HBS, &wg, fe)
 
 	// Dividend partitioned on the DIVISOR attributes with the same function.
-	shipErr := shipDividend(sp, workers, nil, bv, &res.Network)
+	fe.set(shipDividend(ctx, sp, workers, nil, bv, &res.Network))
 	for _, w := range workers {
 		close(w.in)
 	}
 	wg.Wait()
-	if shipErr != nil {
-		return nil, shipErr
+	if ferr := fe.get(); ferr != nil {
+		return nil, ferr
 	}
 
 	// Collection site: divide the incoming tagged tuples over the set of
@@ -373,9 +446,6 @@ func divideDivisorPartitioned(sp division.Spec, cfg Config) (*Result, error) {
 	qWidth := int64(qs.Width())
 	collection := hashtab.NewForExpected(qs, 256, cfg.HBS)
 	for i, w := range workers {
-		if w.err != nil {
-			return nil, w.err
-		}
 		res.Workers[i] = w.stats
 		res.Network.TuplesShipped += int64(len(w.out))
 		res.Network.BytesShipped += int64(len(w.out)) * qWidth

@@ -37,7 +37,7 @@ var ErrBadRID = errors.New("storage: bad record id")
 type File struct {
 	name    string
 	pool    *buffer.Pool
-	dev     *disk.Device
+	dev     disk.Dev
 	schema  *tuple.Schema
 	perPage int
 	pages   []disk.PageID
@@ -46,7 +46,7 @@ type File struct {
 }
 
 // NewFile creates an empty heap file for schema records on dev.
-func NewFile(pool *buffer.Pool, dev *disk.Device, schema *tuple.Schema, name string) *File {
+func NewFile(pool *buffer.Pool, dev disk.Dev, schema *tuple.Schema, name string) *File {
 	perPage := (dev.PageSize() - pageHeaderLen) / schema.Width()
 	if perPage <= 0 {
 		panic(fmt.Sprintf("storage: record of %d bytes does not fit %d-byte page",
@@ -62,7 +62,7 @@ func (f *File) Name() string { return f.name }
 func (f *File) Schema() *tuple.Schema { return f.schema }
 
 // Device returns the backing device.
-func (f *File) Device() *disk.Device { return f.dev }
+func (f *File) Device() disk.Dev { return f.dev }
 
 // Pool returns the buffer pool the file goes through.
 func (f *File) Pool() *buffer.Pool { return f.pool }

@@ -174,10 +174,9 @@ func Generate(cfg Config) (*Instance, error) {
 type Relations struct {
 	Dividend *storage.File
 	Divisor  *storage.File
-	// DataDev backs both relations (sequential layout per file because each
-	// relation gets its own device in LoadSeparate).
-	DividendDev *disk.Device
-	DivisorDev  *disk.Device
+	// Each relation gets its own device so both scan sequentially.
+	DividendDev disk.Dev
+	DivisorDev  disk.Dev
 }
 
 // Load writes the instance into fresh heap files, one device per relation so
@@ -187,9 +186,17 @@ func Load(pool *buffer.Pool, inst *Instance, pageSize int) (*Relations, error) {
 	if pageSize <= 0 {
 		pageSize = disk.PaperPageSize
 	}
+	return LoadOn(pool, inst,
+		disk.NewDevice("dividend", pageSize),
+		disk.NewDevice("divisor", pageSize))
+}
+
+// LoadOn is Load onto caller-supplied devices — the hook fault-injection
+// tests use to wrap the devices with a chaos layer before the data lands.
+func LoadOn(pool *buffer.Pool, inst *Instance, dividendDev, divisorDev disk.Dev) (*Relations, error) {
 	r := &Relations{
-		DividendDev: disk.NewDevice("dividend", pageSize),
-		DivisorDev:  disk.NewDevice("divisor", pageSize),
+		DividendDev: dividendDev,
+		DivisorDev:  divisorDev,
 	}
 	r.Dividend = storage.NewFile(pool, r.DividendDev, TranscriptSchema, "transcript")
 	r.Divisor = storage.NewFile(pool, r.DivisorDev, CourseSchema, "courses")

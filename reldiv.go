@@ -25,13 +25,27 @@
 // set Options.Algorithm to force one, Options.Workers for parallel
 // execution, or Options.MemoryBudget to exercise hash table overflow
 // handling.
+//
+// # Fault tolerance and cancellation
+//
+// Queries are cancellable: DivideContext (and Options.Timeout) threads a
+// context through the operator pipeline and the parallel workers, so
+// cancellation stops a running division promptly, the first error wins, and
+// no goroutine or buffer-pool frame outlives the call. The storage layer
+// checksums every page on write-back and verifies it on read; transient
+// device faults are retried with bounded backoff, and permanent corruption
+// surfaces as a *disk.CorruptPageError. A panic inside an operator tree is
+// recovered at the API boundary into an *exec.PanicError instead of crashing
+// the process. See DESIGN.md §6 for the full contract.
 package reldiv
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/costmodel"
@@ -242,6 +256,9 @@ type Options struct {
 	BitVectorFilter bool
 	// EarlyEmit uses the streaming hash-division variant (§3.3).
 	EarlyEmit bool
+	// Timeout bounds the wall-clock time of one division; zero means no
+	// limit. Exceeding it aborts the query with context.DeadlineExceeded.
+	Timeout time.Duration
 }
 
 // matchColumns resolves the dividend columns matched against the divisor:
@@ -273,7 +290,32 @@ func (o *Options) orDefault() Options {
 // Duplicates in either input are tolerated and ignored. An empty divisor
 // yields an empty quotient (the convention of all four paper algorithms).
 func Divide(dividend, divisor *Relation, on []string, opts *Options) (*Relation, error) {
+	return DivideContext(context.Background(), dividend, divisor, on, opts)
+}
+
+// wrapCancel threads ctx into the spec's input scans so the whole operator
+// tree fails promptly once ctx is done. A context that can never be cancelled
+// (context.Background and friends have a nil Done channel) leaves the plan —
+// and the serial hot path — untouched.
+func wrapCancel(ctx context.Context, sp *division.Spec) {
+	if ctx.Done() == nil {
+		return
+	}
+	sp.Dividend = exec.NewContextScan(ctx, sp.Dividend)
+	sp.Divisor = exec.NewContextScan(ctx, sp.Divisor)
+}
+
+// DivideContext is Divide under a context: cancelling ctx (or exceeding
+// Options.Timeout) aborts the division promptly — including all parallel
+// workers — and returns ctx's error. The first error to occur wins; a
+// cancelled run leaks no goroutines and no buffer-pool frames.
+func DivideContext(ctx context.Context, dividend, divisor *Relation, on []string, opts *Options) (*Relation, error) {
 	o := opts.orDefault()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
 	cols, err := matchColumns(dividend, divisor, on)
 	if err != nil {
 		return nil, err
@@ -296,7 +338,7 @@ func Divide(dividend, divisor *Relation, on []string, opts *Options) (*Relation,
 		if o.DivisorPartitioned {
 			strategy = division.DivisorPartitioning
 		}
-		res, err := parallel.Divide(sp, parallel.Config{
+		res, err := parallel.DivideContext(ctx, sp, parallel.Config{
 			Workers:         o.Workers,
 			Strategy:        strategy,
 			BitVectorFilter: o.BitVectorFilter,
@@ -307,6 +349,7 @@ func Divide(dividend, divisor *Relation, on []string, opts *Options) (*Relation,
 		result.tuples = res.Quotient
 		return result, nil
 	}
+	wrapCancel(ctx, &sp)
 
 	env := division.Env{
 		Pool:               buffer.New(buffer.PaperPoolBytes),

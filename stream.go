@@ -1,6 +1,7 @@
 package reldiv
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -114,7 +115,19 @@ func (r *rowSourceOp) Close() error {
 // complete, before the dividend is fully consumed — hash-division as "a
 // producer in a dataflow query processing system" (§3.3).
 func DivideStream(dividend, divisor StreamInput, on []string, opts *Options, emit func(row []any) error) error {
+	return DivideStreamContext(context.Background(), dividend, divisor, on, opts, emit)
+}
+
+// DivideStreamContext is DivideStream under a context: cancelling ctx (or
+// exceeding Options.Timeout) stops consuming the input streams promptly and
+// returns ctx's error; the operator tree is closed on every path.
+func DivideStreamContext(ctx context.Context, dividend, divisor StreamInput, on []string, opts *Options, emit func(row []any) error) error {
 	o := opts.orDefault()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
 	dividendOp, err := newRowSourceOp(dividend)
 	if err != nil {
 		return err
@@ -143,6 +156,7 @@ func DivideStream(dividend, divisor StreamInput, on []string, opts *Options, emi
 	if err := sp.Validate(); err != nil {
 		return err
 	}
+	wrapCancel(ctx, &sp)
 
 	env := division.Env{
 		Pool:               buffer.New(buffer.PaperPoolBytes),

@@ -1,0 +1,178 @@
+package reldiv
+
+// Fault coverage for the streaming API: reader errors, malformed rows, and
+// cancellation must all surface as errors from DivideStream — never as a
+// panic, a hang, or a silently truncated quotient.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+var errStreamFault = errors.New("stream fault")
+
+// faultyAfter yields rows until n, then fails.
+func faultyAfter(rows [][]any, n int) StreamInput {
+	return StreamInput{
+		Columns: []Column{Int64Col("student"), Int64Col("course")},
+		Open: func() (RowReader, error) {
+			i := 0
+			return RowReaderFunc(func() ([]any, error) {
+				if i >= n {
+					return nil, errStreamFault
+				}
+				if i >= len(rows) {
+					return nil, io.EOF
+				}
+				r := rows[i]
+				i++
+				return r, nil
+			}), nil
+		},
+	}
+}
+
+func streamRows() (dividend [][]any, divisor [][]any) {
+	for s := 1; s <= 20; s++ {
+		for c := 1; c <= 5; c++ {
+			dividend = append(dividend, []any{int64(s), int64(c)})
+		}
+	}
+	for c := 1; c <= 5; c++ {
+		divisor = append(divisor, []any{int64(c)})
+	}
+	return
+}
+
+func divisorInput(rows [][]any) StreamInput {
+	return StreamInput{
+		Columns: []Column{Int64Col("course")},
+		Open:    func() (RowReader, error) { return SliceReader(rows), nil },
+	}
+}
+
+// TestStreamFaultMidDividend: the reader's error must come back from
+// DivideStream for every algorithm family that consumes streams.
+func TestStreamFaultMidDividend(t *testing.T) {
+	dividend, divisor := streamRows()
+	for _, alg := range []Algorithm{HashDivision, Naive, SortAggregationJoin, HashAggregationJoin} {
+		t.Run(alg.String(), func(t *testing.T) {
+			err := DivideStream(faultyAfter(dividend, 30), divisorInput(divisor), nil,
+				&Options{Algorithm: alg}, func([]any) error { return nil })
+			if !errors.Is(err, errStreamFault) {
+				t.Fatalf("reader fault not propagated: %v", err)
+			}
+		})
+	}
+}
+
+// TestStreamFaultInDivisor: divisor-side reader errors propagate too.
+func TestStreamFaultInDivisor(t *testing.T) {
+	dividend, divisor := streamRows()
+	dividendIn := faultyAfter(dividend, len(dividend)+1)
+	divisorIn := StreamInput{
+		Columns: []Column{Int64Col("course")},
+		Open: func() (RowReader, error) {
+			i := 0
+			return RowReaderFunc(func() ([]any, error) {
+				if i >= 2 {
+					return nil, errStreamFault
+				}
+				r := divisor[i]
+				i++
+				return r, nil
+			}), nil
+		},
+	}
+	err := DivideStream(dividendIn, divisorIn, nil, nil, func([]any) error { return nil })
+	if !errors.Is(err, errStreamFault) {
+		t.Fatalf("divisor reader fault not propagated: %v", err)
+	}
+}
+
+// TestStreamMalformedRows: rows that do not match the declared columns are
+// errors, not panics.
+func TestStreamMalformedRows(t *testing.T) {
+	_, divisor := streamRows()
+	bad := [][]any{
+		{int64(1), int64(2), int64(3)}, // wrong arity
+	}
+	in := StreamInput{
+		Columns: []Column{Int64Col("student"), Int64Col("course")},
+		Open:    func() (RowReader, error) { return SliceReader(bad), nil },
+	}
+	if err := DivideStream(in, divisorInput(divisor), nil, nil, func([]any) error { return nil }); err == nil {
+		t.Fatal("malformed row accepted")
+	}
+	badType := [][]any{{"not-an-int", int64(2)}}
+	in.Open = func() (RowReader, error) { return SliceReader(badType), nil }
+	if err := DivideStream(in, divisorInput(divisor), nil, nil, func([]any) error { return nil }); err == nil {
+		t.Fatal("mistyped row accepted")
+	}
+}
+
+// TestStreamEmitError: an error from the caller's emit function aborts the
+// division and closes the tree.
+func TestStreamEmitError(t *testing.T) {
+	dividend, divisor := streamRows()
+	wantErr := fmt.Errorf("emit rejected")
+	err := DivideStream(faultyAfter(dividend, len(dividend)+1), divisorInput(divisor), nil,
+		&Options{EarlyEmit: true}, func([]any) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("emit error not propagated: %v", err)
+	}
+}
+
+// endlessRows never returns EOF; only cancellation can stop the division.
+func endlessRows() StreamInput {
+	return StreamInput{
+		Columns: []Column{Int64Col("student"), Int64Col("course")},
+		Open: func() (RowReader, error) {
+			var n int64
+			return RowReaderFunc(func() ([]any, error) {
+				n++
+				return []any{n % 1000, n % 50}, nil
+			}), nil
+		},
+	}
+}
+
+// TestStreamCancellation: DivideStreamContext over an endless stream stops
+// promptly once the context is cancelled.
+func TestStreamCancellation(t *testing.T) {
+	_, divisor := streamRows()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- DivideStreamContext(ctx, endlessRows(), divisorInput(divisor), nil, nil,
+			func([]any) error { return nil })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled stream division returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled stream division did not stop")
+	}
+}
+
+// TestStreamTimeout: Options.Timeout bounds an endless stream division.
+func TestStreamTimeout(t *testing.T) {
+	_, divisor := streamRows()
+	start := time.Now()
+	err := DivideStream(endlessRows(), divisorInput(divisor), nil,
+		&Options{Timeout: 30 * time.Millisecond}, func([]any) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out stream division returned %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout was not enforced promptly")
+	}
+}

@@ -62,6 +62,14 @@ func TestFullSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	tempDev := disk.NewDevice("temp", disk.PaperRunPageSize)
+	// assertNoFixed flags the exact stage that pinned a frame, rather than
+	// only discovering the leak after all five stages ran.
+	assertNoFixed := func(stage string) {
+		t.Helper()
+		if n := pool.FixedFrames(); n != 0 {
+			t.Fatalf("%s left %d frames fixed", stage, n)
+		}
+	}
 	env := division.Env{Pool: pool, TempDev: tempDev, SortBytes: 16 * 1024}
 	storageSpec := func() division.Spec {
 		return division.Spec{
@@ -83,6 +91,7 @@ func TestFullSystem(t *testing.T) {
 		if !division.EqualTupleSets(qs, got, ref) {
 			t.Errorf("%v: wrong quotient (%d vs %d)", alg, len(got), len(ref))
 		}
+		assertNoFixed(alg.String())
 	}
 
 	// 2. Covering-index naive division: bulk-load a B+-tree on (student,
@@ -118,6 +127,7 @@ func TestFullSystem(t *testing.T) {
 	if !division.EqualTupleSets(qs, got, ref) {
 		t.Errorf("indexed naive: wrong quotient (%d vs %d)", len(got), len(ref))
 	}
+	assertNoFixed("indexed naive division")
 
 	// 3. Partitioned, adaptive, and combined hash-division under a budget.
 	qts, kd, kq, err := division.DivideAdaptive(storageSpec(), env, 24*1024, 64)
@@ -127,6 +137,7 @@ func TestFullSystem(t *testing.T) {
 	if !division.EqualTupleSets(qs, qts, ref) {
 		t.Errorf("adaptive (%d,%d): wrong quotient", kd, kq)
 	}
+	assertNoFixed("adaptive partitioned hash-division")
 
 	// 4. Parallel execution with bit-vector filtering.
 	res, err := parallel.Divide(memSpec(), parallel.Config{
@@ -141,6 +152,7 @@ func TestFullSystem(t *testing.T) {
 	if res.Network.TuplesFiltered == 0 {
 		t.Error("bit vector filtered nothing despite noise tuples")
 	}
+	assertNoFixed("parallel division")
 
 	// 5. The optimizer path: aggregate plan, rewritten plan, same answer.
 	transcript := rewrite.NewRel("transcript", workload.TranscriptSchema, func() exec.Operator {
