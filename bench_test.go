@@ -423,3 +423,61 @@ func BenchmarkPublicAPI(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBatchVsTuple is the PR's headline ablation: hash-division over
+// the Table 4 (|S|=100, |Q|=400) workload on the classic tuple path vs the
+// vectorized batch path at several batch sizes. The two paths report
+// identical Counters; only wall clock differs. `go test -bench BatchVsTuple`
+// prints the comparison; speedup/op makes the ratio explicit.
+func BenchmarkBatchVsTuple(b *testing.B) {
+	inst, err := workload.Generate(workload.PaperCase(100, 400, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, batchSize int, tupleAtATime bool) {
+		for i := 0; i < b.N; i++ {
+			sp := benchSpec(b, inst)
+			if tupleAtATime {
+				sp.Dividend = exec.Opaque(sp.Dividend)
+				sp.Divisor = exec.Opaque(sp.Divisor)
+			}
+			env := division.Env{
+				Pool:      buffer.New(1 << 20),
+				TempDev:   disk.NewDevice("temp", disk.PaperRunPageSize),
+				BatchSize: batchSize,
+			}
+			n, err := exec.Drain(division.NewHashDivision(sp, env, division.HashDivisionOptions{}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != 400 {
+				b.Fatalf("quotient = %d", n)
+			}
+		}
+	}
+	b.Run("tuple", func(b *testing.B) { run(b, 0, true) })
+	for _, bs := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) { run(b, bs, false) })
+	}
+}
+
+// BenchmarkBatchAblationGrid runs the full bench.BatchAblation grid once per
+// iteration and reports the batch-1024 speedups as custom metrics — the same
+// numbers `divbench batch -json` persists to BENCH_divbench.json.
+func BenchmarkBatchAblationGrid(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full ablation grid is slow")
+	}
+	cfg := bench.PaperConfig()
+	var cells []bench.AblationCell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = bench.BatchAblation(cfg, []int{100}, []int{1024}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		b.ReportMetric(c.Speedup, fmt.Sprintf("speedup-s%d-q%d-bs%d", c.S, c.Q, c.BatchSize))
+	}
+}

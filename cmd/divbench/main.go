@@ -17,9 +17,19 @@
 //	-sizes 25,100,400   grid sizes for |S| and |Q|
 //	-geometry paper     "paper" (8 KB pages) or "analytic" (5 R/page)
 //	-measured           report measured CPU instead of counted CPU
+//	-json               also merge results into BENCH_divbench.json
+//
+// batch flags (batch-vs-tuple execution ablation):
+//
+//	-sizes 100,400            grid sizes for |S| and |Q|
+//	-batchsizes 64,256,1024   batch sizes to sweep
+//	-reps 3                   repetitions (min wall clock wins)
+//	-geometry paper           page geometry
+//	-json                     also merge results into BENCH_divbench.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -73,6 +83,8 @@ func main() {
 		fmt.Print(bench.FormatTable3(disk.PaperCost()))
 	case "table4":
 		err = runTable4(args)
+	case "batch":
+		err = runBatch(args)
 	case "sweep":
 		err = runSweep(args)
 	case "duplicates":
@@ -105,7 +117,8 @@ commands:
   table1    Table 1 cost units
   table2    Table 2 analytical costs (ours vs paper)
   table3    Table 3 experimental cost parameters
-  table4    Table 4 experimental grid (-sizes, -geometry, -measured)
+  table4    Table 4 experimental grid (-sizes, -geometry, -measured, -json)
+  batch     batch-vs-tuple execution ablation (-sizes, -batchsizes, -reps, -json)
   sweep     dilution sweep: hash-division when R != QxS
   duplicates duplicate-handling sweep: preprocessing costs vs hash-division
   crossover analytic cost-vs-|R| series and overflow cost model
@@ -137,11 +150,50 @@ func configFor(geometry string) (bench.Config, error) {
 	}
 }
 
+// benchJSONFile is the merged results file the -json flags write. Each
+// command owns one top-level section, so regenerating the ablation does not
+// discard a previously recorded grid (and vice versa).
+const benchJSONFile = "BENCH_divbench.json"
+
+// writeJSONSection merges one named section into the results file,
+// preserving every other section. A missing or unparsable file starts
+// fresh.
+func writeJSONSection(path, section string, v any) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			doc = map[string]json.RawMessage{}
+		}
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	doc[section] = raw
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// table4JSONCell is one (workload, algorithm) measurement in the JSON dump.
+type table4JSONCell struct {
+	S            int     `json:"s"`
+	Q            int     `json:"q"`
+	R            int     `json:"r"`
+	Algorithm    string  `json:"algorithm"`
+	NsOp         int64   `json:"ns_op"`          // measured pipeline wall clock
+	CountedCPUMS float64 `json:"counted_cpu_ms"` // Table 1-priced operation counts
+	SimIOMS      float64 `json:"sim_io_ms"`      // Table 3-priced device statistics
+}
+
 func runTable4(args []string) error {
 	fs := flag.NewFlagSet("table4", flag.ContinueOnError)
 	sizesFlag := fs.String("sizes", "25,100,400", "comma-separated |S|/|Q| grid sizes")
 	geometry := fs.String("geometry", "paper", "page geometry: paper (8 KB) or analytic (5 R/page)")
 	measured := fs.Bool("measured", false, "report measured CPU instead of counted CPU")
+	jsonOut := fs.Bool("json", false, "merge results into "+benchJSONFile)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,6 +212,64 @@ func runTable4(args []string) error {
 	}
 	fmt.Print(bench.FormatTable4(rows, !*measured))
 	fmt.Printf("(grid of %d cells in %v; geometry=%s)\n", len(rows)*6, time.Since(start).Round(time.Millisecond), *geometry)
+	if *jsonOut {
+		var cells []table4JSONCell
+		for _, row := range rows {
+			for _, c := range row.Cells {
+				cells = append(cells, table4JSONCell{
+					S: c.S, Q: c.Q, R: c.R, Algorithm: c.Alg.String(),
+					NsOp:         c.MeasuredCPU.Nanoseconds(),
+					CountedCPUMS: c.CountedCPUMS,
+					SimIOMS:      c.SimulatedIO,
+				})
+			}
+		}
+		section := map[string]any{"geometry": *geometry, "cells": cells}
+		if err := writeJSONSection(benchJSONFile, "table4", section); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote table4 section to %s)\n", benchJSONFile)
+	}
+	return nil
+}
+
+func runBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	sizesFlag := fs.String("sizes", "100,400", "comma-separated |S|/|Q| grid sizes")
+	batchFlag := fs.String("batchsizes", "64,256,1024", "comma-separated batch sizes to sweep")
+	reps := fs.Int("reps", 3, "repetitions per cell; minimum wall clock wins")
+	geometry := fs.String("geometry", "paper", "page geometry: paper (8 KB) or analytic (5 R/page)")
+	jsonOut := fs.Bool("json", false, "merge results into "+benchJSONFile)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	batchSizes, err := parseSizes(*batchFlag)
+	if err != nil {
+		return err
+	}
+	cfg, err := configFor(*geometry)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	cells, err := bench.BatchAblation(cfg, sizes, batchSizes, *reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Batch-vs-tuple hash-division ablation (geometry=%s, reps=%d, min wall clock):\n", *geometry, *reps)
+	fmt.Print(bench.FormatAblation(cells))
+	fmt.Printf("(%d cells in %v)\n", len(cells), time.Since(start).Round(time.Millisecond))
+	if *jsonOut {
+		section := map[string]any{"geometry": *geometry, "reps": *reps, "cells": cells}
+		if err := writeJSONSection(benchJSONFile, "batch_ablation", section); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote batch_ablation section to %s)\n", benchJSONFile)
+	}
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 )
 
@@ -58,5 +60,60 @@ func TestRunSubcommandsSmoke(t *testing.T) {
 	}
 	if err := runParallel([]string{"-s", "20", "-q", "50", "-noise", "2"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWriteJSONSectionMerges(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	if err := writeJSONSection(path, "a", map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONSection(path, "b", map[string]int{"y": 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Rewriting a section must preserve the other one.
+	if err := writeJSONSection(path, "a", map[string]int{"x": 3}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]int
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unparsable merged file: %v\n%s", err, data)
+	}
+	if doc["a"]["x"] != 3 || doc["b"]["y"] != 2 {
+		t.Errorf("merged doc = %v", doc)
+	}
+}
+
+func TestRunBatchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch ablation smoke in short mode")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	err = runBatch([]string{"-sizes", "25", "-batchsizes", "64,256", "-reps", "1", "-geometry", "analytic", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(benchJSONFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["batch_ablation"]; !ok {
+		t.Errorf("missing batch_ablation section in %s", data)
 	}
 }

@@ -32,6 +32,13 @@ type Config struct {
 	Seed        int64 // workload seed
 	Cost        disk.CostParams
 	Units       costmodel.Units
+	// BatchSize sets division.Env.BatchSize (0 = exec.DefaultBatchSize).
+	BatchSize int
+	// TupleAtATime wraps the inputs in exec.Opaque, hiding their NextBatch
+	// methods so every operator runs the classic tuple path — the ablation
+	// baseline. Costs and quotients are identical either way; only wall
+	// clock changes.
+	TupleAtATime bool
 }
 
 // PaperConfig returns the §5.1 setup: 8 KB transfers (1 KB for sort runs),
@@ -138,11 +145,16 @@ func runInstance(alg division.Algorithm, inst *workload.Instance, s, q int, cfg 
 		AssumeUniqueInputs: true,
 		ExpectedDivisor:    s,
 		ExpectedQuotient:   q,
+		BatchSize:          cfg.BatchSize,
 	}
 	sp := division.Spec{
 		Dividend:    exec.NewTableScan(rel.Dividend, false),
 		Divisor:     exec.NewTableScan(rel.Divisor, true),
 		DivisorCols: []int{1},
+	}
+	if cfg.TupleAtATime {
+		sp.Dividend = exec.Opaque(sp.Dividend)
+		sp.Divisor = exec.Opaque(sp.Divisor)
 	}
 
 	op, err := division.New(alg, sp, env)
@@ -257,6 +269,92 @@ func DilutionSweep(s, q int, cfg Config) ([]SweepPoint, error) {
 // algorithms within a sweep point).
 func runInstanceChecked(alg division.Algorithm, inst *workload.Instance, s, q int, cfg Config) (Cell, error) {
 	return runInstance(alg, inst, s, q, cfg)
+}
+
+// AblationCell compares the batch and tuple execution paths for one
+// hash-division workload at one batch size.
+type AblationCell struct {
+	S         int     `json:"s"`
+	Q         int     `json:"q"`
+	BatchSize int     `json:"batch_size"`
+	TupleNs   int64   `json:"tuple_ns"` // tuple-path wall clock, min over reps
+	BatchNs   int64   `json:"batch_ns"` // batch-path wall clock, min over reps
+	Speedup   float64 `json:"speedup"`  // TupleNs / BatchNs
+}
+
+// minWallNs runs the algorithm reps times over the same instance and returns
+// the minimum pipeline wall clock — the standard way to strip scheduler and
+// allocator noise from a microbenchmark.
+func minWallNs(alg division.Algorithm, inst *workload.Instance, s, q int, cfg Config, reps int) (int64, error) {
+	best := int64(0)
+	for r := 0; r < reps; r++ {
+		cell, err := runInstance(alg, inst, s, q, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if ns := cell.MeasuredCPU.Nanoseconds(); r == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// BatchAblation measures the tentpole claim: hash-division over the Table 4
+// workload grid, tuple path versus batch path at each batch size. Both paths
+// run over the same generated instance through the same storage engine; only
+// the execution granularity differs. sizes defaults to {100, 400},
+// batchSizes to {64, 256, 1024}, reps to 3.
+func BatchAblation(cfg Config, sizes, batchSizes []int, reps int) ([]AblationCell, error) {
+	cfg = cfg.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{100, 400}
+	}
+	if len(batchSizes) == 0 {
+		batchSizes = []int{64, 256, 1024}
+	}
+	if reps < 1 {
+		reps = 3
+	}
+	var out []AblationCell
+	for _, s := range sizes {
+		for _, q := range sizes {
+			inst, err := workload.Generate(workload.PaperCase(s, q, cfg.Seed))
+			if err != nil {
+				return nil, err
+			}
+			tupleCfg := cfg
+			tupleCfg.TupleAtATime = true
+			tupleNs, err := minWallNs(division.AlgHashDivision, inst, s, q, tupleCfg, reps)
+			if err != nil {
+				return nil, err
+			}
+			for _, bs := range batchSizes {
+				batchCfg := cfg
+				batchCfg.TupleAtATime = false
+				batchCfg.BatchSize = bs
+				batchNs, err := minWallNs(division.AlgHashDivision, inst, s, q, batchCfg, reps)
+				if err != nil {
+					return nil, err
+				}
+				cell := AblationCell{S: s, Q: q, BatchSize: bs, TupleNs: tupleNs, BatchNs: batchNs}
+				if batchNs > 0 {
+					cell.Speedup = float64(tupleNs) / float64(batchNs)
+				}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatAblation renders the batch-vs-tuple comparison.
+func FormatAblation(cells []AblationCell) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%6s %6s %6s %12s %12s %8s\n", "|S|", "|Q|", "batch", "tuple-ns", "batch-ns", "speedup")
+	for _, c := range cells {
+		fmt.Fprintf(&sb, "%6d %6d %6d %12d %12d %7.2fx\n", c.S, c.Q, c.BatchSize, c.TupleNs, c.BatchNs, c.Speedup)
+	}
+	return sb.String()
 }
 
 // DuplicatePoint is one measurement of the duplicate sweep.

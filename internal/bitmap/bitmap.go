@@ -96,14 +96,23 @@ func (b *Bitmap) HasZero() bool {
 // AllSet reports whether every bit is one.
 func (b *Bitmap) AllSet() bool { return !b.HasZero() }
 
-// Count returns the number of set bits.
-func (b *Bitmap) Count() int {
+// PopCount returns the number of set bits, one OnesCount64 per word. The
+// batch quotient scan tests candidate completion with it (PopCount == |S| ⇔
+// AllSet, since Set guards the index range) and partition-phase progress
+// logging prices completion percentages with it. Bits past Len can never be
+// set, so the partial final word needs no masking.
+func (b *Bitmap) PopCount() int {
 	c := 0
 	for _, w := range b.words {
 		c += bits.OnesCount64(w)
 	}
 	return c
 }
+
+// Count returns the number of set bits.
+//
+// Deprecated: use PopCount.
+func (b *Bitmap) Count() int { return b.PopCount() }
 
 // FirstZero returns the index of the lowest zero bit, or -1 if all bits are
 // set. Useful for diagnostics ("which divisor tuple is this candidate

@@ -215,3 +215,59 @@ func BenchmarkSet(b *testing.B) {
 		bm.Set(i % 4096)
 	}
 }
+
+func TestPopCount(t *testing.T) {
+	b := New(130) // three words, final word partial
+	if b.PopCount() != 0 {
+		t.Errorf("empty PopCount = %d", b.PopCount())
+	}
+	set := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range set {
+		b.Set(i)
+	}
+	if got := b.PopCount(); got != len(set) {
+		t.Errorf("PopCount = %d, want %d", got, len(set))
+	}
+	b.Clear(64)
+	if got := b.PopCount(); got != len(set)-1 {
+		t.Errorf("PopCount after Clear = %d, want %d", got, len(set)-1)
+	}
+}
+
+func TestPopCountPartialFinalWord(t *testing.T) {
+	// n = 70 leaves 58 unused bits in the second word; bits 64-69 are the
+	// only legal ones there and PopCount must count exactly those.
+	b := New(70)
+	for i := 64; i < 70; i++ {
+		b.Set(i)
+	}
+	if got := b.PopCount(); got != 6 {
+		t.Errorf("PopCount = %d, want 6", got)
+	}
+	if b.AllSet() {
+		t.Error("AllSet true with first word empty")
+	}
+	for i := 0; i < 64; i++ {
+		b.Set(i)
+	}
+	if got := b.PopCount(); got != 70 {
+		t.Errorf("full PopCount = %d, want 70", got)
+	}
+	if !b.AllSet() {
+		t.Error("AllSet false with every bit set")
+	}
+	// The step-3 fast path: PopCount == Len iff AllSet.
+	if (b.PopCount() == b.Len()) != b.AllSet() {
+		t.Error("PopCount/AllSet equivalence broken")
+	}
+}
+
+func TestPopCountMatchesCount(t *testing.T) {
+	b := New(200)
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+	if b.PopCount() != b.Count() {
+		t.Errorf("PopCount %d != Count %d", b.PopCount(), b.Count())
+	}
+}

@@ -1,9 +1,9 @@
 package disk
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 )
 
 // ErrTransient marks I/O faults that are worth retrying: the device (or a
@@ -41,10 +41,23 @@ func (e *CorruptPageError) Error() string {
 func (e *CorruptPageError) Unwrap() error { return ErrCorrupt }
 
 // Checksum is the page checksum the buffer manager records on write and
-// verifies on read (FNV-1a; cheap, deterministic, and plenty for fault
-// detection — this is not a cryptographic integrity check).
+// verifies on read: FNV-1a folding eight bytes per step instead of one, so
+// verifying an 8 KB page costs ~1K multiplies rather than 8K. Cheap,
+// deterministic, and plenty for fault detection — this is not a
+// cryptographic integrity check, and checksums never leave the process, so
+// the word-level variant needs no compatibility with byte-serial FNV.
 func Checksum(data []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(data)
-	return h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for len(data) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(data)) * prime64
+		data = data[8:]
+	}
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
 }

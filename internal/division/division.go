@@ -98,6 +98,13 @@ type Env struct {
 	ExpectedDivisor  int
 	ExpectedQuotient int
 	Counters         *exec.Counters
+	// BatchSize is the dividend batch size for batch-capable inputs; 0 picks
+	// exec.DefaultBatchSize. The batch and tuple paths produce identical
+	// quotients and identical Counters at any size (see DESIGN.md §7).
+	BatchSize int
+	// Progress, when set, receives human-readable phase progress lines from
+	// the partitioned divisions (cluster sizes, candidate completion).
+	Progress func(format string, args ...any)
 	// AssumeUniqueInputs mirrors the paper's analysis setting: inputs carry
 	// no duplicates, so aggregation-based algorithms skip duplicate
 	// elimination. Hash-division is insensitive to this flag (it tolerates
@@ -118,6 +125,20 @@ func (e Env) hbs() float64 {
 		return e.HBS
 	}
 	return 2
+}
+
+// progressf reports phase progress when a Progress sink is configured.
+func (e Env) progressf(format string, args ...any) {
+	if e.Progress != nil {
+		e.Progress(format, args...)
+	}
+}
+
+func (e Env) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return exec.DefaultBatchSize
 }
 
 func (e Env) expectedDivisor() int {

@@ -1,10 +1,12 @@
 package division
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
 
 	"repro/internal/bitmap"
+	"repro/internal/exec"
 	"repro/internal/hashtab"
 	"repro/internal/tuple"
 )
@@ -70,6 +72,20 @@ type HashDivision struct {
 	// Early-emit path.
 	streaming bool
 	opened    bool
+
+	// Compiled probe kernels for the batch path, built lazily on the first
+	// absorbBatch (see tuple.HashFunc / tuple.EqualProjectedFunc). When both
+	// projections are single 8-byte columns (fastU64), the loop instead uses
+	// the fully concrete word-key probes at divOff/quotOff.
+	divHash     func(tuple.Tuple) uint64
+	divEq       func(src, stored tuple.Tuple) bool
+	quotHash    func(tuple.Tuple) uint64
+	quotEq      func(src, stored tuple.Tuple) bool
+	quotProject func(tuple.Tuple) tuple.Tuple
+	kernelsInit bool
+	fastU64     bool
+	divOff      int
+	quotOff     int
 
 	stats HashDivisionStats
 }
@@ -231,19 +247,30 @@ func (h *HashDivision) Open() error {
 		return nil
 	}
 
-	// Step 2, stop-and-go: consume the whole dividend.
-	for {
-		t, err := h.sp.Dividend.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
+	// Step 2, stop-and-go: consume the whole dividend. Batch-capable inputs
+	// take the vectorized pass — one NextBatch per page-sized batch instead
+	// of one interface dispatch per Transcript tuple; absorbBatch performs
+	// exactly the operations absorb would, so statistics and cost counters
+	// are identical on both paths.
+	if bop, ok := exec.NativeBatch(h.sp.Dividend); ok {
+		if err := h.absorbBatches(bop); err != nil {
 			h.sp.Dividend.Close()
 			return err
 		}
-		if _, err := h.absorb(t); err != nil {
-			h.sp.Dividend.Close()
-			return err
+	} else {
+		for {
+			t, err := h.sp.Dividend.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				h.sp.Dividend.Close()
+				return err
+			}
+			if _, err := h.absorb(t); err != nil {
+				h.sp.Dividend.Close()
+				return err
+			}
 		}
 	}
 	if err := h.sp.Dividend.Close(); err != nil {
@@ -269,7 +296,9 @@ func (h *HashDivision) Open() error {
 		if h.env.Counters != nil {
 			h.env.Counters.Bit += int64(e.Bits.SizeBytes() / 8)
 		}
-		if e.Bits.AllSet() && h.divisorCount > 0 {
+		// Word-level population count (§3.3 "inspecting a word at a time"):
+		// a candidate is in the quotient iff every divisor bit is set.
+		if h.divisorCount > 0 && e.Bits.PopCount() == int(h.divisorCount) {
 			h.results = append(h.results, e.Tuple)
 			h.stats.QuotientTuples++
 		}
@@ -277,6 +306,179 @@ func (h *HashDivision) Open() error {
 	})
 	return err
 }
+
+// absorbBatches is the vectorized step 2: it drains the dividend through the
+// batch protocol and runs the probe+bitmap-set hot loop over contiguous
+// arenas.
+func (h *HashDivision) absorbBatches(bop exec.BatchOperator) error {
+	b := exec.NewBatch(h.sp.Dividend.Schema(), h.env.batchSize())
+	defer b.Release()
+	for {
+		err := bop.NextBatch(b)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := h.absorbBatch(b); err != nil {
+			return err
+		}
+	}
+}
+
+// initKernels compiles the probe kernels the batch path hoists out of its
+// per-tuple loops. The common Table 4 shape — divisor and quotient
+// projections both a single 8-byte column — selects the fully concrete
+// word-key loop (absorbBatchU64); anything else gets the closure kernels.
+func (h *HashDivision) initKernels() {
+	ds := h.sp.Dividend.Schema()
+	qCols := h.qCols
+	if len(h.sp.DivisorCols) == 1 && ds.Field(h.sp.DivisorCols[0]).Width == 8 &&
+		len(qCols) == 1 && ds.Field(qCols[0]).Width == 8 {
+		h.fastU64 = true
+		h.divOff = ds.Offset(h.sp.DivisorCols[0])
+		h.quotOff = ds.Offset(qCols[0])
+	} else {
+		h.divHash = ds.HashFunc(h.sp.DivisorCols)
+		h.divEq = ds.EqualProjectedFunc(h.sp.DivisorCols)
+		h.quotHash = ds.HashFunc(qCols)
+		h.quotEq = ds.EqualProjectedFunc(qCols)
+		h.quotProject = func(src tuple.Tuple) tuple.Tuple { return ds.ProjectTuple(src, qCols) }
+	}
+	h.kernelsInit = true
+}
+
+// absorbBatch processes one dividend batch. It is absorb unrolled over the
+// batch with the loop-invariant lookups hoisted and the hash/equality
+// kernels compiled once per operator: same probes, same bitmap updates,
+// same statistics and cost-counter increments, minus the per-tuple
+// interface dispatch and bounds ceremony. Only the stop-and-go (non
+// early-emit) modes reach this path.
+func (h *HashDivision) absorbBatch(b *exec.Batch) error {
+	if !h.kernelsInit {
+		h.initKernels()
+	}
+	if h.fastU64 {
+		return h.absorbBatchU64(b)
+	}
+	divisorTable, quotientTable := h.divisorTable, h.quotientTable
+	countersOnly := h.opts.CountersOnly
+	n := b.Len()
+	h.stats.DividendTuples += int64(n)
+	var bits int64
+	for i := 0; i < n; i++ {
+		t := b.Tuple(i)
+		de := divisorTable.LookupPre(h.divHash(t), t, h.divEq)
+		if de == nil {
+			h.stats.DiscardedNoMatch++
+			continue
+		}
+		qe, created := quotientTable.GetOrInsertPre(h.quotHash(t), t, h.quotEq, h.quotProject)
+		if created {
+			h.stats.Candidates++
+			if !countersOnly {
+				qe.Bits = bitmap.New(int(h.divisorCount))
+				quotientTable.AddMemBytes(qe.Bits.SizeBytes())
+				if err := h.checkBudget(); err != nil {
+					if h.env.Counters != nil {
+						h.env.Counters.Bit += bits
+					}
+					return err
+				}
+			}
+		}
+		if countersOnly {
+			qe.Num++
+			continue
+		}
+		bits++
+		qe.Bits.Set(int(de.Num))
+	}
+	if h.env.Counters != nil {
+		h.env.Counters.Bit += bits
+	}
+	return nil
+}
+
+// absorbBatchU64 is absorbBatch for the single-8-byte-column fast path:
+// keys load as words, hashes are the unrolled tuple.HashUint64LE, and the
+// chain walks (hashtab.LookupU64 / GetOrInsertU64) compare words — no
+// closure or interface call anywhere in the loop. Probes, statistics, and
+// counter increments remain byte-identical to the generic path.
+func (h *HashDivision) absorbBatchU64(b *exec.Batch) error {
+	divisorTable, quotientTable := h.divisorTable, h.quotientTable
+	countersOnly := h.opts.CountersOnly
+	divOff, quotOff := h.divOff, h.quotOff
+	n := b.Len()
+	h.stats.DividendTuples += int64(n)
+	var bits int64
+	for i := 0; i < n; i++ {
+		t := b.Tuple(i)
+		dk := binary.LittleEndian.Uint64(t[divOff:])
+		de := divisorTable.LookupU64(tuple.HashUint64LE(dk), dk)
+		if de == nil {
+			h.stats.DiscardedNoMatch++
+			continue
+		}
+		qk := binary.LittleEndian.Uint64(t[quotOff:])
+		qe, created := quotientTable.GetOrInsertU64(tuple.HashUint64LE(qk), qk)
+		if created {
+			h.stats.Candidates++
+			if !countersOnly {
+				qe.Bits = bitmap.New(int(h.divisorCount))
+				quotientTable.AddMemBytes(qe.Bits.SizeBytes())
+				if err := h.checkBudget(); err != nil {
+					if h.env.Counters != nil {
+						h.env.Counters.Bit += bits
+					}
+					return err
+				}
+			}
+		}
+		if countersOnly {
+			qe.Num++
+			continue
+		}
+		bits++
+		qe.Bits.Set(int(de.Num))
+	}
+	if h.env.Counters != nil {
+		h.env.Counters.Bit += bits
+	}
+	return nil
+}
+
+// NextBatch implements exec.BatchOperator: the quotient-output scan emits
+// the completed candidates batch-at-a-time. In early-emit mode quotient
+// tuples surface as the dividend streams, so batches are filled through the
+// per-tuple path.
+func (h *HashDivision) NextBatch(b *exec.Batch) error {
+	if !h.opened {
+		return errNotOpen("HashDivision")
+	}
+	if h.streaming {
+		return exec.FillBatch(streamNexter{h}, b)
+	}
+	if h.pos >= len(h.results) {
+		return io.EOF
+	}
+	b.Reset()
+	for h.pos < len(h.results) && !b.Full() {
+		b.Append(h.results[h.pos])
+		h.pos++
+	}
+	return nil
+}
+
+// streamNexter adapts the early-emit Next loop to exec.FillBatch without
+// re-entering the opened-state checks per tuple.
+type streamNexter struct{ h *HashDivision }
+
+func (s streamNexter) Schema() *tuple.Schema      { return s.h.qs }
+func (s streamNexter) Open() error                { return nil }
+func (s streamNexter) Close() error               { return nil }
+func (s streamNexter) Next() (tuple.Tuple, error) { return s.h.Next() }
 
 // Next implements Operator.
 func (h *HashDivision) Next() (tuple.Tuple, error) {

@@ -240,6 +240,8 @@ func (p *PartitionedHashDivision) runQuotientPartitioned() error {
 			return err
 		}
 		p.results = append(p.results, qts...)
+		p.env.progressf("quotient-partitioned phase %d/%d: %d quotient tuples (%d total)",
+			i+1, p.k, len(qts), len(p.results))
 	}
 	return nil
 }
@@ -316,6 +318,22 @@ func (p *PartitionedHashDivision) runDivisorPartitioned() error {
 		})
 		if err != nil {
 			return err
+		}
+		if p.env.Progress != nil {
+			// A candidate still on track for the quotient has a bit from
+			// every phase processed so far: PopCount equals the phase
+			// ordinal. Word-level population counts keep this cheap enough
+			// for per-phase reporting.
+			done := phaseOf[c] + 1
+			onTrack := 0
+			_ = collection.Iterate(func(e *hashtab.Element) error {
+				if e.Bits.PopCount() == done {
+					onTrack++
+				}
+				return nil
+			})
+			p.env.progressf("divisor-partitioned phase %d/%d: %d candidates, %d on track for the quotient",
+				done, numPhases, collection.Len(), onTrack)
 		}
 	}
 	err = collection.Iterate(func(e *hashtab.Element) error {

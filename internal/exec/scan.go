@@ -7,11 +7,16 @@ import (
 	"repro/internal/tuple"
 )
 
-// TableScan streams a heap file's records in storage order.
+// TableScan streams a heap file's records in storage order. It serves both
+// execution protocols: Next hands out one record at a time, NextBatch hands
+// out one batch per heap page with the tuples aliasing the pinned buffer
+// frame (zero copies). Use one protocol per Open.
 type TableScan struct {
-	file *storage.File
-	keep bool
-	sc   *storage.Scanner
+	file   *storage.File
+	keep   bool
+	opened bool
+	sc     *storage.Scanner
+	ps     *storage.PageScanner
 }
 
 // NewTableScan scans file. keepPages is the buffer unfix hint: true keeps
@@ -26,26 +31,75 @@ func (t *TableScan) Schema() *tuple.Schema { return t.file.Schema() }
 
 // Open implements Operator.
 func (t *TableScan) Open() error {
-	t.sc = t.file.Scan(t.keep)
+	if err := t.Close(); err != nil {
+		return err
+	}
+	t.opened = true
 	return nil
 }
 
 // Next implements Operator.
 func (t *TableScan) Next() (tuple.Tuple, error) {
-	if t.sc == nil {
+	if !t.opened {
 		return nil, errNotOpen("TableScan")
+	}
+	if t.sc == nil {
+		t.sc = t.file.Scan(t.keep)
 	}
 	tp, _, err := t.sc.Next()
 	return tp, err
 }
 
+// NextBatch implements BatchOperator: each call pins the next heap page and
+// aliases the batch at the page's record area, so a whole page of tuples
+// costs one buffer fix and zero copies. The page stays fixed until the
+// following NextBatch or Close — exactly the batch validity contract. Pages
+// holding deleted records fall back to compacting the live records into the
+// batch arena.
+func (t *TableScan) NextBatch(b *Batch) error {
+	if !t.opened {
+		return errNotOpen("TableScan")
+	}
+	if t.ps == nil {
+		t.ps = t.file.ScanPages(t.keep)
+	}
+	for {
+		data, n, pristine, err := t.ps.Next()
+		if err != nil {
+			return err
+		}
+		if pristine {
+			b.SetAlias(data, n)
+			return nil
+		}
+		b.Reset()
+		w := t.file.Schema().Width()
+		for slot := 0; slot < n; slot++ {
+			if t.ps.Deleted(slot) {
+				continue
+			}
+			b.Append(tuple.Tuple(data[slot*w : (slot+1)*w]))
+		}
+		if b.Len() > 0 {
+			return nil
+		}
+	}
+}
+
 // Close implements Operator.
 func (t *TableScan) Close() error {
-	if t.sc == nil {
-		return nil
+	t.opened = false
+	var err error
+	if t.sc != nil {
+		err = t.sc.Close()
+		t.sc = nil
 	}
-	err := t.sc.Close()
-	t.sc = nil
+	if t.ps != nil {
+		if perr := t.ps.Close(); err == nil {
+			err = perr
+		}
+		t.ps = nil
+	}
 	return err
 }
 
@@ -94,8 +148,9 @@ func (m *MemScan) Close() error {
 
 // Filter passes through tuples satisfying pred.
 type Filter struct {
-	input Operator
-	pred  func(tuple.Tuple) bool
+	input   Operator
+	pred    func(tuple.Tuple) bool
+	scratch *Batch // input batch reused by NextBatch
 }
 
 // NewFilter wraps input with a selection predicate.
@@ -123,16 +178,23 @@ func (f *Filter) Next() (tuple.Tuple, error) {
 }
 
 // Close implements Operator.
-func (f *Filter) Close() error { return f.input.Close() }
+func (f *Filter) Close() error {
+	if f.scratch != nil {
+		f.scratch.Release()
+		f.scratch = nil
+	}
+	return f.input.Close()
+}
 
 // Project narrows tuples to a column subset (possibly reordered). It does
 // NOT eliminate duplicates; combine with Sort{Dedup} or HashDedup for
 // set-semantics projection.
 type Project struct {
-	input  Operator
-	cols   []int
-	schema *tuple.Schema
-	buf    tuple.Tuple
+	input   Operator
+	cols    []int
+	schema  *tuple.Schema
+	buf     tuple.Tuple
+	scratch *Batch // input batch reused by NextBatch
 }
 
 // NewProject projects input onto cols.
@@ -164,7 +226,13 @@ func (p *Project) Next() (tuple.Tuple, error) {
 }
 
 // Close implements Operator.
-func (p *Project) Close() error { return p.input.Close() }
+func (p *Project) Close() error {
+	if p.scratch != nil {
+		p.scratch.Release()
+		p.scratch = nil
+	}
+	return p.input.Close()
+}
 
 // Concat streams its inputs one after another; all inputs must share a
 // schema. It is the "union (concatenation)" used to combine quotient

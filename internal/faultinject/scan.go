@@ -55,6 +55,34 @@ func (f *Scan) Next() (tuple.Tuple, error) {
 	return t, nil
 }
 
+// NextBatch implements exec.BatchOperator so batch-path consumers exercise
+// the same fault schedule as tuple-path ones: exactly FailAfter tuples are
+// delivered (the tail batch is truncated to the boundary), then the next
+// call injects. The injector therefore composes with zero-copy page scans
+// without changing chaos-plan semantics.
+func (f *Scan) NextBatch(b *exec.Batch) error {
+	if !f.opened {
+		return fmt.Errorf("faultinject: Scan.NextBatch called before Open")
+	}
+	if f.passed >= f.FailAfter {
+		return fmt.Errorf("%w: after %d tuples", ErrInjected, f.passed)
+	}
+	var err error
+	if bop, ok := exec.NativeBatch(f.Input); ok {
+		err = bop.NextBatch(b)
+	} else {
+		err = exec.FillBatch(f.Input, b)
+	}
+	if err != nil {
+		return err
+	}
+	if f.passed+b.Len() > f.FailAfter {
+		b.Truncate(f.FailAfter - f.passed)
+	}
+	f.passed += b.Len()
+	return nil
+}
+
 // Close implements exec.Operator.
 func (f *Scan) Close() error {
 	f.opened = false

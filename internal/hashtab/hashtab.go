@@ -10,7 +10,9 @@
 package hashtab
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitmap"
 	"repro/internal/tuple"
@@ -29,10 +31,14 @@ type Element struct {
 	Bits  *bitmap.Bitmap // quotient candidate bit map (hash-division)
 }
 
-// Stats count the work the table performed, in cost-model units.
+// Stats count the work the table performed, in cost-model units. Rehash
+// moves during growth are real work too: every element moved recomputes its
+// hash, so grow() feeds Hashes (and Rehashed, so the rehash share stays
+// visible) rather than silently omitting it from the cost accounting.
 type Stats struct {
-	Hashes      int64 // hash value calculations (unit Hash)
+	Hashes      int64 // hash value calculations (unit Hash), rehashes included
 	Comparisons int64 // tuple comparisons while scanning buckets (unit Comp)
+	Rehashed    int64 // element moves performed by grow() rehashes
 }
 
 // Table is a bucket-chained hash table over fixed-width tuples.
@@ -68,6 +74,18 @@ func NewForExpected(schema *tuple.Schema, expected int, hbs float64) *Table {
 	return New(schema, int(float64(expected)/hbs)+1)
 }
 
+// NewWithCapacity pre-sizes the table to hold capacity elements at the
+// default bucket size without ever growing: batch build loops use it when
+// the input cardinality is known from workload statistics, so the rehash
+// work grow() would charge never happens. The table still grows past ~2×
+// the stated capacity if the estimate proves wrong.
+func NewWithCapacity(schema *tuple.Schema, capacity int) *Table {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return New(schema, capacity/2+1)
+}
+
 // SetMaxLoad configures automatic growth: the table doubles its bucket count
 // whenever elements/buckets exceeds maxLoad. Zero disables growth (fixed
 // geometry, as in the paper's experiments).
@@ -96,7 +114,12 @@ func (t *Table) MemBytes() int {
 }
 
 func (t *Table) bucketFor(h uint64) int {
-	return int(h % uint64(len(t.buckets)))
+	// Multiply-shift range reduction (Lemire 2016): maps the 64-bit hash
+	// uniformly onto [0, nbuckets) with one multiply-high instead of the
+	// ~25-cycle 64-bit modulo. bucketFor sits on the probe hot path, twice
+	// per dividend tuple in hash-division step 2.
+	hi, _ := bits.Mul64(h, uint64(len(t.buckets)))
+	return int(hi)
 }
 
 // Lookup finds the element whose stored tuple equals key (all columns), or
@@ -126,6 +149,69 @@ func (t *Table) LookupProjected(src tuple.Tuple, srcSchema *tuple.Schema, cols [
 		}
 	}
 	return nil
+}
+
+// LookupPre is LookupProjected with the hash value and equality predicate
+// supplied by the caller: batch kernels compile them once (tuple.HashFunc,
+// tuple.EqualProjectedFunc) and hoist them out of the per-tuple loop. The
+// hash must equal the schema hash of src's projection and eq must match
+// EqualProjected, so Stats and the quotient are byte-identical to the
+// generic path.
+func (t *Table) LookupPre(h uint64, src tuple.Tuple, eq func(src, stored tuple.Tuple) bool) *Element {
+	t.stats.Hashes++
+	for e := t.buckets[t.bucketFor(h)]; e != nil; e = e.next {
+		t.stats.Comparisons++
+		if eq(src, e.Tuple) {
+			return e
+		}
+	}
+	return nil
+}
+
+// GetOrInsertPre is GetOrInsertProjected with caller-compiled hash and
+// equality (see LookupPre); project materializes the stored key when an
+// insert happens (rare relative to probes, so it stays a plain callback).
+func (t *Table) GetOrInsertPre(h uint64, src tuple.Tuple, eq func(src, stored tuple.Tuple) bool, project func(src tuple.Tuple) tuple.Tuple) (e *Element, created bool) {
+	t.stats.Hashes++
+	for e := t.buckets[t.bucketFor(h)]; e != nil; e = e.next {
+		t.stats.Comparisons++
+		if eq(src, e.Tuple) {
+			return e, false
+		}
+	}
+	return t.insertHashed(h, project(src)), true
+}
+
+// LookupU64 is LookupProjected specialized to a single 8-byte key column:
+// key is the little-endian word of the projection and h its schema hash
+// (tuple.HashUint64LE of key). Every call is concrete — no closure
+// indirection in the chain walk — while Stats stay identical to the generic
+// probe. The batch hash-division kernel uses it when both the divisor and
+// quotient projections are single 8-byte columns.
+func (t *Table) LookupU64(h, key uint64) *Element {
+	t.stats.Hashes++
+	for e := t.buckets[t.bucketFor(h)]; e != nil; e = e.next {
+		t.stats.Comparisons++
+		if binary.LittleEndian.Uint64(e.Tuple) == key {
+			return e
+		}
+	}
+	return nil
+}
+
+// GetOrInsertU64 is GetOrInsertProjected specialized like LookupU64; the
+// stored key is the eight little-endian bytes of key.
+func (t *Table) GetOrInsertU64(h, key uint64) (e *Element, created bool) {
+	t.stats.Hashes++
+	for e := t.buckets[t.bucketFor(h)]; e != nil; e = e.next {
+		t.stats.Comparisons++
+		if binary.LittleEndian.Uint64(e.Tuple) == key {
+			return e, false
+		}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	return t.insertHashed(h, tuple.Tuple(buf[:])), true
 }
 
 // Insert adds a copy of key unconditionally (duplicates allowed) and returns
@@ -181,6 +267,7 @@ func (t *Table) GetOrInsertProjected(src tuple.Tuple, srcSchema *tuple.Schema, c
 func (t *Table) grow() {
 	old := t.buckets
 	t.buckets = make([]*Element, 2*len(old))
+	var moved int64
 	for _, chain := range old {
 		for e := chain; e != nil; {
 			next := e.next
@@ -188,8 +275,13 @@ func (t *Table) grow() {
 			e.next = t.buckets[b]
 			t.buckets[b] = e
 			e = next
+			moved++
 		}
 	}
+	// Each move recomputed a hash; charge it so cost counters reflect the
+	// rehash work.
+	t.stats.Hashes += moved
+	t.stats.Rehashed += moved
 }
 
 // AddMemBytes records payload memory attached to elements (bit maps), so

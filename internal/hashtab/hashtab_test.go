@@ -285,3 +285,119 @@ func BenchmarkLookupProjected(b *testing.B) {
 		}
 	}
 }
+
+func TestNewWithCapacityNeverGrows(t *testing.T) {
+	s := keySchema()
+	for _, capacity := range []int{0, 1, 10, 100, 1000} {
+		tab := NewWithCapacity(s, capacity)
+		buckets := tab.NumBuckets()
+		for v := 0; v < capacity; v++ {
+			tab.Insert(s.MustMake(v))
+		}
+		if got := tab.Stats().Rehashed; got != 0 {
+			t.Errorf("capacity %d: Rehashed = %d, want 0", capacity, got)
+		}
+		if tab.NumBuckets() != buckets {
+			t.Errorf("capacity %d: buckets grew %d -> %d", capacity, buckets, tab.NumBuckets())
+		}
+	}
+}
+
+func TestGrowChargesRehashes(t *testing.T) {
+	s := keySchema()
+	tab := New(s, 1) // maxLoad 4: fifth insert triggers growth
+	const n = 100
+	for v := 0; v < n; v++ {
+		tab.Insert(s.MustMake(v))
+	}
+	st := tab.Stats()
+	if st.Rehashed == 0 {
+		t.Fatal("no rehash moves recorded despite growth from 1 bucket")
+	}
+	// Every insert is one hash; every rehash move is one more. Nothing else
+	// hashed here, so the ledger must balance exactly.
+	if want := int64(n) + st.Rehashed; st.Hashes != want {
+		t.Errorf("Hashes = %d, want inserts+rehashed = %d", st.Hashes, want)
+	}
+	// All elements must still be reachable after the rehashes.
+	for v := 0; v < n; v++ {
+		if tab.Lookup(s.MustMake(v)) == nil {
+			t.Fatalf("Lookup(%d) = nil after growth", v)
+		}
+	}
+}
+
+func TestLookupPreMatchesProjected(t *testing.T) {
+	src := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+	cols := []int{1}
+	ks := src.Project(cols)
+	generic := New(ks, 8)
+	pre := New(ks, 8)
+	hash := src.HashFunc(cols)
+	eq := src.EqualProjectedFunc(cols)
+	project := func(t tuple.Tuple) tuple.Tuple { return src.ProjectTuple(t, cols) }
+
+	for v := 0; v < 50; v++ {
+		tp := src.MustMake(v, v%10)
+		_, c1 := generic.GetOrInsertProjected(tp, src, cols)
+		_, c2 := pre.GetOrInsertPre(hash(tp), tp, eq, project)
+		if c1 != c2 {
+			t.Fatalf("insert %d: created %v vs %v", v, c1, c2)
+		}
+	}
+	for v := 0; v < 60; v++ {
+		tp := src.MustMake(v, v%12)
+		e1 := generic.LookupProjected(tp, src, cols)
+		e2 := pre.LookupPre(hash(tp), tp, eq)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("lookup %d: generic %v, pre %v", v, e1, e2)
+		}
+	}
+	if generic.Stats() != pre.Stats() {
+		t.Errorf("stats diverged: generic %+v, pre %+v", generic.Stats(), pre.Stats())
+	}
+}
+
+func TestU64ProbesMatchProjected(t *testing.T) {
+	src := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+	cols := []int{0}
+	ks := src.Project(cols)
+	generic := New(ks, 8)
+	fast := New(ks, 8)
+
+	key := func(v int) uint64 { return uint64(int64(v)) }
+	for v := 0; v < 50; v++ {
+		tp := src.MustMake(v%20, v)
+		_, c1 := generic.GetOrInsertProjected(tp, src, cols)
+		k := key(v % 20)
+		_, c2 := fast.GetOrInsertU64(tuple.HashUint64LE(k), k)
+		if c1 != c2 {
+			t.Fatalf("insert %d: created %v vs %v", v, c1, c2)
+		}
+	}
+	for v := 0; v < 30; v++ {
+		tp := src.MustMake(v, 0)
+		e1 := generic.LookupProjected(tp, src, cols)
+		k := key(v)
+		e2 := fast.LookupU64(tuple.HashUint64LE(k), k)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("lookup %d: generic %v, fast %v", v, e1, e2)
+		}
+		if e1 != nil && ks.CompareAll(e1.Tuple, e2.Tuple) != 0 {
+			t.Errorf("lookup %d: stored keys differ", v)
+		}
+	}
+	if generic.Stats() != fast.Stats() {
+		t.Errorf("stats diverged: generic %+v, fast %+v", generic.Stats(), fast.Stats())
+	}
+}
+
+func TestHashUint64LEMatchesHashBytes(t *testing.T) {
+	s := keySchema()
+	for _, v := range []int64{0, 1, -1, 42, 1 << 40, -(1 << 50)} {
+		tp := s.MustMake(v)
+		if got, want := tuple.HashUint64LE(uint64(v)), tuple.HashBytes(tp); got != want {
+			t.Errorf("HashUint64LE(%d) = %#x, HashBytes = %#x", v, got, want)
+		}
+	}
+}

@@ -50,6 +50,10 @@ type Config struct {
 	ChannelDepth int
 	// HBS sizes worker hash tables (default 2).
 	HBS float64
+	// BatchSize is the shuffle packet size in tuples (default 128): the
+	// coordinator packs each destination's tuples into one exec.Batch arena
+	// per send. Per-tuple and per-byte network statistics are unaffected.
+	BatchSize int
 }
 
 // NetworkStats count interconnect traffic.
@@ -96,6 +100,9 @@ func DivideContext(ctx context.Context, sp division.Spec, cfg Config) (*Result, 
 	}
 	if cfg.HBS <= 0 {
 		cfg.HBS = 2
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = shuffleBatch
 	}
 	switch cfg.Strategy {
 	case division.QuotientPartitioning:
@@ -161,16 +168,17 @@ func buildBitVector(divisor []tuple.Tuple, bits int) *bitmap.Bitmap {
 	return bv
 }
 
-// shuffleBatch is the unit of interconnect transfer: tuples travel in
-// packets, not one network message each (the per-tuple statistics are still
-// exact).
+// shuffleBatch is the default unit of interconnect transfer: tuples travel
+// in exec.Batch packets, not one network message each (the per-tuple
+// statistics are still exact). Config.BatchSize overrides it.
 const shuffleBatch = 128
 
-// worker consumes dividend tuple batches from its channel, runs local
-// hash-division, and appends its quotient to out.
+// worker consumes dividend batches from its channel, runs local
+// hash-division, and appends its quotient to out. Received batches are
+// Released after absorption so their arenas recycle through the shared pool.
 type worker struct {
 	id      int
-	in      chan []tuple.Tuple
+	in      chan *exec.Batch
 	stats   WorkerStats
 	out     []tuple.Tuple
 	divisor []tuple.Tuple
@@ -187,7 +195,9 @@ func (w *worker) run(ctx context.Context, sp division.Spec, hbs float64) (err er
 	qCols := sp.QuotientCols()
 	qs := sp.QuotientSchema()
 
-	divisorTable := hashtab.NewForExpected(ss, len(w.divisor), hbs)
+	// The worker's divisor cardinality is known exactly (the coordinator
+	// shipped it), so pre-size the table and skip rehash growth entirely.
+	divisorTable := hashtab.NewWithCapacity(ss, len(w.divisor))
 	var divisorCount int64
 	for _, d := range w.divisor {
 		if e, created := divisorTable.GetOrInsert(d); created {
@@ -200,7 +210,7 @@ func (w *worker) run(ctx context.Context, sp division.Spec, hbs float64) (err er
 
 receive:
 	for {
-		var batch []tuple.Tuple
+		var batch *exec.Batch
 		var ok bool
 		select {
 		case batch, ok = <-w.in:
@@ -210,8 +220,10 @@ receive:
 		case <-ctx.Done():
 			return ctx.Err()
 		}
-		for _, t := range batch {
-			w.stats.DividendTuples++
+		n := batch.Len()
+		w.stats.DividendTuples += int64(n)
+		for i := 0; i < n; i++ {
+			t := batch.Tuple(i)
 			de := divisorTable.LookupProjected(t, ds, sp.DivisorCols)
 			if de == nil {
 				continue
@@ -222,6 +234,7 @@ receive:
 			}
 			qe.Bits.Set(int(de.Num))
 		}
+		batch.Release()
 	}
 	if divisorCount == 0 {
 		return nil
@@ -249,31 +262,30 @@ func spawnWorkers(ctx context.Context, workers []*worker, sp division.Spec, hbs 
 
 // shipDividend partitions the dividend stream over the workers' channels on
 // cols, applying the optional bit vector filter, and accounts the traffic.
-// Tuples are packed into per-destination batches backed by contiguous
-// buffers, so one channel send carries shuffleBatch tuples. Every channel send
-// selects against ctx.Done() — if a worker dies its channel stops draining,
-// and an unconditional send would deadlock the coordinator.
-func shipDividend(ctx context.Context, sp division.Spec, workers []*worker, cols []int, bv *bitmap.Bitmap, net *NetworkStats) error {
+// Tuples are packed into one exec.Batch arena per destination, so one
+// channel send carries batchSize tuples in a single contiguous buffer; the
+// receiving worker Releases the batch back to the arena pool. Every channel
+// send selects against ctx.Done() — if a worker dies its channel stops
+// draining, and an unconditional send would deadlock the coordinator.
+func shipDividend(ctx context.Context, sp division.Spec, workers []*worker, cols []int, bv *bitmap.Bitmap, batchSize int, net *NetworkStats) error {
 	ds := sp.Dividend.Schema()
 	width := ds.Width()
 	k := uint64(len(workers))
-
-	batches := make([][]tuple.Tuple, len(workers))
-	arenas := make([][]byte, len(workers))
-	reset := func(i int) {
-		batches[i] = make([]tuple.Tuple, 0, shuffleBatch)
-		arenas[i] = make([]byte, 0, shuffleBatch*width)
+	if batchSize <= 0 {
+		batchSize = shuffleBatch
 	}
+
+	batches := make([]*exec.Batch, len(workers))
 	for i := range workers {
-		reset(i)
+		batches[i] = exec.NewBatch(ds, batchSize)
 	}
 	flush := func(i int) error {
-		if len(batches[i]) == 0 {
+		if batches[i].Len() == 0 {
 			return nil
 		}
 		select {
 		case workers[i].in <- batches[i]:
-			reset(i)
+			batches[i] = exec.NewBatch(ds, batchSize)
 			return nil
 		case <-ctx.Done():
 			return ctx.Err()
@@ -297,12 +309,8 @@ func shipDividend(ctx context.Context, sp division.Spec, workers []*worker, cols
 		atomic.AddInt64(&net.TuplesShipped, 1)
 		atomic.AddInt64(&net.BytesShipped, int64(width))
 		d := int(dest)
-		arena := arenas[d]
-		off := len(arena)
-		arena = append(arena, t...)
-		arenas[d] = arena
-		batches[d] = append(batches[d], tuple.Tuple(arena[off:off+width]))
-		if len(batches[d]) >= shuffleBatch {
+		batches[d].Append(t)
+		if batches[d].Len() >= batchSize {
 			return flush(d)
 		}
 		return nil
@@ -311,6 +319,9 @@ func shipDividend(ctx context.Context, sp division.Spec, workers []*worker, cols
 		if ferr := flush(i); err == nil {
 			err = ferr
 		}
+		// Either freshly emptied by flush or never sent (cancellation):
+		// in both cases the coordinator still owns the batch.
+		batches[i].Release()
 	}
 	return err
 }
@@ -345,14 +356,14 @@ func divideQuotientPartitioned(ctx context.Context, sp division.Spec, cfg Config
 		res.Network.BytesShipped += int64(len(divisor)) * sWidth
 		workers[i] = &worker{
 			id:      i,
-			in:      make(chan []tuple.Tuple, cfg.ChannelDepth),
+			in:      make(chan *exec.Batch, cfg.ChannelDepth),
 			divisor: divisor,
 		}
 	}
 	spawnWorkers(ctx, workers, sp, cfg.HBS, &wg, fe)
 
 	// Partition the dividend on the QUOTIENT attributes.
-	fe.set(shipDividend(ctx, sp, workers, sp.QuotientCols(), bv, &res.Network))
+	fe.set(shipDividend(ctx, sp, workers, sp.QuotientCols(), bv, cfg.BatchSize, &res.Network))
 	for _, w := range workers {
 		close(w.in)
 	}
@@ -422,7 +433,7 @@ func divideDivisorPartitioned(ctx context.Context, sp division.Spec, cfg Config)
 	for i := range workers {
 		workers[i] = &worker{
 			id:      i,
-			in:      make(chan []tuple.Tuple, cfg.ChannelDepth),
+			in:      make(chan *exec.Batch, cfg.ChannelDepth),
 			divisor: clusters[i],
 		}
 		res.Network.TuplesShipped += int64(len(clusters[i]))
@@ -431,7 +442,7 @@ func divideDivisorPartitioned(ctx context.Context, sp division.Spec, cfg Config)
 	spawnWorkers(ctx, workers, sp, cfg.HBS, &wg, fe)
 
 	// Dividend partitioned on the DIVISOR attributes with the same function.
-	fe.set(shipDividend(ctx, sp, workers, nil, bv, &res.Network))
+	fe.set(shipDividend(ctx, sp, workers, nil, bv, cfg.BatchSize, &res.Network))
 	for _, w := range workers {
 		close(w.in)
 	}

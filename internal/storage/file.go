@@ -339,6 +339,93 @@ func (s *Scanner) Close() error {
 	return nil
 }
 
+// PageScanner iterates over a file one whole page at a time, handing out the
+// page's record area as a single contiguous byte slice. It is the storage
+// face of batch execution: one buffer fix serves a full page of records, and
+// the caller may alias tuples straight into the pinned frame.
+type PageScanner struct {
+	f      *File
+	pageIx int
+	handle *buffer.Handle
+	page   disk.PageID
+	count  int
+	keep   bool
+	closed bool
+}
+
+// ScanPages opens a page-at-a-time scan. keepPages has the same buffer unfix
+// meaning as Scan.
+func (f *File) ScanPages(keepPages bool) *PageScanner {
+	return &PageScanner{f: f, pageIx: -1, keep: keepPages}
+}
+
+// Next pins the next non-empty page and returns its record area: data holds
+// n records of the file's schema width, back to back. data aliases the
+// fixed buffer frame and is valid until the following Next or Close.
+// pristine reports that no record on the page is deleted, so data may be
+// consumed wholesale; otherwise the caller must skip slots for which
+// Deleted reports true. Next returns io.EOF after the last page.
+func (ps *PageScanner) Next() (data []byte, n int, pristine bool, err error) {
+	if ps.closed {
+		return nil, 0, false, io.EOF
+	}
+	for {
+		if ps.handle != nil {
+			if err := ps.handle.Unfix(ps.keep); err != nil {
+				return nil, 0, false, err
+			}
+			ps.handle = nil
+		}
+		ps.pageIx++
+		if ps.pageIx >= len(ps.f.pages) {
+			ps.closed = true
+			return nil, 0, false, io.EOF
+		}
+		ps.page = ps.f.pages[ps.pageIx]
+		h, err := ps.f.pool.Fix(ps.f.dev, ps.page)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		ps.handle = h
+		ps.count = pageCount(h.Bytes())
+		if ps.count == 0 {
+			continue
+		}
+		width := ps.f.schema.Width()
+		data = h.Bytes()[pageHeaderLen : pageHeaderLen+ps.count*width]
+		return data, ps.count, ps.pristine(), nil
+	}
+}
+
+// pristine reports whether the current page carries no deleted records.
+func (ps *PageScanner) pristine() bool {
+	if len(ps.f.deleted) == 0 {
+		return true
+	}
+	for rid := range ps.f.deleted {
+		if rid.Page == ps.page {
+			return false
+		}
+	}
+	return true
+}
+
+// Deleted reports whether the given slot of the current page is deleted.
+func (ps *PageScanner) Deleted(slot int) bool {
+	return ps.f.deleted[RID{Page: ps.page, Slot: slot}]
+}
+
+// Close releases any fixed page. Safe to call multiple times.
+func (ps *PageScanner) Close() error {
+	ps.closed = true
+	if ps.handle != nil {
+		err := ps.handle.Unfix(ps.keep)
+		ps.handle = nil
+		return err
+	}
+	return nil
+}
+
 // Drop flushes nothing and frees every page of the file back to its device.
 // The file is empty and reusable afterwards.
 func (f *File) Drop() error {

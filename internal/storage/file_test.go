@@ -375,3 +375,140 @@ func BenchmarkScan(b *testing.B) {
 		sc.Close()
 	}
 }
+
+func TestPageScannerPristine(t *testing.T) {
+	f := testFile(t, 68, 1024) // 4 records per page
+	s := f.Schema()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := f.Append(s.MustMake(i, i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := f.ScanPages(true)
+	defer ps.Close()
+	width := s.Width()
+	var got []int64
+	pages := 0
+	for {
+		data, cnt, pristine, err := ps.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pristine {
+			t.Errorf("page %d not pristine with no deletions", pages)
+		}
+		if len(data) != cnt*width {
+			t.Errorf("page %d: %d bytes for %d records", pages, len(data), cnt)
+		}
+		for i := 0; i < cnt; i++ {
+			got = append(got, s.Int64(tuple.Tuple(data[i*width:(i+1)*width]), 0))
+		}
+		pages++
+	}
+	if pages != 3 {
+		t.Errorf("scanned %d pages, want 3", pages)
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d records, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Errorf("record %d = %d", i, v)
+		}
+	}
+}
+
+func TestPageScannerDeleted(t *testing.T) {
+	f := testFile(t, 68, 1024)
+	s := f.Schema()
+	var rids []RID
+	for i := 0; i < 8; i++ {
+		rid, err := f.Append(s.MustMake(i, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	// Delete slots 1 and 2 of page 0; page 1 stays pristine.
+	if err := f.Delete(rids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(rids[2]); err != nil {
+		t.Fatal(err)
+	}
+	ps := f.ScanPages(true)
+	defer ps.Close()
+	width := s.Width()
+	var live []int64
+	page := 0
+	for {
+		data, cnt, pristine, err := ps.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page == 0 && pristine {
+			t.Error("page 0 reported pristine despite deletions")
+		}
+		if page == 1 && !pristine {
+			t.Error("page 1 reported non-pristine")
+		}
+		for i := 0; i < cnt; i++ {
+			if ps.Deleted(i) {
+				continue
+			}
+			live = append(live, s.Int64(tuple.Tuple(data[i*width:(i+1)*width]), 0))
+		}
+		page++
+	}
+	want := []int64{0, 3, 4, 5, 6, 7}
+	if len(live) != len(want) {
+		t.Fatalf("live records %v, want %v", live, want)
+	}
+	for i := range want {
+		if live[i] != want[i] {
+			t.Errorf("live[%d] = %d, want %d", i, live[i], want[i])
+		}
+	}
+}
+
+func TestPageScannerEmptyFileAndClose(t *testing.T) {
+	f := testFile(t, 68, 1024)
+	ps := f.ScanPages(false)
+	if _, _, _, err := ps.Next(); err != io.EOF {
+		t.Fatalf("empty file scan: %v, want EOF", err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	// Close mid-scan releases the pinned page; Next afterwards is EOF.
+	s := f.Schema()
+	for i := 0; i < 8; i++ {
+		if _, err := f.Append(s.MustMake(i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps = f.ScanPages(false)
+	if _, _, _, err := ps.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ps.Next(); err != io.EOF {
+		t.Fatalf("Next after Close: %v, want EOF", err)
+	}
+	if got := f.Pool().FixedFrames(); got != 0 {
+		t.Errorf("%d pages still fixed after Close", got)
+	}
+}
