@@ -18,6 +18,7 @@
 //	-geometry paper     "paper" (8 KB pages) or "analytic" (5 R/page)
 //	-measured           report measured CPU instead of counted CPU
 //	-json               also merge results into BENCH_divbench.json
+//	-profile            also merge a traced per-operator profile section
 //
 // batch flags (batch-vs-tuple execution ablation):
 //
@@ -43,6 +44,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/division"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/tuple"
 	"repro/internal/workload"
@@ -194,6 +196,7 @@ func runTable4(args []string) error {
 	geometry := fs.String("geometry", "paper", "page geometry: paper (8 KB) or analytic (5 R/page)")
 	measured := fs.Bool("measured", false, "report measured CPU instead of counted CPU")
 	jsonOut := fs.Bool("json", false, "merge results into "+benchJSONFile)
+	profileOut := fs.Bool("profile", false, "merge a traced per-operator profile section into "+benchJSONFile)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -230,7 +233,61 @@ func runTable4(args []string) error {
 		}
 		fmt.Printf("(wrote table4 section to %s)\n", benchJSONFile)
 	}
+	if *profileOut {
+		n := sizes[len(sizes)-1]
+		section, err := profileSection(n)
+		if err != nil {
+			return err
+		}
+		if err := writeJSONSection(benchJSONFile, "profile", section); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote profile section at |S|=|Q|=%d to %s)\n", n, benchJSONFile)
+	}
 	return nil
+}
+
+// profileSection runs every algorithm once at the largest grid size with
+// tracing enabled and returns its per-operator span tree. Wall-clock times
+// are excluded (Tree(false)), so the section is deterministic across runs:
+// only operation counts, row counts, and the span shapes are recorded.
+func profileSection(n int) (map[string]any, error) {
+	inst, err := workload.Generate(workload.PaperCase(n, n, 1))
+	if err != nil {
+		return nil, err
+	}
+	algs := make([]map[string]any, 0, len(division.Algorithms))
+	for _, alg := range division.Algorithms {
+		counters := &exec.Counters{}
+		tr := obs.NewTracer()
+		env := division.Env{
+			Pool:     buffer.New(4 << 20),
+			TempDev:  disk.NewDevice("temp", disk.PaperRunPageSize),
+			Counters: counters,
+			Trace:    tr,
+		}
+		sp := division.Spec{
+			Dividend:    exec.NewMemScan(workload.TranscriptSchema, inst.Dividend),
+			Divisor:     exec.NewMemScan(workload.CourseSchema, inst.Divisor),
+			DivisorCols: []int{1},
+		}
+		op, err := division.New(alg, sp, env)
+		if err != nil {
+			return nil, err
+		}
+		qts, err := exec.Collect(op)
+		if err != nil {
+			return nil, err
+		}
+		prof := tr.Profile(counters)
+		algs = append(algs, map[string]any{
+			"algorithm":     alg.String(),
+			"quotient_rows": len(qts),
+			"counters":      *counters,
+			"tree":          prof.Tree(false),
+		})
+	}
+	return map[string]any{"s": n, "q": n, "r": len(inst.Dividend), "algorithms": algs}, nil
 }
 
 func runBatch(args []string) error {

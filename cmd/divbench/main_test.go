@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"testing"
@@ -85,6 +86,90 @@ func TestWriteJSONSectionMerges(t *testing.T) {
 	}
 	if doc["a"]["x"] != 3 || doc["b"]["y"] != 2 {
 		t.Errorf("merged doc = %v", doc)
+	}
+}
+
+// TestProfileSectionPreservesSiblingsAndIsDeterministic checks that writing
+// the profile section leaves previously recorded table4 and batch_ablation
+// sections byte-for-byte intact, and that the profile section itself is
+// identical across runs (no wall-clock times or other nondeterminism leaks
+// into the JSON).
+func TestProfileSectionPreservesSiblingsAndIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile section smoke in short mode")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	// Seed the results file with stand-in sibling sections.
+	if err := writeJSONSection(benchJSONFile, "table4", map[string]any{"geometry": "paper", "cells": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONSection(benchJSONFile, "batch_ablation", map[string]any{"reps": 3}); err != nil {
+		t.Fatal(err)
+	}
+	sections := func() map[string]json.RawMessage {
+		data, err := os.ReadFile(benchJSONFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := map[string]json.RawMessage{}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	before := sections()
+
+	if err := runTable4([]string{"-sizes", "10", "-geometry", "analytic", "-profile"}); err != nil {
+		t.Fatal(err)
+	}
+	after := sections()
+	for _, name := range []string{"table4", "batch_ablation"} {
+		if !bytes.Equal(before[name], after[name]) {
+			t.Errorf("section %q changed:\nbefore: %s\nafter:  %s", name, before[name], after[name])
+		}
+	}
+	first, ok := after["profile"]
+	if !ok {
+		t.Fatal("profile section missing")
+	}
+
+	if err := runTable4([]string{"-sizes", "10", "-geometry", "analytic", "-profile"}); err != nil {
+		t.Fatal(err)
+	}
+	if second := sections()["profile"]; !bytes.Equal(first, second) {
+		t.Errorf("profile section differs across runs:\nfirst:  %s\nsecond: %s", first, second)
+	}
+
+	var section struct {
+		S          int `json:"s"`
+		Algorithms []struct {
+			Algorithm    string         `json:"algorithm"`
+			QuotientRows int            `json:"quotient_rows"`
+			Tree         map[string]any `json:"tree"`
+		} `json:"algorithms"`
+	}
+	if err := json.Unmarshal(first, &section); err != nil {
+		t.Fatal(err)
+	}
+	if section.S != 10 || len(section.Algorithms) != 6 {
+		t.Errorf("profile section shape: s=%d, %d algorithms", section.S, len(section.Algorithms))
+	}
+	for _, a := range section.Algorithms {
+		if a.QuotientRows == 0 {
+			t.Errorf("%s: zero quotient rows in profile workload", a.Algorithm)
+		}
+		if a.Tree == nil {
+			t.Errorf("%s: missing span tree", a.Algorithm)
+		}
 	}
 }
 

@@ -79,7 +79,10 @@ func (sh *shell) execute(line string) error {
   divide <dividend> by <divisor> [on c1,c2] [using <algorithm>]
          [workers <n>] [budget <kb>] [as <name>]
   explain <dividend> by <divisor>          show the cost-based plan
-  stats <dividend> by <divisor>            run hash-division, show EXPLAIN ANALYZE
+  explain plan <dividend> by <divisor>     show the logical plan before/after the for-all rewrite
+  explain analyze <dividend> by <divisor> [using <algorithm>] [workers <n>] [budget <kb>]
+         run the division and print the per-operator profile (rows, time, counters)
+  stats <dividend> by <divisor>            run hash-division, show its run statistics
   select <name> where <col>=<val>|<col>~<substr> [as <name>]
   project <name> <col1,col2> [as <name>]
   algorithms                               list algorithm names
@@ -337,8 +340,16 @@ func (sh *shell) stats(args []string) error {
 }
 
 func (sh *shell) explain(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "plan":
+			return sh.explainPlan(args[1:])
+		case "analyze":
+			return sh.explainAnalyze(args[1:])
+		}
+	}
 	if len(args) < 3 || args[1] != "by" {
-		return fmt.Errorf("usage: explain <dividend> by <divisor>")
+		return fmt.Errorf("usage: explain [plan|analyze] <dividend> by <divisor>")
 	}
 	dividend, err := sh.rel(args[0])
 	if err != nil {
@@ -373,6 +384,85 @@ func (sh *shell) explain(args []string) error {
 }
 
 func divisorCols(divisor *reldiv.Relation) int { return len(divisor.Columns()) }
+
+// explainPlan handles: explain plan <dividend> by <divisor> [on c1,c2]
+func (sh *shell) explainPlan(args []string) error {
+	if len(args) < 3 || args[1] != "by" {
+		return fmt.Errorf("usage: explain plan <dividend> by <divisor> [on cols]")
+	}
+	dividend, err := sh.rel(args[0])
+	if err != nil {
+		return err
+	}
+	divisor, err := sh.rel(args[2])
+	if err != nil {
+		return err
+	}
+	var on []string
+	if len(args) >= 5 && args[3] == "on" {
+		on = strings.Split(args[4], ",")
+	}
+	original, rewritten, err := reldiv.ExplainPlan(dividend, divisor, on)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(sh.out, "aggregation encoding (without a division operator):")
+	fmt.Fprint(sh.out, indent(original, "  "))
+	fmt.Fprintln(sh.out, "after the for-all rewrite:")
+	fmt.Fprint(sh.out, indent(rewritten, "  "))
+	return nil
+}
+
+// explainAnalyze handles: explain analyze <dividend> by <divisor>
+// [on c1,c2] [using alg] [workers n] [budget kb] [as name]
+func (sh *shell) explainAnalyze(args []string) error {
+	d, err := parseDivide(args)
+	if err != nil {
+		return fmt.Errorf("usage: explain analyze <dividend> by <divisor> [on cols] [using alg] [workers n] [budget kb] [as name]")
+	}
+	dividend, err := sh.rel(d.dividend)
+	if err != nil {
+		return err
+	}
+	divisor, err := sh.rel(d.divisor)
+	if err != nil {
+		return err
+	}
+	opts := &reldiv.Options{
+		Workers:      d.workers,
+		MemoryBudget: d.budgetKB * 1024,
+	}
+	if d.alg != "" {
+		alg, err := reldiv.ParseAlgorithm(d.alg)
+		if err != nil {
+			return err
+		}
+		opts.Algorithm = alg
+	}
+	q, prof, err := reldiv.ExplainAnalyze(dividend, divisor, d.on, opts)
+	if err != nil {
+		return err
+	}
+	as := d.as
+	if as == "" {
+		as = "result"
+	}
+	sh.relations[as] = q
+	fmt.Fprintf(sh.out, "%s: %d rows (stored as %q)\n", q.Name(), q.NumRows(), as)
+	fmt.Fprint(sh.out, prof.Format())
+	return nil
+}
+
+// indent prefixes every non-empty line.
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n")
+}
 
 // selectRows handles: select <name> where col=val | col~substr [as name]
 func (sh *shell) selectRows(args []string) error {

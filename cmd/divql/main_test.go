@@ -80,6 +80,10 @@ func TestShellEndToEnd(t *testing.T) {
 		"stats transcript by courses",
 		"select transcript where student=1 as s1",
 		"project transcript course as pc",
+		"explain plan transcript by courses",
+		"explain analyze transcript by courses using hash-division as qa",
+		"explain analyze transcript by courses using sort-agg+join as qs",
+		"explain analyze transcript by courses workers 2 as qw",
 		"algorithms",
 		"help",
 	}
@@ -102,6 +106,20 @@ func TestShellEndToEnd(t *testing.T) {
 		"quotient candidates",
 		"transcript: 2 rows (stored as \"s1\")",
 		"columns [course]",
+		// explain plan shows both trees around the rewrite.
+		"aggregation encoding",
+		"SemiJoin",
+		"after the for-all rewrite:",
+		"Division(on [1])",
+		// explain analyze prints the profile tree with counters.
+		"transcript÷courses: 1 rows (stored as \"qa\")",
+		"total: comp=",
+		"hash-division [division]",
+		"build-divisor-table [phase]",
+		"sort-agg+join [division]",
+		"merge-semi-join [MergeSemiJoin]",
+		"parallel quotient-partitioning [parallel]",
+		"worker 0 [worker]",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)

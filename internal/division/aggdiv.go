@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tuple"
 )
@@ -92,14 +93,17 @@ func (c *countFilter) Close() error {
 
 // distinctDivisorCount builds the scalar-aggregate closure counting the
 // divisor's distinct tuples. With AssumeUniqueInputs it is a plain file
-// scan count; otherwise duplicates are eliminated on the fly.
-func distinctDivisorCount(divisor exec.Operator, env Env) func() (int64, error) {
+// scan count; otherwise duplicates are eliminated on the fly. The aggregate
+// records under its own span (a child of parent) each time the closure runs.
+func distinctDivisorCount(divisor exec.Operator, env Env, parent *obs.Span) func() (int64, error) {
+	countSpan := parent.Child("scalar-count(divisor)", "ScalarCount")
+	scan := scanSpan(countSpan, "scan(divisor)", divisor)
 	return func() (int64, error) {
-		var op exec.Operator = divisor
+		op := env.instrument(divisor, scan)
 		if !env.AssumeUniqueInputs {
-			op = exec.NewHashDedup(divisor, env.Counters)
+			op = exec.NewHashDedup(op, env.Counters)
 		}
-		return exec.ScalarCount(op)
+		return exec.ScalarCount(env.instrument(op, countSpan))
 	}
 }
 
@@ -113,35 +117,43 @@ func distinctDivisorCount(divisor exec.Operator, env Env) func() (int64, error) 
 func NewSortAggregation(sp Spec, env Env, withJoin bool) exec.Operator {
 	ss := sp.Divisor.Schema()
 	qCols := sp.QuotientCols()
+	parent := env.ProfileParent()
+	groupSpan := parent.Child("sorted-group-count", "SortedGroupCount")
 
 	var aggInput exec.Operator
 	if withJoin {
-		sortedDividend := exec.NewSort(sp.Dividend, exec.SortConfig{
+		regroupSpan := groupSpan.Child("sort(semi-join)", "Sort")
+		semiSpan := regroupSpan.Child("merge-semi-join", "MergeSemiJoin")
+		sortDividendSpan := semiSpan.Child("sort(dividend)", "Sort")
+		sortDivisorSpan := semiSpan.Child("sort(divisor)", "Sort")
+		dividendIn := env.instrument(sp.Dividend, scanSpan(sortDividendSpan, "scan(dividend)", sp.Dividend))
+		divisorIn := env.instrument(sp.Divisor, scanSpan(sortDivisorSpan, "scan(divisor)", sp.Divisor))
+		sortedDividend := env.instrument(exec.NewSort(dividendIn, exec.SortConfig{
 			Keys:        append(append([]int(nil), sp.DivisorCols...), qCols...),
 			Dedup:       !env.AssumeUniqueInputs,
 			MemoryBytes: env.sortBytes(),
 			Pool:        env.Pool,
 			TempDev:     env.TempDev,
 			Counters:    env.Counters,
-		})
-		sortedDivisor := exec.NewSort(sp.Divisor, exec.SortConfig{
+		}), sortDividendSpan)
+		sortedDivisor := env.instrument(exec.NewSort(divisorIn, exec.SortConfig{
 			Keys:        ss.AllColumns(),
 			Dedup:       !env.AssumeUniqueInputs,
 			MemoryBytes: env.sortBytes(),
 			Pool:        env.Pool,
 			TempDev:     env.TempDev,
 			Counters:    env.Counters,
-		})
-		semi := exec.NewMergeSemiJoin(sortedDividend, sortedDivisor,
-			sp.DivisorCols, ss.AllColumns(), env.Counters)
+		}), sortDivisorSpan)
+		semi := env.instrument(exec.NewMergeSemiJoin(sortedDividend, sortedDivisor,
+			sp.DivisorCols, ss.AllColumns(), env.Counters), semiSpan)
 		// Second sort, now on the grouping attributes.
-		aggInput = exec.NewSort(semi, exec.SortConfig{
+		aggInput = env.instrument(exec.NewSort(semi, exec.SortConfig{
 			Keys:        qCols,
 			MemoryBytes: env.sortBytes(),
 			Pool:        env.Pool,
 			TempDev:     env.TempDev,
 			Counters:    env.Counters,
-		})
+		}), regroupSpan)
 	} else {
 		keys := qCols
 		dedup := false
@@ -149,18 +161,20 @@ func NewSortAggregation(sp Spec, env Env, withJoin bool) exec.Operator {
 			keys = append(append([]int(nil), qCols...), sp.DivisorCols...)
 			dedup = true
 		}
-		aggInput = exec.NewSort(sp.Dividend, exec.SortConfig{
+		sortSpan := groupSpan.Child("sort(dividend)", "Sort")
+		dividendIn := env.instrument(sp.Dividend, scanSpan(sortSpan, "scan(dividend)", sp.Dividend))
+		aggInput = env.instrument(exec.NewSort(dividendIn, exec.SortConfig{
 			Keys:        keys,
 			Dedup:       dedup,
 			MemoryBytes: env.sortBytes(),
 			Pool:        env.Pool,
 			TempDev:     env.TempDev,
 			Counters:    env.Counters,
-		})
+		}), sortSpan)
 	}
 
-	counts := exec.NewSortedGroupCount(aggInput, qCols, false, env.Counters)
-	return newCountFilter(counts, distinctDivisorCount(sp.Divisor, env), env)
+	counts := env.instrument(exec.NewSortedGroupCount(aggInput, qCols, false, env.Counters), groupSpan)
+	return newCountFilter(counts, distinctDivisorCount(sp.Divisor, env, parent), env)
 }
 
 // NewHashAggregation builds division by hash-based aggregation (§2.2.2).
@@ -174,25 +188,47 @@ func NewSortAggregation(sp Spec, env Env, withJoin bool) exec.Operator {
 func NewHashAggregation(sp Spec, env Env, withJoin bool) exec.Operator {
 	ss := sp.Divisor.Schema()
 	qCols := sp.QuotientCols()
+	parent := env.ProfileParent()
+	groupSpan := parent.Child("hash-group-count", "HashGroupCount")
 
-	var aggInput exec.Operator = sp.Dividend
-	if !env.AssumeUniqueInputs {
-		aggInput = exec.NewHashDedup(aggInput, env.Counters)
+	// Lay out the span tree top-down so each wrapper's input records as its
+	// child; the operators are then built bottom-up as before.
+	materialize := withJoin && env.Pool != nil && env.TempDev != nil
+	chainParent := groupSpan
+	var matSpan, semiSpan *obs.Span
+	if materialize {
+		matSpan = chainParent.Child("materialize(semi-join)", "Materialize")
+		chainParent = matSpan
 	}
 	if withJoin {
-		aggInput = exec.NewHashSemiJoin(aggInput, sp.Divisor,
-			sp.DivisorCols, ss.AllColumns(), env.Counters)
+		semiSpan = chainParent.Child("hash-semi-join", "HashSemiJoin")
+		chainParent = semiSpan
+	}
+	var dedupSpan *obs.Span
+	if !env.AssumeUniqueInputs {
+		dedupSpan = chainParent.Child("hash-dedup(dividend)", "HashDedup")
+		chainParent = dedupSpan
+	}
+
+	aggInput := env.instrument(sp.Dividend, scanSpan(chainParent, "scan(dividend)", sp.Dividend))
+	if !env.AssumeUniqueInputs {
+		aggInput = env.instrument(exec.NewHashDedup(aggInput, env.Counters), dedupSpan)
+	}
+	if withJoin {
+		divisorIn := env.instrument(sp.Divisor, scanSpan(semiSpan, "scan(divisor)", sp.Divisor))
+		aggInput = env.instrument(exec.NewHashSemiJoin(aggInput, divisorIn,
+			sp.DivisorCols, ss.AllColumns(), env.Counters), semiSpan)
 		// The paper's §4.4 cost formula reads the dividend once for the
 		// semi-join and once more for the aggregation (r·SIO appears in
 		// both terms): the semi-join output is materialized between the
 		// two hash table phases, not pipelined. Mirror that whenever a
 		// temp device is available so the with-join variant pays the
 		// second pass the analysis and experiments charge it.
-		if env.Pool != nil && env.TempDev != nil {
+		if materialize {
 			out := storage.NewFile(env.Pool, env.TempDev, sp.Dividend.Schema(), "semijoin-out")
-			aggInput = exec.NewMaterialize(aggInput, out, env.Counters)
+			aggInput = env.instrument(exec.NewMaterialize(aggInput, out, env.Counters), matSpan)
 		}
 	}
-	counts := exec.NewHashGroupCount(aggInput, qCols, env.expectedQuotient(), env.hbs(), env.Counters)
-	return newCountFilter(counts, distinctDivisorCount(sp.Divisor, env), env)
+	counts := env.instrument(exec.NewHashGroupCount(aggInput, qCols, env.expectedQuotient(), env.hbs(), env.Counters), groupSpan)
+	return newCountFilter(counts, distinctDivisorCount(sp.Divisor, env, parent), env)
 }

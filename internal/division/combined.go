@@ -7,6 +7,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/exec"
 	"repro/internal/hashtab"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tuple"
 )
@@ -139,17 +140,24 @@ func (c *CombinedPartitionedHashDivision) run() error {
 	// Phase grid: cell (i, j) ÷ divisor cluster i, collected over divisor
 	// phase numbers.
 	collection := hashtab.NewForExpected(c.qs, c.env.expectedQuotient(), c.env.hbs())
+	parent := c.env.ProfileParent()
 	for i := 0; i < c.kd; i++ {
 		if phaseOf[i] < 0 {
 			continue
 		}
 		for j := 0; j < c.kq; j++ {
+			env := c.env
+			var span *obs.Span
+			if parent != nil {
+				span = parent.Child(fmt.Sprintf("cell (%d,%d)", i, j), "hash-division")
+				env.ProfileSpan = span
+			}
 			phase := NewHashDivision(Spec{
 				Dividend:    exec.NewTableScan(cells[i*c.kq+j], false),
 				Divisor:     exec.NewMemScan(ss, divClusters[i]),
 				DivisorCols: c.sp.DivisorCols,
-			}, c.env, c.hdOpts)
-			err := exec.ForEach(phase, func(q tuple.Tuple) error {
+			}, env, c.hdOpts)
+			err := exec.ForEach(obs.Instrument(phase, span, c.env.Counters), func(q tuple.Tuple) error {
 				e, created := collection.GetOrInsert(q)
 				if created {
 					e.Bits = bitmap.New(numPhases)

@@ -23,10 +23,12 @@ package division
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/disk"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/tuple"
 )
 
@@ -103,8 +105,19 @@ type Env struct {
 	// quotients and identical Counters at any size (see DESIGN.md §7).
 	BatchSize int
 	// Progress, when set, receives human-readable phase progress lines from
-	// the partitioned divisions (cluster sizes, candidate completion).
+	// the partitioned divisions (cluster sizes, candidate completion). Calls
+	// are serialized behind a mutex, so the sink needs no locking of its own
+	// even when phases report from concurrent workers.
 	Progress func(format string, args ...any)
+	// Trace, when set, collects an EXPLAIN ANALYZE profile: every operator
+	// the algorithms build is wrapped in an obs probe recording rows, wall
+	// time, and exec.Counters deltas into a span tree under Trace.Root().
+	// Leave nil (the default) for zero instrumentation overhead.
+	Trace *obs.Tracer
+	// ProfileSpan overrides the parent span new spans attach under; the
+	// constructors set it so nested structures (partition phases, rewrite
+	// nodes) land in the right subtree. Leave nil to attach at the root.
+	ProfileSpan *obs.Span
 	// AssumeUniqueInputs mirrors the paper's analysis setting: inputs carry
 	// no duplicates, so aggregation-based algorithms skip duplicate
 	// elimination. Hash-division is insensitive to this flag (it tolerates
@@ -127,11 +140,48 @@ func (e Env) hbs() float64 {
 	return 2
 }
 
+// progressMu serializes Progress sink calls across every Env (Env is passed
+// by value, so the mutex cannot live in it): partitioned and parallel
+// executions may report from concurrent goroutines, and sinks — a terminal
+// writer, a recording slice — are rarely safe for concurrent use.
+var progressMu sync.Mutex
+
 // progressf reports phase progress when a Progress sink is configured.
 func (e Env) progressf(format string, args ...any) {
-	if e.Progress != nil {
-		e.Progress(format, args...)
+	if e.Progress == nil {
+		return
 	}
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	e.Progress(format, args...)
+}
+
+// ProfileParent returns the span new operator spans should attach under: the
+// explicit ProfileSpan when set, the tracer root otherwise, nil when
+// profiling is off. Every obs helper is nil-safe, so builders chain from this
+// without guards — except around span-name formatting, which must stay
+// behind a nil check to keep the untraced path allocation-free.
+func (e Env) ProfileParent() *obs.Span {
+	if e.ProfileSpan != nil {
+		return e.ProfileSpan
+	}
+	return e.Trace.Root()
+}
+
+// instrument wraps op in a profiling probe recording into span; a nil span
+// returns op unchanged.
+func (e Env) instrument(op exec.Operator, span *obs.Span) exec.Operator {
+	return obs.Instrument(op, span, e.Counters)
+}
+
+// scanSpan creates a child span for a plan input, deriving the kind label
+// from op's concrete type. The nil guard keeps the fmt formatting off the
+// untraced path.
+func scanSpan(parent *obs.Span, role string, op exec.Operator) *obs.Span {
+	if parent == nil {
+		return nil
+	}
+	return parent.Child(role, obs.OpName(op))
 }
 
 func (e Env) batchSize() int {
@@ -219,25 +269,38 @@ func (a Algorithm) String() string {
 // where only dividend tuples matching the (restricted) divisor may be
 // counted.
 func New(alg Algorithm, sp Spec, env Env) (exec.Operator, error) {
+	return NewWithOptions(alg, sp, env, HashDivisionOptions{})
+}
+
+// NewWithOptions is New with hash-division tuning (hdOpts applies to
+// AlgHashDivision only). When env carries a Trace, the returned operator is
+// wrapped in a probe recording into a span named after the algorithm, and
+// every operator the algorithm builds internally records into child spans —
+// the EXPLAIN ANALYZE tree.
+func NewWithOptions(alg Algorithm, sp Spec, env Env, hdOpts HashDivisionOptions) (exec.Operator, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
+	span := env.ProfileParent().Child(alg.String(), "division")
+	env.ProfileSpan = span
+	var op exec.Operator
 	switch alg {
 	case AlgNaive:
-		return NewNaive(sp, env), nil
+		op = NewNaive(sp, env)
 	case AlgSortAgg:
-		return NewSortAggregation(sp, env, false), nil
+		op = NewSortAggregation(sp, env, false)
 	case AlgSortAggJoin:
-		return NewSortAggregation(sp, env, true), nil
+		op = NewSortAggregation(sp, env, true)
 	case AlgHashAgg:
-		return NewHashAggregation(sp, env, false), nil
+		op = NewHashAggregation(sp, env, false)
 	case AlgHashAggJoin:
-		return NewHashAggregation(sp, env, true), nil
+		op = NewHashAggregation(sp, env, true)
 	case AlgHashDivision:
-		return NewHashDivision(sp, env, HashDivisionOptions{}), nil
+		op = NewHashDivision(sp, env, hdOpts)
 	default:
 		return nil, fmt.Errorf("division: unknown algorithm %d", int(alg))
 	}
+	return env.instrument(op, span), nil
 }
 
 // Run executes an algorithm and returns the quotient tuples.

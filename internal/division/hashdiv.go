@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/exec"
 	"repro/internal/hashtab"
+	"repro/internal/obs"
 	"repro/internal/tuple"
 )
 
@@ -87,6 +88,11 @@ type HashDivision struct {
 	divOff      int
 	quotOff     int
 
+	// Profile spans for the three Figure 1 steps (nil without a tracer).
+	buildSpan  *obs.Span
+	absorbSpan *obs.Span
+	scanQSpan  *obs.Span
+
 	stats HashDivisionStats
 }
 
@@ -96,10 +102,32 @@ func (h *HashDivision) Stats() HashDivisionStats { return h.stats }
 
 // NewHashDivision builds the operator.
 func NewHashDivision(sp Spec, env Env, opts HashDivisionOptions) *HashDivision {
-	return &HashDivision{
+	h := &HashDivision{
 		sp: sp, env: env, opts: opts,
 		qs: sp.QuotientSchema(), qCols: sp.QuotientCols(),
 	}
+	h.initSpans()
+	return h
+}
+
+// initSpans wires the profile tree: the three Figure 1 steps record as phase
+// spans, each input scan nested under the phase that drives it. In early-emit
+// mode the dividend streams through Next, so its scan attaches directly to
+// the algorithm span instead of an absorb phase.
+func (h *HashDivision) initSpans() {
+	parent := h.env.ProfileParent()
+	if parent == nil {
+		return
+	}
+	h.buildSpan = parent.Child("build-divisor-table", "phase")
+	h.sp.Divisor = h.env.instrument(h.sp.Divisor, scanSpan(h.buildSpan, "scan(divisor)", h.sp.Divisor))
+	if h.opts.EarlyEmit {
+		h.sp.Dividend = h.env.instrument(h.sp.Dividend, scanSpan(parent, "scan(dividend)", h.sp.Dividend))
+		return
+	}
+	h.absorbSpan = parent.Child("absorb-dividend", "phase")
+	h.scanQSpan = parent.Child("scan-quotient-table", "phase")
+	h.sp.Dividend = h.env.instrument(h.sp.Dividend, scanSpan(h.absorbSpan, "scan(dividend)", h.sp.Dividend))
 }
 
 // DivisorCount reports the number of distinct divisor tuples seen at Open.
@@ -231,7 +259,10 @@ func (h *HashDivision) Open() error {
 		return err
 	}
 	h.stats = HashDivisionStats{}
-	if err := h.buildDivisorTable(); err != nil {
+	ph := h.buildSpan.Start(h.env.Counters)
+	err := h.buildDivisorTable()
+	ph.End(h.stats.DivisorDistinct)
+	if err != nil {
 		return err
 	}
 	h.quotientTable = hashtab.NewForExpected(h.qs, h.env.expectedQuotient(), h.env.hbs())
@@ -239,41 +270,18 @@ func (h *HashDivision) Open() error {
 	h.pos = 0
 	h.streaming = h.opts.EarlyEmit
 
-	if err := h.sp.Dividend.Open(); err != nil {
-		return err
-	}
-	h.opened = true
 	if h.streaming {
+		if err := h.sp.Dividend.Open(); err != nil {
+			return err
+		}
+		h.opened = true
 		return nil
 	}
 
-	// Step 2, stop-and-go: consume the whole dividend. Batch-capable inputs
-	// take the vectorized pass — one NextBatch per page-sized batch instead
-	// of one interface dispatch per Transcript tuple; absorbBatch performs
-	// exactly the operations absorb would, so statistics and cost counters
-	// are identical on both paths.
-	if bop, ok := exec.NativeBatch(h.sp.Dividend); ok {
-		if err := h.absorbBatches(bop); err != nil {
-			h.sp.Dividend.Close()
-			return err
-		}
-	} else {
-		for {
-			t, err := h.sp.Dividend.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				h.sp.Dividend.Close()
-				return err
-			}
-			if _, err := h.absorb(t); err != nil {
-				h.sp.Dividend.Close()
-				return err
-			}
-		}
-	}
-	if err := h.sp.Dividend.Close(); err != nil {
+	ph = h.absorbSpan.Start(h.env.Counters)
+	err = h.absorbDividend()
+	ph.End(h.stats.DividendTuples)
+	if err != nil {
 		return err
 	}
 
@@ -282,7 +290,8 @@ func (h *HashDivision) Open() error {
 	h.divisorTable = nil
 
 	// Step 3: find the result in the quotient table.
-	err := h.quotientTable.Iterate(func(e *hashtab.Element) error {
+	ph = h.scanQSpan.Start(h.env.Counters)
+	err = h.quotientTable.Iterate(func(e *hashtab.Element) error {
 		if h.opts.CountersOnly {
 			if h.env.Counters != nil {
 				h.env.Counters.Comp++
@@ -304,7 +313,44 @@ func (h *HashDivision) Open() error {
 		}
 		return nil
 	})
+	ph.End(h.stats.QuotientTuples)
 	return err
+}
+
+// absorbDividend is step 2 in stop-and-go mode: the dividend is opened,
+// drained, and closed here, entirely inside the absorb phase window, so the
+// dividend scan's records nest under that phase. Batch-capable inputs take
+// the vectorized pass — one NextBatch per page-sized batch instead of one
+// interface dispatch per Transcript tuple; absorbBatch performs exactly the
+// operations absorb would, so statistics and cost counters are identical on
+// both paths.
+func (h *HashDivision) absorbDividend() error {
+	if err := h.sp.Dividend.Open(); err != nil {
+		return err
+	}
+	h.opened = true
+	if bop, ok := exec.NativeBatch(h.sp.Dividend); ok {
+		if err := h.absorbBatches(bop); err != nil {
+			h.sp.Dividend.Close()
+			return err
+		}
+	} else {
+		for {
+			t, err := h.sp.Dividend.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				h.sp.Dividend.Close()
+				return err
+			}
+			if _, err := h.absorb(t); err != nil {
+				h.sp.Dividend.Close()
+				return err
+			}
+		}
+	}
+	return h.sp.Dividend.Close()
 }
 
 // absorbBatches is the vectorized step 2: it drains the dividend through the

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/tuple"
 )
 
@@ -29,12 +30,19 @@ type Naive struct {
 	failed    bool        // candidate already failed or emitted
 	preSorted bool        // inputs arrive sorted (index scans); skip sorting
 	opened    bool
+
+	// Profile spans (nil without a tracer). The sorts are rebuilt on every
+	// Open, so their spans are memoized here and accumulate across re-opens.
+	sortDividendSpan *obs.Span
+	sortDivisorSpan  *obs.Span
 }
 
 // NewNaive builds the operator; it sorts both inputs itself (with duplicate
 // elimination folded into the sorts unless env.AssumeUniqueInputs).
 func NewNaive(sp Spec, env Env) *Naive {
-	return &Naive{sp: sp, env: env, qs: sp.QuotientSchema(), qCols: sp.QuotientCols()}
+	n := &Naive{sp: sp, env: env, qs: sp.QuotientSchema(), qCols: sp.QuotientCols()}
+	n.initSpans()
+	return n
 }
 
 // NewNaivePreSorted builds naive division over inputs that already arrive in
@@ -43,7 +51,28 @@ func NewNaive(sp Spec, env Env) *Naive {
 // B+-tree index scans. The sorts are skipped entirely; adjacent duplicates
 // in either input are tolerated.
 func NewNaivePreSorted(sp Spec, env Env) *Naive {
-	return &Naive{sp: sp, env: env, qs: sp.QuotientSchema(), qCols: sp.QuotientCols(), preSorted: true}
+	n := &Naive{sp: sp, env: env, qs: sp.QuotientSchema(), qCols: sp.QuotientCols(), preSorted: true}
+	n.initSpans()
+	return n
+}
+
+// initSpans wires the profile tree: the input scans record under the sorts
+// that consume them (or directly under the algorithm span when pre-sorted),
+// so each level's self cost is its exclusive share.
+func (n *Naive) initSpans() {
+	parent := n.env.ProfileParent()
+	if parent == nil {
+		return
+	}
+	if n.preSorted {
+		n.sp.Dividend = n.env.instrument(n.sp.Dividend, scanSpan(parent, "scan(dividend)", n.sp.Dividend))
+		n.sp.Divisor = n.env.instrument(n.sp.Divisor, scanSpan(parent, "scan(divisor)", n.sp.Divisor))
+		return
+	}
+	n.sortDivisorSpan = parent.Child("sort(divisor)", "Sort")
+	n.sortDividendSpan = parent.Child("sort(dividend)", "Sort")
+	n.sp.Divisor = n.env.instrument(n.sp.Divisor, scanSpan(n.sortDivisorSpan, "scan(divisor)", n.sp.Divisor))
+	n.sp.Dividend = n.env.instrument(n.sp.Dividend, scanSpan(n.sortDividendSpan, "scan(dividend)", n.sp.Dividend))
 }
 
 // Schema implements Operator.
@@ -82,14 +111,14 @@ func (n *Naive) Open() error {
 		return nil
 	}
 
-	divisorSort := exec.NewSort(n.sp.Divisor, exec.SortConfig{
+	divisorSort := n.env.instrument(exec.NewSort(n.sp.Divisor, exec.SortConfig{
 		Keys:        ss.AllColumns(),
 		Dedup:       !n.env.AssumeUniqueInputs,
 		MemoryBytes: n.env.sortBytes(),
 		Pool:        n.env.Pool,
 		TempDev:     n.env.TempDev,
 		Counters:    n.env.Counters,
-	})
+	}), n.sortDivisorSpan)
 	divisors, err := exec.Collect(divisorSort)
 	if err != nil {
 		return err
@@ -99,14 +128,14 @@ func (n *Naive) Open() error {
 	// Dividend sorted on quotient attributes major, divisor attributes
 	// minor; duplicate elimination over the full key happens in the sort.
 	keys := append(append([]int(nil), n.qCols...), n.sp.DivisorCols...)
-	n.sortedDividend = exec.NewSort(n.sp.Dividend, exec.SortConfig{
+	n.sortedDividend = n.env.instrument(exec.NewSort(n.sp.Dividend, exec.SortConfig{
 		Keys:        keys,
 		Dedup:       !n.env.AssumeUniqueInputs,
 		MemoryBytes: n.env.sortBytes(),
 		Pool:        n.env.Pool,
 		TempDev:     n.env.TempDev,
 		Counters:    n.env.Counters,
-	})
+	}), n.sortDividendSpan)
 	if err := n.sortedDividend.Open(); err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/exec"
 	"repro/internal/hashtab"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/tuple"
 )
@@ -178,6 +179,20 @@ func (p *PartitionedHashDivision) collectDivisor() ([]tuple.Tuple, error) {
 	return out, p.sp.Divisor.Close()
 }
 
+// phaseEnv derives the Env for partition phase i of n: with tracing on, the
+// phase gets its own span (returned so the phase operator can be probed
+// against it — the probe makes the span's inclusive counters cover its
+// children, keeping every self non-negative) and child spans attach under it.
+func (p *PartitionedHashDivision) phaseEnv(parent *obs.Span, i, n int) (Env, *obs.Span) {
+	env := p.env
+	if parent == nil {
+		return env, nil
+	}
+	span := parent.Child(fmt.Sprintf("phase %d/%d", i+1, n), "hash-division")
+	env.ProfileSpan = span
+	return env, span
+}
+
 // clusterOperand returns the Operator for cluster i of the dividend.
 func clusterOperand(i int, mem []tuple.Tuple, files []*storage.File, schema *tuple.Schema) exec.Operator {
 	if i == 0 {
@@ -226,16 +241,18 @@ func (p *PartitionedHashDivision) runQuotientPartitioned() error {
 	p.spilled = files
 
 	ss := p.sp.Divisor.Schema()
+	parent := p.env.ProfileParent()
 	// "all dividend clusters are divided with the entire divisor"; the
 	// quotient of the division is the concatenation of the cluster
 	// quotients.
 	for i := 0; i < p.k; i++ {
+		env, span := p.phaseEnv(parent, i, p.k)
 		phase := NewHashDivision(Spec{
 			Dividend:    clusterOperand(i, mem, files, ds),
 			Divisor:     exec.NewMemScan(ss, divisor),
 			DivisorCols: p.sp.DivisorCols,
-		}, p.env, p.hdOpts)
-		qts, err := exec.Collect(phase)
+		}, env, p.hdOpts)
+		qts, err := exec.Collect(obs.Instrument(phase, span, p.env.Counters))
 		if err != nil {
 			return err
 		}
@@ -295,16 +312,18 @@ func (p *PartitionedHashDivision) runDivisorPartitioned() error {
 	// notes, the phase number replaces the divisor-table lookup, so the
 	// collection skips step 1 of hash-division.
 	collection := hashtab.NewForExpected(p.qs, p.env.expectedQuotient(), p.env.hbs())
+	parent := p.env.ProfileParent()
 	for c := 0; c < p.k; c++ {
 		if phaseOf[c] < 0 {
 			continue
 		}
+		env, span := p.phaseEnv(parent, phaseOf[c], numPhases)
 		phase := NewHashDivision(Spec{
 			Dividend:    clusterOperand(c, mem, files, ds),
 			Divisor:     exec.NewMemScan(ss, clusters[c]),
 			DivisorCols: p.sp.DivisorCols,
-		}, p.env, p.hdOpts)
-		err := exec.ForEach(phase, func(q tuple.Tuple) error {
+		}, env, p.hdOpts)
+		err := exec.ForEach(obs.Instrument(phase, span, p.env.Counters), func(q tuple.Tuple) error {
 			e, created := collection.GetOrInsert(q)
 			if created {
 				e.Bits = bitmap.New(numPhases)

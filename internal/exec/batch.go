@@ -40,12 +40,13 @@ var arenaPool sync.Pool
 // are only valid until the producer's next NextBatch/Close; callers that
 // retain tuples must Clone them — the same contract as Operator.Next.
 type Batch struct {
-	schema  *tuple.Schema
-	width   int
-	owned   []byte // recyclable arena backing appended tuples
-	data    []byte // current view: owned, or foreign memory when aliased
-	n       int
-	aliased bool
+	schema   *tuple.Schema
+	width    int
+	owned    []byte // recyclable arena backing appended tuples
+	data     []byte // current view: owned, or foreign memory when aliased
+	n        int
+	aliased  bool
+	released bool
 }
 
 // NewBatch returns an empty batch for schema tuples with room for capTuples
@@ -85,12 +86,15 @@ func (b *Batch) Tuple(i int) tuple.Tuple {
 	return tuple.Tuple(b.data[off : off+b.width : off+b.width])
 }
 
-// Reset empties the batch for refilling, dropping any alias.
+// Reset empties the batch for refilling, dropping any alias. Resetting a
+// released batch revives it with a fresh (empty) arena, so a later Release
+// returns only memory this batch grew itself.
 func (b *Batch) Reset() {
 	b.owned = b.owned[:0]
 	b.data = b.owned
 	b.n = 0
 	b.aliased = false
+	b.released = false
 }
 
 // Append copies t into the arena. t must have the batch's schema width.
@@ -152,12 +156,21 @@ func (b *Batch) Truncate(n int) {
 }
 
 // Release returns the arena to the shared pool. The batch (and every tuple
-// obtained from it) must not be used afterwards.
+// obtained from it) must not be used afterwards. Release is idempotent: a
+// second call is a no-op, never a second arenaPool.Put — a double put would
+// hand the same arena to two live batches, silently sharing memory between
+// queries. Releasing an aliased batch returns only the owned arena; the
+// foreign memory it viewed never enters the pool.
 func (b *Batch) Release() {
+	if b.released {
+		return
+	}
+	b.released = true
 	if b.owned != nil {
 		arenaPool.Put(b.owned[:0]) //nolint:staticcheck // []byte boxing is one header per query
 	}
 	b.owned, b.data, b.n = nil, nil, 0
+	b.aliased = false
 }
 
 // BatchOperator is the batch-at-a-time face of the open-next-close protocol.

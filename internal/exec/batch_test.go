@@ -273,3 +273,52 @@ func TestFillBatchEOFOnlyWhenEmpty(t *testing.T) {
 		t.Fatalf("exhausted fill: err=%v len=%d", err, b.Len())
 	}
 }
+
+func TestBatchReleaseTwiceIsNoOp(t *testing.T) {
+	b := NewBatch(pairSchema, 8)
+	b.Append(pairSchema.MustMake(1, 2))
+	b.Release()
+	b.Release() // second release must be a no-op, not a second pool Put
+
+	// If the double release had put the arena twice, two fresh batches could
+	// be handed the same backing memory and silently share tuples.
+	b1 := NewBatch(pairSchema, 8)
+	b2 := NewBatch(pairSchema, 8)
+	s1 := b1.AppendSlot()
+	s2 := b2.AppendSlot()
+	pairSchema.SetInt64(s1, 0, 0xAA)
+	pairSchema.SetInt64(s2, 0, 0xBB)
+	if &s1[0] == &s2[0] {
+		t.Fatal("two live batches share an arena after a double release")
+	}
+	if got := pairSchema.Int64(b1.Tuple(0), 0); got != 0xAA {
+		t.Fatalf("batch 1 tuple clobbered: %#x", got)
+	}
+	b1.Release()
+	b2.Release()
+}
+
+func TestBatchReleaseAfterAlias(t *testing.T) {
+	b := NewBatch(pairSchema, 4)
+	foreign := make([]byte, 4*pairSchema.Width())
+	b.SetAlias(foreign, 4)
+	b.Release() // must return only the owned arena, never the foreign memory
+
+	nb := NewBatch(pairSchema, 4)
+	slot := nb.AppendSlot()
+	if &slot[0] == &foreign[0] {
+		t.Fatal("foreign aliased memory entered the arena pool")
+	}
+	nb.Release()
+}
+
+func TestBatchResetRevivesAfterRelease(t *testing.T) {
+	b := NewBatch(pairSchema, 4)
+	b.Release()
+	b.Reset()
+	b.Append(pairSchema.MustMake(7, 8)) // must not panic on a stale alias flag
+	if b.Len() != 1 {
+		t.Fatalf("revived batch Len = %d", b.Len())
+	}
+	b.Release()
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -18,6 +19,15 @@ type Exchange struct {
 	depth int
 	batch int
 
+	// Context plumbing (NewExchangeContext): the producer's input is built
+	// over a context that Close cancels, so Close returns promptly even when
+	// the producer is blocked inside input.Next on a slow or hung source.
+	parent context.Context
+	mk     func(context.Context) Operator
+	cancel context.CancelFunc
+
+	schema *tuple.Schema // retained across context rebuilds
+
 	ch     chan exchangeMsg
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -34,6 +44,11 @@ type exchangeMsg struct {
 
 // NewExchange wraps input. batch is tuples per transfer (default 64); depth
 // is the channel capacity in batches (default 4).
+//
+// Close stops the producer at the next batch boundary or Next return — it
+// cannot interrupt an input whose Next itself blocks indefinitely. Inputs
+// that can hang (network scans, fault-injected devices) should be built with
+// NewExchangeContext so Close can cancel them mid-call.
 func NewExchange(input Operator, batch, depth int) *Exchange {
 	if batch <= 0 {
 		batch = 64
@@ -44,11 +59,44 @@ func NewExchange(input Operator, batch, depth int) *Exchange {
 	return &Exchange{input: input, batch: batch, depth: depth}
 }
 
+// NewExchangeContext builds the producer's input over a context that the
+// exchange owns: mk receives a context derived from parent (Background when
+// nil) and should thread it into blocking operators — typically by wrapping
+// the scan in NewContextScan, or by passing it to a context-aware source.
+// Close cancels that context before draining, so a producer stuck inside
+// input.Next returns promptly instead of deadlocking Close. Each Open derives
+// a fresh context and rebuilds the input through mk, so the operator stays
+// reusable after Close, like the plain constructor.
+func NewExchangeContext(parent context.Context, mk func(context.Context) Operator, batch, depth int) *Exchange {
+	if parent == nil {
+		parent = context.Background()
+	}
+	e := NewExchange(nil, batch, depth)
+	e.parent = parent
+	e.mk = mk
+	ctx, cancel := context.WithCancel(parent)
+	e.input = mk(ctx)
+	e.cancel = cancel
+	return e
+}
+
 // Schema implements Operator.
-func (e *Exchange) Schema() *tuple.Schema { return e.input.Schema() }
+func (e *Exchange) Schema() *tuple.Schema {
+	if e.input == nil {
+		return e.schema
+	}
+	return e.input.Schema()
+}
 
 // Open implements Operator: it starts the producer goroutine.
 func (e *Exchange) Open() error {
+	if e.mk != nil && e.input == nil {
+		// Re-open after Close: the previous context is spent, rebuild the
+		// input over a fresh one.
+		ctx, cancel := context.WithCancel(e.parent)
+		e.input = e.mk(ctx)
+		e.cancel = cancel
+	}
 	if err := e.input.Open(); err != nil {
 		return err
 	}
@@ -67,7 +115,14 @@ func (e *Exchange) produce() {
 	buf := make([]tuple.Tuple, 0, e.batch)
 	flush := func() bool {
 		if len(buf) == 0 {
-			return true
+			// Still honor a pending stop: an empty flush must not report
+			// progress when the consumer has already closed.
+			select {
+			case <-e.stop:
+				return false
+			default:
+				return true
+			}
 		}
 		select {
 		case e.ch <- exchangeMsg{batch: buf}:
@@ -78,6 +133,14 @@ func (e *Exchange) produce() {
 		}
 	}
 	for {
+		// Check for stop once per tuple, not only at batch boundaries, so a
+		// closed consumer stops the producer even when the channel never
+		// fills.
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
 		t, err := e.input.Next()
 		if err == io.EOF {
 			flush()
@@ -129,17 +192,29 @@ func (e *Exchange) Next() (tuple.Tuple, error) {
 	}
 }
 
-// Close implements Operator: it stops the producer and closes the input.
+// Close implements Operator: it stops the producer and closes the input. For
+// exchanges built with NewExchangeContext the input's context is cancelled
+// first, so Close returns promptly even if the producer is blocked inside
+// input.Next.
 func (e *Exchange) Close() error {
 	if !e.opened {
 		return nil
 	}
 	e.opened = false
+	if e.cancel != nil {
+		e.cancel()
+		e.cancel = nil
+	}
 	close(e.stop)
 	// Drain so the producer is never blocked on send.
 	for range e.ch {
 	}
 	e.wg.Wait()
 	e.cur = nil
-	return e.input.Close()
+	err := e.input.Close()
+	if e.mk != nil {
+		e.schema = e.input.Schema()
+		e.input = nil // rebuilt over a fresh context on the next Open
+	}
+	return err
 }

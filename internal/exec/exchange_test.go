@@ -1,8 +1,11 @@
 package exec
 
 import (
+	"context"
+	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/tuple"
 )
@@ -95,6 +98,94 @@ func TestExchangeUnderSort(t *testing.T) {
 		if got[i][0] < got[i-1][0] {
 			t.Fatalf("not sorted at %d", i)
 		}
+	}
+}
+
+// blockingOp blocks inside Next until its context is cancelled — the
+// hung-input scenario (a stalled network scan, a wedged device) that used to
+// deadlock Exchange.Close forever.
+type blockingOp struct {
+	ctx     context.Context
+	started chan struct{}
+}
+
+func (b *blockingOp) Schema() *tuple.Schema { return pairSchema }
+func (b *blockingOp) Open() error           { return nil }
+func (b *blockingOp) Next() (tuple.Tuple, error) {
+	select {
+	case b.started <- struct{}{}:
+	default:
+	}
+	<-b.ctx.Done()
+	return nil, b.ctx.Err()
+}
+func (b *blockingOp) Close() error { return nil }
+
+func TestExchangeCloseUnblocksHungProducer(t *testing.T) {
+	started := make(chan struct{}, 1)
+	e := NewExchangeContext(context.Background(), func(ctx context.Context) Operator {
+		return &blockingOp{ctx: ctx, started: started}
+	}, 16, 2)
+	if err := e.Open(); err != nil {
+		t.Fatal(err)
+	}
+	<-started // producer is now parked inside input.Next
+	done := make(chan error, 1)
+	go func() { done <- e.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Exchange.Close blocked on a producer stuck in input.Next")
+	}
+}
+
+func TestExchangeContextReusableAndCancellable(t *testing.T) {
+	in := make([]tuple.Tuple, 500)
+	for i := range in {
+		in[i] = pairSchema.MustMake(int64(i), 0)
+	}
+	e := NewExchangeContext(context.Background(), func(ctx context.Context) Operator {
+		return NewContextScan(ctx, NewMemScan(pairSchema, in))
+	}, 32, 2)
+	if got := rows(t, e); len(got) != len(in) {
+		t.Fatalf("first run passed %d tuples", len(got))
+	}
+	// A second run must get a fresh, uncancelled context.
+	if got := rows(t, e); len(got) != len(in) {
+		t.Fatalf("reopened run passed %d tuples", len(got))
+	}
+}
+
+func TestExchangeParentCancellationSurfacesError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make([]tuple.Tuple, 100000)
+	for i := range in {
+		in[i] = pairSchema.MustMake(int64(i), 0)
+	}
+	e := NewExchangeContext(ctx, func(c context.Context) Operator {
+		return NewContextScan(c, NewMemScan(pairSchema, in))
+	}, 16, 1)
+	if err := e.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The stream must end with the cancellation error, not a clean EOF that
+	// would make a truncated result look complete.
+	var err error
+	for err == nil {
+		_, err = e.Next()
+	}
+	if err == io.EOF {
+		t.Error("cancelled exchange ended with clean EOF")
+	}
+	if cerr := e.Close(); cerr != nil {
+		t.Fatal(cerr)
 	}
 }
 

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+// Instrument wraps op in a profiling probe that records rows/batches
+// produced, wall time, and the exec.Counters delta observed across every
+// Open/Next/NextBatch/Close call into span. A nil span returns op unchanged,
+// so uninstrumented queries pay exactly one nil check per plan node at build
+// time and nothing per tuple.
+//
+// The wrapper preserves the batch protocol: when op is a native
+// BatchOperator the probe is one too, so exec.NativeBatch discovery — and
+// therefore the execution path and the Counters it produces — is unchanged
+// by profiling. Deltas are snapshot-based and inclusive of op's entire
+// subtree; nest probes (a probe on an operator whose input is also probed,
+// with the input's span a child of op's) and SelfCounters attributes each
+// level its exclusive share. faultinject retries compose transparently:
+// retried I/O performed inside a probed call window lands in that operator's
+// span as extra counter delta.
+func Instrument(op exec.Operator, span *Span, counters *exec.Counters) exec.Operator {
+	if span == nil || op == nil {
+		return op
+	}
+	p := probe{input: op, span: span, counters: counters}
+	if bop, ok := exec.NativeBatch(op); ok {
+		return &batchProbe{probe: p, bop: bop}
+	}
+	return &p
+}
+
+// probe instruments the tuple protocol only.
+type probe struct {
+	input    exec.Operator
+	span     *Span
+	counters *exec.Counters
+}
+
+func (p *probe) Schema() *tuple.Schema { return p.input.Schema() }
+
+func (p *probe) begin() (exec.Counters, time.Time) {
+	var snap exec.Counters
+	if p.counters != nil {
+		snap = *p.counters
+	}
+	return snap, time.Now()
+}
+
+func (p *probe) end(snap exec.Counters, start time.Time, opens, rows, batches int64) {
+	var delta exec.Counters
+	if p.counters != nil {
+		delta = diff(*p.counters, snap)
+	}
+	p.span.Record(opens, rows, batches, time.Since(start), delta)
+}
+
+func (p *probe) Open() error {
+	snap, start := p.begin()
+	err := p.input.Open()
+	p.end(snap, start, 1, 0, 0)
+	return err
+}
+
+func (p *probe) Next() (tuple.Tuple, error) {
+	snap, start := p.begin()
+	t, err := p.input.Next()
+	var rows int64
+	if err == nil {
+		rows = 1
+	}
+	p.end(snap, start, 0, rows, 0)
+	return t, err
+}
+
+func (p *probe) Close() error {
+	snap, start := p.begin()
+	err := p.input.Close()
+	p.end(snap, start, 0, 0, 0)
+	return err
+}
+
+// batchProbe additionally forwards the batch protocol so NativeBatch
+// discovery sees through the probe.
+type batchProbe struct {
+	probe
+	bop exec.BatchOperator
+}
+
+func (p *batchProbe) NextBatch(b *exec.Batch) error {
+	snap, start := p.begin()
+	err := p.bop.NextBatch(b)
+	var rows, batches int64
+	if err == nil {
+		rows, batches = int64(b.Len()), 1
+	}
+	p.end(snap, start, 0, rows, batches)
+	return err
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/division"
 	"repro/internal/exec"
 	"repro/internal/hashtab"
+	"repro/internal/obs"
 	"repro/internal/tuple"
 )
 
@@ -54,6 +55,17 @@ type Config struct {
 	// coordinator packs each destination's tuples into one exec.Batch arena
 	// per send. Per-tuple and per-byte network statistics are unaffected.
 	BatchSize int
+	// Progress, when set, receives human-readable lines about the shuffle
+	// and per-worker outcomes. DivideContext serializes all calls behind a
+	// mutex, so the sink needs no locking even when divisions run
+	// concurrently.
+	Progress func(format string, args ...any)
+	// Trace, when set, collects per-worker spans (rows, wall time, input
+	// statistics) under Trace.Root() for EXPLAIN ANALYZE-style reporting.
+	// Worker counters are NOT folded into span deltas — workers run
+	// concurrently and exec.Counters is not thread-safe — so parallel spans
+	// carry rows and wall time only.
+	Trace *obs.Tracer
 }
 
 // NetworkStats count interconnect traffic.
@@ -104,13 +116,47 @@ func DivideContext(ctx context.Context, sp division.Spec, cfg Config) (*Result, 
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = shuffleBatch
 	}
+	cfg.Progress = obs.SerializeProgress(cfg.Progress)
+	var res *Result
+	var err error
 	switch cfg.Strategy {
 	case division.QuotientPartitioning:
-		return divideQuotientPartitioned(ctx, sp, cfg)
+		res, err = divideQuotientPartitioned(ctx, sp, cfg)
 	case division.DivisorPartitioning:
-		return divideDivisorPartitioned(ctx, sp, cfg)
+		res, err = divideDivisorPartitioned(ctx, sp, cfg)
 	default:
 		return nil, fmt.Errorf("parallel: unknown strategy %v", cfg.Strategy)
+	}
+	obs.Default.Counter("parallel.divisions").Inc()
+	if err != nil {
+		obs.Default.Counter("parallel.division_errors").Inc()
+		return nil, err
+	}
+	obs.Default.Counter("parallel.tuples_shipped").Add(res.Network.TuplesShipped)
+	return res, nil
+}
+
+// strategySpan opens the per-division span the worker spans attach under;
+// nil without a tracer. The name formatting stays behind the nil check so
+// untraced divisions allocate nothing.
+func strategySpan(cfg Config) *obs.Span {
+	if cfg.Trace == nil {
+		return nil
+	}
+	return cfg.Trace.Root().Child("parallel "+cfg.Strategy.String(), "parallel")
+}
+
+// report emits the shuffle summary and per-worker outcome lines.
+func report(cfg Config, res *Result, workers []*worker) {
+	if cfg.Progress == nil {
+		return
+	}
+	cfg.Progress("parallel %s: shipped %d tuples (%d bytes), filtered %d",
+		cfg.Strategy, res.Network.TuplesShipped, res.Network.BytesShipped,
+		res.Network.TuplesFiltered)
+	for _, w := range workers {
+		cfg.Progress("worker %d: dividend=%d divisor=%d quotient=%d",
+			w.id, w.stats.DividendTuples, w.stats.DivisorTuples, w.stats.QuotientTuples)
 	}
 }
 
@@ -182,6 +228,7 @@ type worker struct {
 	stats   WorkerStats
 	out     []tuple.Tuple
 	divisor []tuple.Tuple
+	span    *obs.Span // per-worker profile span; nil without a tracer
 }
 
 // run executes the local hash-division: build the divisor table, absorb the
@@ -190,6 +237,13 @@ type worker struct {
 // *exec.PanicError instead of crashing the process.
 func (w *worker) run(ctx context.Context, sp division.Spec, hbs float64) (err error) {
 	defer exec.RecoverPanic(&err)
+	if w.span != nil {
+		start := time.Now()
+		defer func() {
+			w.span.Record(1, w.stats.QuotientTuples, 0, time.Since(start), exec.Counters{})
+			w.span.Notef("dividend=%d divisor=%d", w.stats.DividendTuples, w.stats.DivisorTuples)
+		}()
+	}
 	ds := sp.Dividend.Schema()
 	ss := sp.Divisor.Schema()
 	qCols := sp.QuotientCols()
@@ -348,6 +402,7 @@ func divideQuotientPartitioned(ctx context.Context, sp division.Spec, cfg Config
 	}
 
 	sWidth := int64(sp.Divisor.Schema().Width())
+	root := strategySpan(cfg)
 	workers := make([]*worker, cfg.Workers)
 	var wg sync.WaitGroup
 	for i := range workers {
@@ -358,6 +413,9 @@ func divideQuotientPartitioned(ctx context.Context, sp division.Spec, cfg Config
 			id:      i,
 			in:      make(chan *exec.Batch, cfg.ChannelDepth),
 			divisor: divisor,
+		}
+		if root != nil {
+			workers[i].span = root.Child(fmt.Sprintf("worker %d", i), "worker")
 		}
 	}
 	spawnWorkers(ctx, workers, sp, cfg.HBS, &wg, fe)
@@ -381,6 +439,7 @@ func divideQuotientPartitioned(ctx context.Context, sp division.Spec, cfg Config
 		res.Network.BytesShipped += int64(len(w.out)) * qWidth
 		res.Quotient = append(res.Quotient, w.out...)
 	}
+	report(cfg, res, workers)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -428,6 +487,7 @@ func divideDivisorPartitioned(ctx context.Context, sp division.Spec, cfg Config)
 		}
 	}
 
+	root := strategySpan(cfg)
 	workers := make([]*worker, cfg.Workers)
 	var wg sync.WaitGroup
 	for i := range workers {
@@ -435,6 +495,9 @@ func divideDivisorPartitioned(ctx context.Context, sp division.Spec, cfg Config)
 			id:      i,
 			in:      make(chan *exec.Batch, cfg.ChannelDepth),
 			divisor: clusters[i],
+		}
+		if root != nil {
+			workers[i].span = root.Child(fmt.Sprintf("worker %d", i), "worker")
 		}
 		res.Network.TuplesShipped += int64(len(clusters[i]))
 		res.Network.BytesShipped += int64(len(clusters[i])) * sWidth
@@ -477,6 +540,7 @@ func divideDivisorPartitioned(ctx context.Context, sp division.Spec, cfg Config)
 	if err != nil {
 		return nil, err
 	}
+	report(cfg, res, workers)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

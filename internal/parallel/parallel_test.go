@@ -2,10 +2,13 @@ package parallel
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/division"
+	"repro/internal/obs"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -315,4 +318,80 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 
 func benchName(workers int) string {
 	return fmt.Sprintf("workers=%d", workers)
+}
+
+// TestProgressSinkConcurrentDivisions drives several divisions at once into
+// one shared, unlocked recording sink; with -race this proves DivideContext
+// serializes every Progress call, so sinks need no locking of their own.
+func TestProgressSinkConcurrentDivisions(t *testing.T) {
+	inst := testInstance(t, 21)
+	var lines []string // deliberately unguarded: serialization is under test
+	sink := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		strategy := division.QuotientPartitioning
+		if i%2 == 1 {
+			strategy = division.DivisorPartitioning
+		}
+		wg.Add(1)
+		go func(strategy division.PartitionStrategy) {
+			defer wg.Done()
+			res, err := Divide(instanceSpec(inst), Config{
+				Workers:  3,
+				Strategy: strategy,
+				Progress: sink,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			checkAgainstReference(t, inst, res)
+		}(strategy)
+	}
+	wg.Wait()
+	// Each division reports one shuffle summary and one line per worker.
+	if want := 4 * (1 + 3); len(lines) != want {
+		t.Fatalf("recorded %d progress lines, want %d:\n%s", len(lines), want, strings.Join(lines, "\n"))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "parallel ") && !strings.HasPrefix(l, "worker ") {
+			t.Errorf("unexpected progress line %q", l)
+		}
+	}
+}
+
+// TestTraceCollectsWorkerSpans checks the per-worker span tree a traced
+// parallel division produces.
+func TestTraceCollectsWorkerSpans(t *testing.T) {
+	inst := testInstance(t, 22)
+	tr := obs.NewTracer()
+	res, err := Divide(instanceSpec(inst), Config{
+		Workers:  3,
+		Strategy: division.QuotientPartitioning,
+		Trace:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, inst, res)
+	kids := tr.Root().Children()
+	if len(kids) != 1 || kids[0].Name() != "parallel quotient-partitioning" {
+		t.Fatalf("root children = %v", kids)
+	}
+	workers := kids[0].Children()
+	if len(workers) != 3 {
+		t.Fatalf("got %d worker spans", len(workers))
+	}
+	var rows int64
+	for _, w := range workers {
+		if w.Opens() != 1 {
+			t.Errorf("%s ran %d times", w.Name(), w.Opens())
+		}
+		rows += w.Rows()
+	}
+	if rows != int64(len(res.Quotient)) {
+		t.Errorf("worker spans account for %d rows, quotient has %d", rows, len(res.Quotient))
+	}
 }

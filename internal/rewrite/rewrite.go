@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/division"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/tuple"
 )
 
@@ -216,51 +217,83 @@ func matchForAll(c *CountEqCard) (*Division, bool) {
 // Compile lowers a logical plan to a physical operator tree. Division nodes
 // become hash-division; the un-rewritten aggregate pattern becomes the
 // hash-aggregation-with-semi-join plan of §2.2.2 — exactly the two plans the
-// paper's §5.2 remark compares.
+// paper's §5.2 remark compares. When env carries a Trace, every compiled node
+// records into its own span, nested to mirror the plan tree.
 func Compile(n Node, env division.Env) (exec.Operator, error) {
+	return compile(n, env, env.ProfileParent())
+}
+
+// nodeSpan keeps the span creation off the untraced path.
+func nodeSpan(parent *obs.Span, name, kind string) *obs.Span {
+	if parent == nil {
+		return nil
+	}
+	return parent.Child(name, kind)
+}
+
+func compile(n Node, env division.Env, parent *obs.Span) (exec.Operator, error) {
 	switch t := n.(type) {
 	case *Rel:
-		return t.scan(), nil
+		op := t.scan()
+		var span *obs.Span
+		if parent != nil {
+			span = parent.Child("scan("+t.Name+")", obs.OpName(op))
+		}
+		return obs.Instrument(op, span, env.Counters), nil
 	case *SemiJoin:
-		left, err := Compile(t.Left, env)
+		span := nodeSpan(parent, "semi-join", "HashSemiJoin")
+		left, err := compile(t.Left, env, span)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Compile(t.Right, env)
+		right, err := compile(t.Right, env, span)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewHashSemiJoin(left, right, t.LeftCols, t.RightCols, env.Counters), nil
+		op := exec.NewHashSemiJoin(left, right, t.LeftCols, t.RightCols, env.Counters)
+		return obs.Instrument(op, span, env.Counters), nil
 	case *GroupCount:
-		in, err := Compile(t.Input, env)
+		span := nodeSpan(parent, "group-count", "HashGroupCount")
+		in, err := compile(t.Input, env, span)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewHashGroupCount(in, t.GroupCols, 0, 0, env.Counters), nil
+		op := exec.NewHashGroupCount(in, t.GroupCols, 0, 0, env.Counters)
+		return obs.Instrument(op, span, env.Counters), nil
 	case *CountEqCard:
-		in, err := Compile(t.Input, env)
+		span := nodeSpan(parent, "count=card", "cardFilter")
+		in, err := compile(t.Input, env, span)
 		if err != nil {
 			return nil, err
 		}
-		of, err := Compile(t.Of, env)
+		of, err := compile(t.Of, env, span)
 		if err != nil {
 			return nil, err
 		}
-		return newCardFilter(in, of, env), nil
+		return obs.Instrument(newCardFilter(in, of, env), span, env.Counters), nil
 	case *Division:
-		dividend, err := Compile(t.Dividend, env)
+		span := nodeSpan(parent, "division", "hash-division")
+		// The hash-division constructor instruments its own inputs under its
+		// phase spans, so the children compile without spans of their own —
+		// a second probe on the same stream would double-count its work.
+		dividend, err := compile(t.Dividend, env, nil)
 		if err != nil {
 			return nil, err
 		}
-		divisor, err := Compile(t.Divisor, env)
+		divisor, err := compile(t.Divisor, env, nil)
 		if err != nil {
 			return nil, err
 		}
-		return division.NewHashDivision(division.Spec{
+		env.ProfileSpan = span
+		if span == nil {
+			env.Trace = nil // keep an untraced subtree from attaching to the root
+		}
+		op := division.NewHashDivision(division.Spec{
 			Dividend:    dividend,
 			Divisor:     divisor,
 			DivisorCols: t.DivisorCols,
-		}, env, division.HashDivisionOptions{}), nil
+		}, env, division.HashDivisionOptions{})
+		return obs.Instrument(op, span, env.Counters), nil
 	default:
 		return nil, fmt.Errorf("rewrite: cannot compile %T", n)
 	}

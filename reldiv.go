@@ -52,7 +52,9 @@ import (
 	"repro/internal/disk"
 	"repro/internal/division"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/rewrite"
 	"repro/internal/tuple"
 )
 
@@ -309,7 +311,22 @@ func wrapCancel(ctx context.Context, sp *division.Spec) {
 // Options.Timeout) aborts the division promptly — including all parallel
 // workers — and returns ctx's error. The first error to occur wins; a
 // cancelled run leaks no goroutines and no buffer-pool frames.
+//
+// Every call updates the obs.Default registry: "reldiv.divisions" counts
+// calls, "reldiv.division_errors" failures, "reldiv.quotient_rows" result
+// rows — an expvar-style snapshot of library activity.
 func DivideContext(ctx context.Context, dividend, divisor *Relation, on []string, opts *Options) (*Relation, error) {
+	rel, err := divideContext(ctx, dividend, divisor, on, opts)
+	obs.Default.Counter("reldiv.divisions").Inc()
+	if err != nil {
+		obs.Default.Counter("reldiv.division_errors").Inc()
+		return nil, err
+	}
+	obs.Default.Counter("reldiv.quotient_rows").Add(int64(rel.NumRows()))
+	return rel, nil
+}
+
+func divideContext(ctx context.Context, dividend, divisor *Relation, on []string, opts *Options) (*Relation, error) {
 	o := opts.orDefault()
 	if o.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -371,24 +388,135 @@ func DivideContext(ctx context.Context, dividend, divisor *Relation, on []string
 	if alg == Auto {
 		alg = choose(dividend, divisor)
 	}
-	if o.EarlyEmit && alg == HashDivision {
-		qts, err := exec.Collect(division.NewHashDivision(sp, env, division.HashDivisionOptions{EarlyEmit: true}))
-		if err != nil {
-			return nil, err
-		}
-		result.tuples = qts
-		return result, nil
-	}
 	ialg, err := alg.internal()
 	if err != nil {
 		return nil, err
 	}
-	qts, err := division.Run(ialg, sp, env)
+	op, err := division.NewWithOptions(ialg, sp, env, division.HashDivisionOptions{EarlyEmit: o.EarlyEmit})
+	if err != nil {
+		return nil, err
+	}
+	qts, err := exec.Collect(op)
 	if err != nil {
 		return nil, err
 	}
 	result.tuples = qts
 	return result, nil
+}
+
+// ExplainAnalyze executes the division with full instrumentation and returns
+// the quotient alongside the executed profile: a span tree annotated with
+// rows, wall time, and per-operator exec.Counters deltas whose selves sum to
+// the query total. Parallel runs (Workers > 1) profile per-worker spans with
+// rows and wall time only — worker counters would race.
+func ExplainAnalyze(dividend, divisor *Relation, on []string, opts *Options) (*Relation, *obs.Profile, error) {
+	o := opts.orDefault()
+	cols, err := matchColumns(dividend, divisor, on)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp := division.Spec{
+		Dividend:    exec.NewMemScan(dividend.schema, dividend.tuples),
+		Divisor:     exec.NewMemScan(divisor.schema, divisor.tuples),
+		DivisorCols: cols,
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, nil, err
+	}
+	counters := &exec.Counters{}
+	tracer := obs.NewTracer()
+	result := &Relation{
+		name:   fmt.Sprintf("%s÷%s", dividend.name, divisor.name),
+		schema: sp.QuotientSchema(),
+	}
+
+	if o.Workers > 1 {
+		strategy := division.QuotientPartitioning
+		if o.DivisorPartitioned {
+			strategy = division.DivisorPartitioning
+		}
+		res, err := parallel.Divide(sp, parallel.Config{
+			Workers:         o.Workers,
+			Strategy:        strategy,
+			BitVectorFilter: o.BitVectorFilter,
+			Trace:           tracer,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		result.tuples = res.Quotient
+		return result, tracer.Profile(counters), nil
+	}
+
+	env := division.Env{
+		Pool:               buffer.New(buffer.PaperPoolBytes),
+		TempDev:            disk.NewDevice("temp", disk.PaperRunPageSize),
+		AssumeUniqueInputs: o.AssumeUniqueInputs,
+		ExpectedDivisor:    divisor.NumRows(),
+		Counters:           counters,
+		Trace:              tracer,
+	}
+
+	if o.MemoryBudget > 0 {
+		qts, _, err := division.DivideWithBudget(sp, env, o.MemoryBudget, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		result.tuples = qts
+		return result, tracer.Profile(counters), nil
+	}
+
+	alg := o.Algorithm
+	if alg == Auto {
+		alg = choose(dividend, divisor)
+	}
+	ialg, err := alg.internal()
+	if err != nil {
+		return nil, nil, err
+	}
+	op, err := division.NewWithOptions(ialg, sp, env, division.HashDivisionOptions{EarlyEmit: o.EarlyEmit})
+	if err != nil {
+		return nil, nil, err
+	}
+	qts, err := exec.Collect(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	result.tuples = qts
+	return result, tracer.Profile(counters), nil
+}
+
+// ExplainPlan renders the logical plans the optimizer rule compares for this
+// division: the §2.2 aggregation encoding (semi-join, group count, count =
+// cardinality) a division-less system would run, and the tree after the
+// for-all rewrite rule replaces the pattern with a Division node.
+func ExplainPlan(dividend, divisor *Relation, on []string) (original, rewritten string, err error) {
+	cols, err := matchColumns(dividend, divisor, on)
+	if err != nil {
+		return "", "", err
+	}
+	dividendRel := rewrite.NewRel(dividend.name, dividend.schema, func() exec.Operator {
+		return exec.NewMemScan(dividend.schema, dividend.tuples)
+	})
+	// The same *Rel must appear as the semi-join's right input and as the
+	// scalar count's relation — the rule requires the subplans to be
+	// identical, which it checks by pointer.
+	divisorRel := rewrite.NewRel(divisor.name, divisor.schema, func() exec.Operator {
+		return exec.NewMemScan(divisor.schema, divisor.tuples)
+	})
+	plan := &rewrite.CountEqCard{
+		Input: &rewrite.GroupCount{
+			Input: &rewrite.SemiJoin{
+				Left: dividendRel, Right: divisorRel,
+				LeftCols: cols, RightCols: divisor.schema.AllColumns(),
+			},
+			GroupCols: dividend.schema.Complement(cols),
+		},
+		Of: divisorRel,
+	}
+	original = rewrite.Format(plan)
+	out, _ := rewrite.Rewrite(plan)
+	return original, rewrite.Format(out), nil
 }
 
 // RunStats reports what one hash-division execution did, EXPLAIN

@@ -14,6 +14,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/division"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rewrite"
 	"repro/internal/workload"
@@ -185,6 +186,56 @@ func TestFullSystem(t *testing.T) {
 	}
 	if !division.EqualTupleSets(qs, rwRows, ref) {
 		t.Error("rewritten plan: wrong quotient")
+	}
+
+	// 6. Observability: the public API bumps the process-wide registry, and
+	// EXPLAIN ANALYZE profiles the same workload without changing the answer.
+	before := obs.Default.Snapshot()
+	dividendRel := NewRelation("transcript", Int64Col("student"), Int64Col("course"))
+	for _, tp := range inst.Dividend {
+		dividendRel.MustInsert(
+			workload.TranscriptSchema.Int64(tp, 0), workload.TranscriptSchema.Int64(tp, 1))
+	}
+	divisorRel := NewRelation("courses", Int64Col("course"))
+	for _, tp := range inst.Divisor {
+		divisorRel.MustInsert(workload.CourseSchema.Int64(tp, 0))
+	}
+	quotient, err := Divide(dividendRel, divisorRel, []string{"course"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quotient.NumRows() != len(ref) {
+		t.Errorf("public Divide: %d rows, want %d", quotient.NumRows(), len(ref))
+	}
+	after := obs.Default.Snapshot()
+	if d := after["reldiv.divisions"] - before["reldiv.divisions"]; d != 1 {
+		t.Errorf("reldiv.divisions advanced by %d, want 1", d)
+	}
+	if d := after["reldiv.quotient_rows"] - before["reldiv.quotient_rows"]; d != int64(len(ref)) {
+		t.Errorf("reldiv.quotient_rows advanced by %d, want %d", d, len(ref))
+	}
+	if after["parallel.divisions"] < 1 {
+		t.Error("parallel.divisions never advanced despite stage 4")
+	}
+
+	analyzed, prof, err := ExplainAnalyze(dividendRel, divisorRel, []string{"course"},
+		&Options{Algorithm: HashDivision})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analyzed.NumRows() != len(ref) {
+		t.Errorf("ExplainAnalyze: %d rows, want %d", analyzed.NumRows(), len(ref))
+	}
+	if prof == nil || prof.Root == nil {
+		t.Fatal("ExplainAnalyze returned no profile")
+	}
+	if sum := prof.SumSelf(); sum != prof.Total {
+		t.Errorf("profile selves sum to %+v, total is %+v", sum, prof.Total)
+	}
+	spans := 0
+	prof.Walk(func(s *obs.Span, depth int) { spans++ })
+	if spans < 4 {
+		t.Errorf("profile has only %d spans; expected the phase tree", spans)
 	}
 
 	// Nothing may stay pinned in the pool after all of this.
