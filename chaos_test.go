@@ -157,20 +157,31 @@ func TestChaosSuite(t *testing.T) {
 				t.Fatalf("adaptive left %d frames fixed", pool.FixedFrames())
 			}
 
-			// Parallel, both partitioning strategies.
-			for _, strategy := range []division.PartitionStrategy{
-				division.QuotientPartitioning, division.DivisorPartitioning,
-			} {
+			// Parallel: every data path × partitioning strategy combination
+			// (shared-table requires quotient partitioning). The morsel paths
+			// scan page ranges concurrently, so faults fire under contention.
+			parallelCases := []struct {
+				strategy division.PartitionStrategy
+				path     parallel.Path
+			}{
+				{division.QuotientPartitioning, parallel.PathMorsel},
+				{division.QuotientPartitioning, parallel.PathCoordinator},
+				{division.QuotientPartitioning, parallel.PathSharedTable},
+				{division.DivisorPartitioning, parallel.PathMorsel},
+				{division.DivisorPartitioning, parallel.PathCoordinator},
+			}
+			for _, c := range parallelCases {
 				res, err := parallel.Divide(storageSpec(), parallel.Config{
-					Workers: 4, Strategy: strategy,
+					Workers: 4, Strategy: c.strategy, Path: c.path,
 				})
 				var q []tuple.Tuple
 				if res != nil {
 					q = res.Quotient
 				}
-				check(t, "parallel/"+strategy.String(), q, err)
+				label := "parallel/" + c.strategy.String() + "/" + c.path.String()
+				check(t, label, q, err)
 				if pool.FixedFrames() != 0 {
-					t.Fatalf("parallel/%v left %d frames fixed", strategy, pool.FixedFrames())
+					t.Fatalf("%s left %d frames fixed", label, pool.FixedFrames())
 				}
 				waitGoroutines(t, before)
 			}

@@ -27,6 +27,15 @@
 //	-reps 3                   repetitions (min wall clock wins)
 //	-geometry paper           page geometry
 //	-json                     also merge results into BENCH_divbench.json
+//
+// parallel flags (§6 multi-processor scaling):
+//
+//	-s 100 -q 400 -noise 5   workload shape
+//	-workers 1,2,4,8         worker counts to sweep
+//	-reps 3                  repetitions (min wall clock wins)
+//	-json                    merge a parallel_scaling section into BENCH_divbench.json
+//	-check                   exit nonzero unless morsel@4 workers beats serial
+//	                         (skipped when GOMAXPROCS < 2)
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -125,7 +135,7 @@ commands:
   duplicates duplicate-handling sweep: preprocessing costs vs hash-division
   crossover analytic cost-vs-|R| series and overflow cost model
   overflow  hash table overflow / partition escalation
-  parallel  multi-processor scaling and bit-vector filtering
+  parallel  multi-processor scaling (-workers, -reps, -json, -check)
   example   the paper's Figure 2 worked example`)
 }
 
@@ -455,12 +465,29 @@ func runOverflow(args []string) error {
 	return nil
 }
 
+// parallelScalingPoint is one measurement in the parallel_scaling section.
+type parallelScalingPoint struct {
+	Strategy string  `json:"strategy"`
+	Path     string  `json:"path"`
+	Workers  int     `json:"workers"`
+	Ns       int64   `json:"ns"`      // min wall clock over reps
+	Speedup  float64 `json:"speedup"` // serial_ns / ns
+}
+
 func runParallel(args []string) error {
 	fs := flag.NewFlagSet("parallel", flag.ContinueOnError)
 	s := fs.Int("s", 100, "|S|")
 	q := fs.Int("q", 400, "quotient candidates")
 	noise := fs.Int("noise", 5, "non-matching tuples per candidate")
+	workersFlag := fs.String("workers", "1,2,4,8", "comma-separated worker counts")
+	reps := fs.Int("reps", 3, "repetitions per point; minimum wall clock wins")
+	jsonOut := fs.Bool("json", false, "merge a parallel_scaling section into "+benchJSONFile)
+	check := fs.Bool("check", false, "exit nonzero unless the morsel path at 4 workers beats the serial baseline (skipped when GOMAXPROCS < 2)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	workerCounts, err := parseSizes(*workersFlag)
+	if err != nil {
 		return err
 	}
 	inst, err := workload.Generate(workload.Config{
@@ -482,28 +509,113 @@ func runParallel(args []string) error {
 			DivisorCols: []int{1},
 		}
 	}
-	fmt.Printf("Parallel hash-division (§6): |S|=%d, candidates=%d, |R|=%d\n", *s, *q, len(inst.Dividend))
-	fmt.Printf("%-24s %8s %10s %12s %10s\n", "configuration", "workers", "elapsed", "bytes", "filtered")
-	for _, strat := range []division.PartitionStrategy{division.QuotientPartitioning, division.DivisorPartitioning} {
-		for _, workers := range []int{1, 2, 4, 8} {
-			for _, bv := range []bool{false, true} {
+
+	// Serial baseline: batch-at-a-time hash-division, min wall over reps —
+	// the denominator every speedup is measured against.
+	serialNs := int64(0)
+	for r := 0; r < *reps; r++ {
+		op, err := division.New(division.AlgHashDivision, spec(), division.Env{
+			ExpectedDivisor:  *s,
+			ExpectedQuotient: *q,
+		})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := exec.Drain(op); err != nil {
+			return err
+		}
+		if ns := time.Since(start).Nanoseconds(); r == 0 || ns < serialNs {
+			serialNs = ns
+		}
+	}
+
+	fmt.Printf("Parallel hash-division scaling (§6): |S|=%d, candidates=%d, |R|=%d, GOMAXPROCS=%d\n",
+		*s, *q, len(inst.Dividend), runtime.GOMAXPROCS(0))
+	fmt.Printf("serial batch hash-division baseline: %s (min of %d)\n",
+		time.Duration(serialNs).Round(time.Microsecond), *reps)
+	fmt.Printf("%-24s %-12s %8s %10s %8s %12s\n", "strategy", "path", "workers", "elapsed", "speedup", "bytes")
+
+	combos := []struct {
+		strategy division.PartitionStrategy
+		path     parallel.Path
+	}{
+		{division.QuotientPartitioning, parallel.PathMorsel},
+		{division.QuotientPartitioning, parallel.PathCoordinator},
+		{division.QuotientPartitioning, parallel.PathSharedTable},
+		{division.DivisorPartitioning, parallel.PathMorsel},
+		{division.DivisorPartitioning, parallel.PathCoordinator},
+	}
+	var points []parallelScalingPoint
+	for _, c := range combos {
+		for _, workers := range workerCounts {
+			best := int64(0)
+			var bytes int64
+			for r := 0; r < *reps; r++ {
 				res, err := parallel.Divide(spec(), parallel.Config{
-					Workers:         workers,
-					Strategy:        strat,
-					BitVectorFilter: bv,
+					Workers:          workers,
+					Strategy:         c.strategy,
+					Path:             c.path,
+					ExpectedQuotient: *q,
 				})
 				if err != nil {
 					return err
 				}
-				name := strat.String()
-				if bv {
-					name += "+bv"
+				bytes = res.Network.BytesShipped
+				if ns := res.Elapsed.Nanoseconds(); r == 0 || ns < best {
+					best = ns
 				}
-				fmt.Printf("%-24s %8d %10s %12d %10d\n",
-					name, workers, res.Elapsed.Round(time.Microsecond),
-					res.Network.BytesShipped, res.Network.TuplesFiltered)
+			}
+			p := parallelScalingPoint{
+				Strategy: c.strategy.String(),
+				Path:     c.path.String(),
+				Workers:  workers,
+				Ns:       best,
+				Speedup:  float64(serialNs) / float64(best),
+			}
+			points = append(points, p)
+			fmt.Printf("%-24s %-12s %8d %10s %8.2f %12d\n",
+				p.Strategy, p.Path, workers,
+				time.Duration(best).Round(time.Microsecond), p.Speedup, bytes)
+		}
+	}
+
+	if *jsonOut {
+		section := map[string]any{
+			"s":          *s,
+			"q":          *q,
+			"r":          len(inst.Dividend),
+			"reps":       *reps,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"serial_ns":  serialNs,
+			"points":     points,
+		}
+		if err := writeJSONSection(benchJSONFile, "parallel_scaling", section); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote parallel_scaling section to %s)\n", benchJSONFile)
+	}
+
+	if *check {
+		if runtime.GOMAXPROCS(0) < 2 {
+			fmt.Println("(-check skipped: GOMAXPROCS < 2, no parallelism available)")
+			return nil
+		}
+		var morsel4 *parallelScalingPoint
+		for i := range points {
+			p := &points[i]
+			if p.Strategy == division.QuotientPartitioning.String() &&
+				p.Path == parallel.PathMorsel.String() && p.Workers == 4 {
+				morsel4 = p
 			}
 		}
+		if morsel4 == nil {
+			return fmt.Errorf("parallel -check: no morsel point at 4 workers (add 4 to -workers)")
+		}
+		if morsel4.Speedup <= 1 {
+			return fmt.Errorf("parallel -check: morsel path at 4 workers is not faster than serial (speedup %.2f)", morsel4.Speedup)
+		}
+		fmt.Printf("(-check passed: morsel speedup at 4 workers = %.2f)\n", morsel4.Speedup)
 	}
 	return nil
 }

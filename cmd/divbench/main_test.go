@@ -173,6 +173,89 @@ func TestProfileSectionPreservesSiblingsAndIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelScalingSectionPreservesSiblings checks that writing the
+// parallel_scaling section leaves previously recorded sections byte-for-byte
+// intact and that the section has the expected shape (serial baseline, every
+// strategy × path combination, speedups populated).
+func TestParallelScalingSectionPreservesSiblings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel scaling smoke in short mode")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	if err := writeJSONSection(benchJSONFile, "table4", map[string]any{"geometry": "paper", "cells": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	sections := func() map[string]json.RawMessage {
+		data, err := os.ReadFile(benchJSONFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := map[string]json.RawMessage{}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	before := sections()
+
+	err = runParallel([]string{"-s", "20", "-q", "60", "-noise", "2", "-workers", "1,2", "-reps", "1", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sections()
+	if !bytes.Equal(before["table4"], after["table4"]) {
+		t.Errorf("table4 section changed:\nbefore: %s\nafter:  %s", before["table4"], after["table4"])
+	}
+	raw, ok := after["parallel_scaling"]
+	if !ok {
+		t.Fatal("parallel_scaling section missing")
+	}
+	var section struct {
+		S          int   `json:"s"`
+		R          int   `json:"r"`
+		GOMAXPROCS int   `json:"gomaxprocs"`
+		SerialNs   int64 `json:"serial_ns"`
+		Points     []struct {
+			Strategy string  `json:"strategy"`
+			Path     string  `json:"path"`
+			Workers  int     `json:"workers"`
+			Ns       int64   `json:"ns"`
+			Speedup  float64 `json:"speedup"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &section); err != nil {
+		t.Fatal(err)
+	}
+	if section.S != 20 || section.R == 0 || section.SerialNs == 0 || section.GOMAXPROCS == 0 {
+		t.Errorf("section header: %+v", section)
+	}
+	// 5 strategy×path combos × 2 worker counts.
+	if len(section.Points) != 10 {
+		t.Fatalf("got %d points, want 10", len(section.Points))
+	}
+	paths := map[string]bool{}
+	for _, p := range section.Points {
+		paths[p.Path] = true
+		if p.Ns == 0 || p.Speedup == 0 {
+			t.Errorf("unpopulated point %+v", p)
+		}
+	}
+	for _, want := range []string{"morsel", "coordinator", "shared-table"} {
+		if !paths[want] {
+			t.Errorf("no points for path %q", want)
+		}
+	}
+}
+
 func TestRunBatchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("batch ablation smoke in short mode")

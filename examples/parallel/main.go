@@ -71,14 +71,25 @@ func main() {
 		})
 	}
 	fmt.Println()
+	for _, w := range []int{1, 2, 4, 8} {
+		run("shared-table", parallel.Config{
+			Workers: w, Strategy: division.QuotientPartitioning, Path: parallel.PathSharedTable,
+		})
+	}
+	fmt.Println()
 	run("quotient-part + bitvector", parallel.Config{
 		Workers: 4, Strategy: division.QuotientPartitioning, BitVectorFilter: true,
 	})
 	run("divisor-part + bitvector", parallel.Config{
 		Workers: 4, Strategy: division.DivisorPartitioning, BitVectorFilter: true,
 	})
+	run("quotient-part, coordinator", parallel.Config{
+		Workers: 4, Strategy: division.QuotientPartitioning, Path: parallel.PathCoordinator,
+	})
 	fmt.Println("\nNotes (§6): quotient partitioning replicates the divisor but needs no")
 	fmt.Println("collection phase; divisor partitioning ships less divisor state but the")
 	fmt.Println("collection site re-divides the tagged quotient clusters. The bit vector")
 	fmt.Println("filter drops dividend tuples with no divisor match before shipping.")
+	fmt.Println("The default morsel path ships worker-to-worker from a shared morsel")
+	fmt.Println("queue; the shared-table path skips the exchange entirely on one node.")
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync/atomic"
 )
 
 const wordBits = 64
@@ -69,6 +70,53 @@ func (b *Bitmap) SetAndReport(i int) (wasSet bool) {
 	wasSet = b.words[w]&mask != 0
 	b.words[w] |= mask
 	return wasSet
+}
+
+// AtomicSet sets bit i with a compare-and-swap loop on its word and reports
+// whether the bit was already set. It is safe for concurrent use with other
+// AtomicSet and AtomicTest calls on the same map: this is the write half of
+// the shared-quotient-table contract (DESIGN.md §9), where parallel workers
+// set divisor bits on one shared candidate bitmap. Exactly one concurrent
+// setter of a given bit observes wasSet == false. Mixing AtomicSet with the
+// plain mutators (Set, Clear, Reset, Or) concurrently is a data race; plain
+// readers (PopCount, AllSet, ...) are safe once the setters are quiesced by
+// a happens-before edge such as sync.WaitGroup.Wait.
+//
+// A CAS loop is used rather than atomic.OrUint64 to stay within the Go 1.22
+// sync/atomic surface; contention is per-word, and quotient bitmaps span many
+// words, so the loop retries only under a genuine write collision.
+func (b *Bitmap) AtomicSet(i int) (wasSet bool) {
+	b.check(i)
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (i % wordBits)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return true
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return false
+		}
+	}
+}
+
+// AtomicTest reports whether bit i is set, using an atomic word load so it
+// may run concurrently with AtomicSet.
+func (b *Bitmap) AtomicTest(i int) bool {
+	b.check(i)
+	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(i%wordBits)) != 0
+}
+
+// AtomicPopCount returns the number of set bits using atomic word loads, so
+// it may run concurrently with AtomicSet. The count is a consistent snapshot
+// per word, not across words; with monotone setters (bits are only ever set)
+// it is a lower bound on the eventual population.
+func (b *Bitmap) AtomicPopCount() int {
+	c := 0
+	for i := range b.words {
+		c += bits.OnesCount64(atomic.LoadUint64(&b.words[i]))
+	}
+	return c
 }
 
 // HasZero reports whether any of the n bits is still zero, scanning whole

@@ -2,6 +2,8 @@ package bitmap
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -269,5 +271,74 @@ func TestPopCountMatchesCount(t *testing.T) {
 	}
 	if b.PopCount() != b.Count() {
 		t.Errorf("PopCount %d != Count %d", b.PopCount(), b.Count())
+	}
+}
+
+func TestAtomicSetMatchesSet(t *testing.T) {
+	a, b := New(131), New(131)
+	for i := 0; i < 131; i += 7 {
+		a.Set(i)
+		if was := b.AtomicSet(i); was {
+			t.Errorf("AtomicSet(%d) reported already set on first set", i)
+		}
+		if was := b.AtomicSet(i); !was {
+			t.Errorf("AtomicSet(%d) reported unset on second set", i)
+		}
+	}
+	for i := 0; i < 131; i++ {
+		if a.Test(i) != b.Test(i) {
+			t.Fatalf("bit %d: Set path %v, AtomicSet path %v", i, a.Test(i), b.Test(i))
+		}
+		if b.Test(i) != b.AtomicTest(i) {
+			t.Fatalf("bit %d: Test %v, AtomicTest %v", i, b.Test(i), b.AtomicTest(i))
+		}
+	}
+	if a.PopCount() != b.AtomicPopCount() {
+		t.Errorf("PopCount %d != AtomicPopCount %d", a.PopCount(), b.AtomicPopCount())
+	}
+}
+
+func TestAtomicSetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AtomicSet out of range did not panic")
+		}
+	}()
+	New(10).AtomicSet(10)
+}
+
+// TestAtomicSetConcurrent hammers one bitmap from many goroutines, all
+// setting overlapping bit ranges. Under -race this proves AtomicSet is safe
+// for concurrent use; the wasSet accounting proves exactly one setter per bit
+// observed the 0→1 transition.
+func TestAtomicSetConcurrent(t *testing.T) {
+	const bits = 777
+	const goroutines = 8
+	b := New(bits)
+	var firstSets atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Every goroutine sets every bit, in a different order, so every
+			// word sees real write contention.
+			for k := 0; k < bits; k++ {
+				i := (k*31 + g*97) % bits
+				if !b.AtomicSet(i) {
+					firstSets.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := firstSets.Load(); got != bits {
+		t.Errorf("%d first-time sets reported, want %d (one per bit)", got, bits)
+	}
+	if !b.AllSet() {
+		t.Error("not all bits set after concurrent setters finished")
+	}
+	if b.PopCount() != bits || b.AtomicPopCount() != bits {
+		t.Errorf("PopCount=%d AtomicPopCount=%d, want %d", b.PopCount(), b.AtomicPopCount(), bits)
 	}
 }

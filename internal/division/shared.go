@@ -1,0 +1,243 @@
+// Shared-table absorb: the single-node fast path of parallel hash-division
+// (DESIGN.md §9). Instead of partitioning the dividend and shipping tuples
+// between workers, all workers absorb into ONE quotient table. The divisor
+// table is immutable after its build (a hashtab.Frozen view probeable from
+// any goroutine), candidate chains grow by compare-and-swap on atomic bucket
+// heads, and divisor bits are set with bitmap.AtomicSet — so the absorb phase
+// is read-mostly with one atomic bit set per matching tuple and no
+// interconnect traffic at all.
+package division
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/bitmap"
+	"repro/internal/exec"
+	"repro/internal/hashtab"
+	"repro/internal/tuple"
+)
+
+// SharedElem is one candidate in the shared quotient table. Tuple and Bits
+// are assigned before the element is published and never reassigned; workers
+// mutate only individual bits, via AtomicSet.
+type SharedElem struct {
+	next  *SharedElem // immutable after publish
+	Tuple tuple.Tuple // the quotient candidate (owned projection copy)
+	Bits  *bitmap.Bitmap
+}
+
+// SharedStats is one worker's private share of the absorb work; totals are
+// the sum over workers. Table stats follow the same unit conventions as
+// hashtab.Stats, covering both the divisor probes and the candidate chain
+// walks, so summed SharedStats are comparable with serial hash-division.
+type SharedStats struct {
+	Dividend   int64 // dividend tuples absorbed by this worker
+	Candidates int64 // quotient candidates this worker created (first-won CAS)
+	Table      hashtab.Stats
+}
+
+// SharedTable is the shared-memory absorb state. Build it once (single
+// goroutine), then call Absorb/AbsorbBatch from any number of goroutines,
+// each with its own *SharedStats; after all absorbers are quiesced (e.g.
+// WaitGroup.Wait), scan the quotient with ScanBuckets — the scan may itself
+// be bucket-partitioned over workers.
+//
+// The table does not grow: resizing lock-free bucket arrays is not worth the
+// complexity for a table whose expected size is a workload statistic, so
+// buckets are sized once from expectedQuotient/hbs. A wrong estimate costs
+// longer chains, never correctness.
+type SharedTable struct {
+	ds          *tuple.Schema
+	qs          *tuple.Schema
+	qCols       []int
+	divisorCols []int
+
+	divisor      *hashtab.Frozen
+	divisorCount int64
+
+	buckets []atomic.Pointer[SharedElem]
+
+	// Compiled probe kernels, mirroring HashDivision.initKernels: the
+	// single-8-byte-column shape gets concrete word-key probes, everything
+	// else closure kernels compiled once at build time.
+	fastU64 bool
+	divOff  int
+	quotOff int
+	divHash func(tuple.Tuple) uint64
+	divEq   func(src, stored tuple.Tuple) bool
+	quoHash func(tuple.Tuple) uint64
+	quoEq   func(src, stored tuple.Tuple) bool
+}
+
+// NewSharedTable builds the divisor table from the given distinct divisor
+// tuples (numbering them 0..n-1), freezes it, and sizes the quotient bucket
+// array for expectedQuotient candidates at hbs tuples per bucket (defaults: 2
+// and 4096 buckets). sp must already be validated.
+func NewSharedTable(sp Spec, divisor []tuple.Tuple, hbs float64, expectedQuotient int) (*SharedTable, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if hbs <= 0 {
+		hbs = 2
+	}
+	ds := sp.Dividend.Schema()
+	qCols := sp.QuotientCols()
+	s := &SharedTable{
+		ds:          ds,
+		qs:          sp.QuotientSchema(),
+		qCols:       qCols,
+		divisorCols: append([]int(nil), sp.DivisorCols...),
+	}
+	tab := hashtab.NewWithCapacity(sp.Divisor.Schema(), len(divisor))
+	for _, d := range divisor {
+		if e, created := tab.GetOrInsert(d); created {
+			e.Num = s.divisorCount
+			s.divisorCount++
+		}
+	}
+	s.divisor = tab.Freeze()
+
+	nBuckets := 4096
+	if expectedQuotient > 0 {
+		nBuckets = int(float64(expectedQuotient)/hbs) + 1
+	}
+	s.buckets = make([]atomic.Pointer[SharedElem], nBuckets)
+
+	if len(s.divisorCols) == 1 && ds.Field(s.divisorCols[0]).Width == 8 &&
+		len(qCols) == 1 && ds.Field(qCols[0]).Width == 8 {
+		s.fastU64 = true
+		s.divOff = ds.Offset(s.divisorCols[0])
+		s.quotOff = ds.Offset(qCols[0])
+	} else {
+		s.divHash = ds.HashFunc(s.divisorCols)
+		s.divEq = ds.EqualProjectedFunc(s.divisorCols)
+		s.quoHash = ds.HashFunc(qCols)
+		s.quoEq = ds.EqualProjectedFunc(qCols)
+	}
+	return s, nil
+}
+
+// DivisorCount returns the number of distinct divisor tuples.
+func (s *SharedTable) DivisorCount() int64 { return s.divisorCount }
+
+// NumBuckets returns the quotient bucket count, the domain of ScanBuckets.
+func (s *SharedTable) NumBuckets() int { return len(s.buckets) }
+
+// QuotientSchema returns the candidate tuples' layout.
+func (s *SharedTable) QuotientSchema() *tuple.Schema { return s.qs }
+
+func (s *SharedTable) bucketFor(h uint64) int {
+	// Same multiply-shift range reduction as hashtab.bucketFor, so bucket
+	// distribution matches the serial table's.
+	hi, _ := bits.Mul64(h, uint64(len(s.buckets)))
+	return int(hi)
+}
+
+// Absorb processes one dividend tuple: probe the frozen divisor table, find
+// or publish the quotient candidate, atomically set the divisor's bit. Safe
+// for concurrent use; st must be private to the caller.
+func (s *SharedTable) Absorb(t tuple.Tuple, st *SharedStats) {
+	st.Dividend++
+	var de *hashtab.Element
+	var qh uint64
+	if s.fastU64 {
+		dk := binary.LittleEndian.Uint64(t[s.divOff:])
+		de = s.divisor.LookupU64(tuple.HashUint64LE(dk), dk, &st.Table)
+		if de == nil {
+			return
+		}
+		qh = tuple.HashUint64LE(binary.LittleEndian.Uint64(t[s.quotOff:]))
+	} else {
+		de = s.divisor.LookupPre(s.divHash(t), t, s.divEq, &st.Table)
+		if de == nil {
+			return
+		}
+		qh = s.quoHash(t)
+	}
+	e := s.candidate(qh, t, st)
+	e.Bits.AtomicSet(int(de.Num))
+}
+
+// AbsorbBatch absorbs every tuple of b; the batch may alias foreign memory
+// (a pinned page) since candidates store owned projection copies.
+func (s *SharedTable) AbsorbBatch(b *exec.Batch, st *SharedStats) {
+	for i, n := 0, b.Len(); i < n; i++ {
+		s.Absorb(b.Tuple(i), st)
+	}
+}
+
+// equalsCandidate reports whether stored (a candidate's key) matches t's
+// quotient projection.
+func (s *SharedTable) equalsCandidate(t tuple.Tuple, stored tuple.Tuple) bool {
+	if s.fastU64 {
+		return binary.LittleEndian.Uint64(t[s.quotOff:]) == binary.LittleEndian.Uint64(stored)
+	}
+	return s.quoEq(t, stored)
+}
+
+// candidate returns the (unique) SharedElem for t's quotient projection,
+// publishing a fresh one when absent. Lock-free: bucket heads are atomic
+// pointers, inserts compare-and-swap a fully initialized element (Tuple and
+// Bits set before publish, so a racing reader never observes a nil bitmap),
+// and a failed CAS re-walks only the freshly prepended chain prefix to catch
+// a racing insert of the same key. Chain next pointers are immutable after
+// publish, which is why readers may walk them without atomics.
+func (s *SharedTable) candidate(h uint64, t tuple.Tuple, st *SharedStats) *SharedElem {
+	b := &s.buckets[s.bucketFor(h)]
+	st.Table.Hashes++
+	head := b.Load()
+	for e := head; e != nil; e = e.next {
+		st.Table.Comparisons++
+		if s.equalsCandidate(t, e.Tuple) {
+			return e
+		}
+	}
+	n := &SharedElem{
+		Tuple: s.ds.ProjectTuple(t, s.qCols),
+		Bits:  bitmap.New(int(s.divisorCount)),
+	}
+	for {
+		n.next = head
+		if b.CompareAndSwap(head, n) {
+			st.Candidates++
+			return n
+		}
+		// Lost the race: someone prepended. Check only the new prefix for a
+		// duplicate of our key before retrying with the new head.
+		newHead := b.Load()
+		for e := newHead; e != head; e = e.next {
+			st.Table.Comparisons++
+			if s.equalsCandidate(t, e.Tuple) {
+				return e
+			}
+		}
+		head = newHead
+	}
+}
+
+// ScanBuckets streams the COMPLETE candidates (every divisor bit set) of
+// buckets [lo, hi) to emit, in bucket order. Callers partition [0,
+// NumBuckets()) across workers for a parallel quotient scan; disjoint ranges
+// visit disjoint candidates. Must not run concurrently with absorbers — the
+// caller provides the happens-before edge (WaitGroup.Wait), after which
+// plain bitmap reads are safe.
+func (s *SharedTable) ScanBuckets(lo, hi int, emit func(t tuple.Tuple) error) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.buckets) {
+		hi = len(s.buckets)
+	}
+	for i := lo; i < hi; i++ {
+		for e := s.buckets[i].Load(); e != nil; e = e.next {
+			if e.Bits.AllSet() {
+				if err := emit(e.Tuple); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -142,6 +142,20 @@ func (b *Batch) SetAlias(data []byte, n int) {
 	b.owned = b.owned[:0]
 }
 
+// Unalias copies an aliased batch's tuples into the batch's own arena, so
+// the contents survive the foreign memory they aliased (e.g. a pinned page
+// about to be unfixed by the producer's next NextBatch). A no-op on owned
+// batches. After Unalias the batch is owned and may cross goroutines or
+// outlive its producer like any owned batch.
+func (b *Batch) Unalias() {
+	if !b.aliased {
+		return
+	}
+	b.owned = append(b.owned[:0], b.data...)
+	b.data = b.owned
+	b.aliased = false
+}
+
 // Truncate shortens the batch to its first n tuples (no-op when n >= Len).
 // The fault injector uses this to cut a stream at an exact tuple count.
 func (b *Batch) Truncate(n int) {

@@ -264,6 +264,83 @@ func (t *Table) GetOrInsertProjected(src tuple.Tuple, srcSchema *tuple.Schema, c
 	return t.insertHashed(h, srcSchema.ProjectTuple(src, cols)), true
 }
 
+// Frozen is an immutable, concurrently probeable view of a Table. Every
+// Table probe mutates the table's Stats, so sharing a *Table across
+// goroutines is a data race even for pure lookups; Freeze separates the two
+// concerns. A Frozen view carries no mutable state — each probe takes the
+// caller's own *Stats accumulator — so any number of goroutines may probe it
+// simultaneously. The parallel shared-table absorb path (DESIGN.md §9) uses
+// this for the divisor table, which is immutable after its build phase.
+type Frozen struct {
+	schema  *tuple.Schema
+	buckets []*Element
+}
+
+// Freeze returns a read-only concurrent view of the table's current
+// contents. The table must not be mutated afterwards (no inserts, no Reset);
+// probes on the Table itself remain legal but still race with Frozen probes
+// only through Stats, which Frozen does not touch.
+func (t *Table) Freeze() *Frozen {
+	return &Frozen{schema: t.schema, buckets: t.buckets}
+}
+
+func (f *Frozen) bucketFor(h uint64) int {
+	hi, _ := bits.Mul64(h, uint64(len(f.buckets)))
+	return int(hi)
+}
+
+// Lookup is Table.Lookup against the frozen view; st accumulates the probe
+// work and must be private to the calling goroutine.
+func (f *Frozen) Lookup(key tuple.Tuple, st *Stats) *Element {
+	st.Hashes++
+	h := tuple.HashBytes(key)
+	for e := f.buckets[f.bucketFor(h)]; e != nil; e = e.next {
+		st.Comparisons++
+		if f.schema.CompareAll(e.Tuple, key) == 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+// LookupProjected is Table.LookupProjected against the frozen view.
+func (f *Frozen) LookupProjected(src tuple.Tuple, srcSchema *tuple.Schema, cols []int, st *Stats) *Element {
+	st.Hashes++
+	h := srcSchema.Hash(src, cols)
+	for e := f.buckets[f.bucketFor(h)]; e != nil; e = e.next {
+		st.Comparisons++
+		if srcSchema.EqualProjected(src, cols, e.Tuple) {
+			return e
+		}
+	}
+	return nil
+}
+
+// LookupPre is Table.LookupPre against the frozen view: caller-compiled hash
+// and equality, caller-owned stats.
+func (f *Frozen) LookupPre(h uint64, src tuple.Tuple, eq func(src, stored tuple.Tuple) bool, st *Stats) *Element {
+	st.Hashes++
+	for e := f.buckets[f.bucketFor(h)]; e != nil; e = e.next {
+		st.Comparisons++
+		if eq(src, e.Tuple) {
+			return e
+		}
+	}
+	return nil
+}
+
+// LookupU64 is Table.LookupU64 against the frozen view.
+func (f *Frozen) LookupU64(h, key uint64, st *Stats) *Element {
+	st.Hashes++
+	for e := f.buckets[f.bucketFor(h)]; e != nil; e = e.next {
+		st.Comparisons++
+		if binary.LittleEndian.Uint64(e.Tuple) == key {
+			return e
+		}
+	}
+	return nil
+}
+
 func (t *Table) grow() {
 	old := t.buckets
 	t.buckets = make([]*Element, 2*len(old))

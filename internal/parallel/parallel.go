@@ -17,16 +17,26 @@
 //     addresses."
 //
 // Bit vector filtering (Babb 1979) can be enabled for the dividend shuffle:
-// tuples whose divisor attributes hash to an empty filter bit are dropped at
-// the coordinator and never shipped, as §6 proposes for Transcript tuples of
-// an optics course.
+// tuples whose divisor attributes hash to an empty filter bit are dropped
+// before shipping and never cross the interconnect, as §6 proposes for
+// Transcript tuples of an optics course.
+//
+// The dividend data path is selected by Config.Path. The default, PathMorsel,
+// is morsel-driven: the dividend splits into independently scannable morsels
+// that per-worker producer goroutines pull from a shared queue, partition
+// through write-combining buffers, and ship worker-to-worker — no single
+// goroutine touches every tuple (see morsel.go). PathCoordinator keeps the
+// legacy single-coordinator shuffle for comparison, and PathSharedTable
+// replaces the exchange entirely with one shared quotient table updated by
+// atomic CAS (single-node fast path). All paths produce identical quotients
+// and identical NetworkStats for the same Config (PathSharedTable ships
+// nothing, by construction).
 package parallel
 
 import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bitmap"
@@ -37,10 +47,56 @@ import (
 	"repro/internal/tuple"
 )
 
+// Path selects the dividend data path of a parallel division.
+type Path int
+
+const (
+	// PathMorsel (the default) splits the dividend into morsels pulled by
+	// per-worker producer goroutines from a shared queue; tuples are
+	// partitioned through write-combining buffers and shipped
+	// worker-to-worker with no central coordinator on the data path.
+	PathMorsel Path = iota
+	// PathCoordinator is the legacy data path: a single coordinator
+	// goroutine scans, filters, partitions, and ships every dividend tuple.
+	PathCoordinator
+	// PathSharedTable is the single-node fast path: workers absorb morsels
+	// into one shared quotient table (atomic-CAS chains and bitmap bits)
+	// instead of exchanging tuples. Requires quotient partitioning — the
+	// divisor table is global, which is exactly the quotient-partitioning
+	// replication taken to its shared-memory limit.
+	PathSharedTable
+)
+
+func (p Path) String() string {
+	switch p {
+	case PathMorsel:
+		return "morsel"
+	case PathCoordinator:
+		return "coordinator"
+	case PathSharedTable:
+		return "shared-table"
+	default:
+		return fmt.Sprintf("Path(%d)", int(p))
+	}
+}
+
+// ConfigError reports a Config field that fails validation.
+type ConfigError struct {
+	Field  string // the Config field name
+	Value  any    // the rejected value
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("parallel: invalid Config.%s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
 // Config tunes a parallel division.
 type Config struct {
 	Workers  int
 	Strategy division.PartitionStrategy
+	// Path selects the dividend data path; the zero value is PathMorsel.
+	Path Path
 	// BitVectorFilter drops dividend tuples that cannot match any divisor
 	// tuple before they are shipped. Purely an optimization: false
 	// positives still pass and are discarded at the worker.
@@ -51,10 +107,18 @@ type Config struct {
 	ChannelDepth int
 	// HBS sizes worker hash tables (default 2).
 	HBS float64
-	// BatchSize is the shuffle packet size in tuples (default 128): the
-	// coordinator packs each destination's tuples into one exec.Batch arena
-	// per send. Per-tuple and per-byte network statistics are unaffected.
+	// BatchSize is the shuffle packet size in tuples (default 128): each
+	// sender packs a destination's tuples into one exec.Batch arena per
+	// send. Per-tuple and per-byte network statistics are unaffected.
 	BatchSize int
+	// MorselTuples is the morsel grain for PathMorsel and PathSharedTable
+	// (default 4096 tuples); ignored by PathCoordinator.
+	MorselTuples int
+	// ExpectedQuotient sizes the shared quotient table for PathSharedTable
+	// (default 4096 buckets when 0); a wrong estimate costs chain length,
+	// never correctness. Ignored by the other paths, whose worker tables
+	// grow dynamically.
+	ExpectedQuotient int
 	// Progress, when set, receives human-readable lines about the shuffle
 	// and per-worker outcomes. DivideContext serializes all calls behind a
 	// mutex, so the sink needs no locking even when divisions run
@@ -95,6 +159,50 @@ func Divide(sp division.Spec, cfg Config) (*Result, error) {
 	return DivideContext(context.Background(), sp, cfg)
 }
 
+// Validate rejects malformed configurations with a *ConfigError naming the
+// offending field. Zero values remain "use the default" for the tunables
+// (ChannelDepth, HBS, BatchSize, MorselTuples, BitVectorBits,
+// ExpectedQuotient); negative values and a missing worker count are errors,
+// not silently corrected.
+func (cfg Config) Validate() error {
+	if cfg.Workers < 1 {
+		return &ConfigError{Field: "Workers", Value: cfg.Workers, Reason: "must be at least 1"}
+	}
+	switch cfg.Strategy {
+	case division.QuotientPartitioning, division.DivisorPartitioning:
+	default:
+		return &ConfigError{Field: "Strategy", Value: cfg.Strategy, Reason: "unknown partitioning strategy"}
+	}
+	switch cfg.Path {
+	case PathMorsel, PathCoordinator, PathSharedTable:
+	default:
+		return &ConfigError{Field: "Path", Value: cfg.Path, Reason: "unknown data path"}
+	}
+	if cfg.Path == PathSharedTable && cfg.Strategy != division.QuotientPartitioning {
+		return &ConfigError{Field: "Path", Value: cfg.Path,
+			Reason: "shared-table path requires quotient partitioning (the divisor table is global, not partitioned)"}
+	}
+	if cfg.BitVectorBits < 0 {
+		return &ConfigError{Field: "BitVectorBits", Value: cfg.BitVectorBits, Reason: "must not be negative"}
+	}
+	if cfg.ChannelDepth < 0 {
+		return &ConfigError{Field: "ChannelDepth", Value: cfg.ChannelDepth, Reason: "must not be negative"}
+	}
+	if cfg.HBS < 0 {
+		return &ConfigError{Field: "HBS", Value: cfg.HBS, Reason: "must not be negative"}
+	}
+	if cfg.BatchSize < 0 {
+		return &ConfigError{Field: "BatchSize", Value: cfg.BatchSize, Reason: "must not be negative"}
+	}
+	if cfg.MorselTuples < 0 {
+		return &ConfigError{Field: "MorselTuples", Value: cfg.MorselTuples, Reason: "must not be negative"}
+	}
+	if cfg.ExpectedQuotient < 0 {
+		return &ConfigError{Field: "ExpectedQuotient", Value: cfg.ExpectedQuotient, Reason: "must not be negative"}
+	}
+	return nil
+}
+
 // DivideContext is Divide under a context: cancellation (or a timeout on
 // ctx) stops the coordinator and every worker promptly, the first error wins
 // — later cancellation-induced errors never mask the root cause — and no
@@ -104,28 +212,31 @@ func DivideContext(ctx context.Context, sp division.Spec, cfg Config) (*Result, 
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Workers < 1 {
-		cfg.Workers = 1
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.ChannelDepth <= 0 {
+	if cfg.ChannelDepth == 0 {
 		cfg.ChannelDepth = 64
 	}
-	if cfg.HBS <= 0 {
+	if cfg.HBS == 0 {
 		cfg.HBS = 2
 	}
-	if cfg.BatchSize <= 0 {
+	if cfg.BatchSize == 0 {
 		cfg.BatchSize = shuffleBatch
+	}
+	if cfg.MorselTuples == 0 {
+		cfg.MorselTuples = defaultMorselTuples
 	}
 	cfg.Progress = obs.SerializeProgress(cfg.Progress)
 	var res *Result
 	var err error
-	switch cfg.Strategy {
-	case division.QuotientPartitioning:
+	switch {
+	case cfg.Path == PathSharedTable:
+		res, err = divideSharedTable(ctx, sp, cfg)
+	case cfg.Strategy == division.QuotientPartitioning:
 		res, err = divideQuotientPartitioned(ctx, sp, cfg)
-	case division.DivisorPartitioning:
-		res, err = divideDivisorPartitioned(ctx, sp, cfg)
 	default:
-		return nil, fmt.Errorf("parallel: unknown strategy %v", cfg.Strategy)
+		res, err = divideDivisorPartitioned(ctx, sp, cfg)
 	}
 	obs.Default.Counter("parallel.divisions").Inc()
 	if err != nil {
@@ -145,6 +256,9 @@ func strategySpan(cfg Config) *obs.Span {
 	}
 	return cfg.Trace.Root().Child("parallel "+cfg.Strategy.String(), "parallel")
 }
+
+// workerSpanName names worker i's profile span.
+func workerSpanName(i int) string { return fmt.Sprintf("worker %d", i) }
 
 // report emits the shuffle summary and per-worker outcome lines.
 func report(cfg Config, res *Result, workers []*worker) {
@@ -314,70 +428,31 @@ func spawnWorkers(ctx context.Context, workers []*worker, sp division.Spec, hbs 
 	}
 }
 
-// shipDividend partitions the dividend stream over the workers' channels on
-// cols, applying the optional bit vector filter, and accounts the traffic.
-// Tuples are packed into one exec.Batch arena per destination, so one
-// channel send carries batchSize tuples in a single contiguous buffer; the
-// receiving worker Releases the batch back to the arena pool. Every channel
-// send selects against ctx.Done() — if a worker dies its channel stops
-// draining, and an unconditional send would deadlock the coordinator.
+// shipDividend is the PathCoordinator data path: one goroutine partitions the
+// whole dividend stream over the workers' channels through a partitioner (see
+// morsel.go for the routing, buffering, and accounting contract shared with
+// the morsel path).
 func shipDividend(ctx context.Context, sp division.Spec, workers []*worker, cols []int, bv *bitmap.Bitmap, batchSize int, net *NetworkStats) error {
-	ds := sp.Dividend.Schema()
-	width := ds.Width()
-	k := uint64(len(workers))
 	if batchSize <= 0 {
 		batchSize = shuffleBatch
 	}
-
-	batches := make([]*exec.Batch, len(workers))
-	for i := range workers {
-		batches[i] = exec.NewBatch(ds, batchSize)
-	}
-	flush := func(i int) error {
-		if batches[i].Len() == 0 {
-			return nil
-		}
-		select {
-		case workers[i].in <- batches[i]:
-			batches[i] = exec.NewBatch(ds, batchSize)
-			return nil
-		case <-ctx.Done():
-			return ctx.Err()
-		}
-	}
-
+	p := newPartitioner(sp, workers, cols, bv, batchSize)
 	err := exec.ForEach(exec.NewContextScan(ctx, sp.Dividend), func(t tuple.Tuple) error {
-		h := ds.Hash(t, sp.DivisorCols)
-		if bv != nil {
-			if !bv.Test(int(h % uint64(bv.Len()))) {
-				atomic.AddInt64(&net.TuplesFiltered, 1)
-				return nil
-			}
-		}
-		var dest uint64
-		if len(cols) > 0 {
-			dest = ds.Hash(t, cols) % k
-		} else {
-			dest = h % k
-		}
-		atomic.AddInt64(&net.TuplesShipped, 1)
-		atomic.AddInt64(&net.BytesShipped, int64(width))
-		d := int(dest)
-		batches[d].Append(t)
-		if batches[d].Len() >= batchSize {
-			return flush(d)
-		}
-		return nil
+		return p.route(ctx, t)
 	})
-	for i := range workers {
-		if ferr := flush(i); err == nil {
-			err = ferr
-		}
-		// Either freshly emptied by flush or never sent (cancellation):
-		// in both cases the coordinator still owns the batch.
-		batches[i].Release()
+	return p.finish(ctx, err, net)
+}
+
+// shipDividendByPath dispatches between the coordinator and morsel data
+// paths. It blocks until the dividend is fully shipped (or the division
+// failed); morsel-path errors propagate through fe.
+func shipDividendByPath(ctx context.Context, sp division.Spec, workers []*worker, cols []int,
+	bv *bitmap.Bitmap, cfg Config, net *NetworkStats, root *obs.Span, fe *firstError) {
+	if cfg.Path == PathCoordinator {
+		fe.set(shipDividend(ctx, sp, workers, cols, bv, cfg.BatchSize, net))
+		return
 	}
-	return err
+	shipDividendMorsels(ctx, sp, workers, cols, bv, cfg, net, root, fe)
 }
 
 func divideQuotientPartitioned(ctx context.Context, sp division.Spec, cfg Config) (*Result, error) {
@@ -415,13 +490,13 @@ func divideQuotientPartitioned(ctx context.Context, sp division.Spec, cfg Config
 			divisor: divisor,
 		}
 		if root != nil {
-			workers[i].span = root.Child(fmt.Sprintf("worker %d", i), "worker")
+			workers[i].span = root.Child(workerSpanName(i), "worker")
 		}
 	}
 	spawnWorkers(ctx, workers, sp, cfg.HBS, &wg, fe)
 
 	// Partition the dividend on the QUOTIENT attributes.
-	fe.set(shipDividend(ctx, sp, workers, sp.QuotientCols(), bv, cfg.BatchSize, &res.Network))
+	shipDividendByPath(ctx, sp, workers, sp.QuotientCols(), bv, cfg, &res.Network, root, fe)
 	for _, w := range workers {
 		close(w.in)
 	}
@@ -497,7 +572,7 @@ func divideDivisorPartitioned(ctx context.Context, sp division.Spec, cfg Config)
 			divisor: clusters[i],
 		}
 		if root != nil {
-			workers[i].span = root.Child(fmt.Sprintf("worker %d", i), "worker")
+			workers[i].span = root.Child(workerSpanName(i), "worker")
 		}
 		res.Network.TuplesShipped += int64(len(clusters[i]))
 		res.Network.BytesShipped += int64(len(clusters[i])) * sWidth
@@ -505,7 +580,7 @@ func divideDivisorPartitioned(ctx context.Context, sp division.Spec, cfg Config)
 	spawnWorkers(ctx, workers, sp, cfg.HBS, &wg, fe)
 
 	// Dividend partitioned on the DIVISOR attributes with the same function.
-	fe.set(shipDividend(ctx, sp, workers, nil, bv, cfg.BatchSize, &res.Network))
+	shipDividendByPath(ctx, sp, workers, nil, bv, cfg, &res.Network, root, fe)
 	for _, w := range workers {
 		close(w.in)
 	}

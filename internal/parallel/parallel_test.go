@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -200,13 +201,43 @@ func TestEmptyDivisor(t *testing.T) {
 	}
 }
 
+// TestInvalidConfig exercises Config.Validate through Divide: every
+// malformed field yields a *ConfigError naming that field — no silent
+// clamping (Workers: 0 used to be corrected to 1).
 func TestInvalidConfig(t *testing.T) {
 	inst := testInstance(t, 7)
-	if _, err := Divide(instanceSpec(inst), Config{Workers: 2, Strategy: division.PartitionStrategy(9)}); err == nil {
-		t.Error("unknown strategy accepted")
+	cases := []struct {
+		field string
+		cfg   Config
+	}{
+		{"Workers", Config{Workers: 0, Strategy: division.QuotientPartitioning}},
+		{"Workers", Config{Workers: -3, Strategy: division.QuotientPartitioning}},
+		{"Strategy", Config{Workers: 2, Strategy: division.PartitionStrategy(9)}},
+		{"Path", Config{Workers: 2, Strategy: division.QuotientPartitioning, Path: Path(42)}},
+		{"Path", Config{Workers: 2, Strategy: division.DivisorPartitioning, Path: PathSharedTable}},
+		{"BitVectorBits", Config{Workers: 2, Strategy: division.QuotientPartitioning, BitVectorBits: -1}},
+		{"ChannelDepth", Config{Workers: 2, Strategy: division.QuotientPartitioning, ChannelDepth: -1}},
+		{"HBS", Config{Workers: 2, Strategy: division.QuotientPartitioning, HBS: -0.5}},
+		{"BatchSize", Config{Workers: 2, Strategy: division.QuotientPartitioning, BatchSize: -8}},
+		{"MorselTuples", Config{Workers: 2, Strategy: division.QuotientPartitioning, MorselTuples: -1}},
+		{"ExpectedQuotient", Config{Workers: 2, Strategy: division.QuotientPartitioning, ExpectedQuotient: -1}},
 	}
-	// Workers < 1 is clamped, not an error.
-	res, err := Divide(instanceSpec(inst), Config{Workers: 0, Strategy: division.QuotientPartitioning})
+	for _, c := range cases {
+		_, err := Divide(instanceSpec(inst), c.cfg)
+		var cerr *ConfigError
+		if !errors.As(err, &cerr) {
+			t.Errorf("%s: got %v, want *ConfigError", c.field, err)
+			continue
+		}
+		if cerr.Field != c.field {
+			t.Errorf("got ConfigError.Field = %q, want %q (err: %v)", cerr.Field, c.field, cerr)
+		}
+		if cerr.Error() == "" || !strings.Contains(cerr.Error(), c.field) {
+			t.Errorf("ConfigError message %q does not name field %s", cerr.Error(), c.field)
+		}
+	}
+	// Zero tunables are still defaults, not errors.
+	res, err := Divide(instanceSpec(inst), Config{Workers: 2, Strategy: division.QuotientPartitioning})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -346,6 +346,7 @@ func (s *Scanner) Close() error {
 type PageScanner struct {
 	f      *File
 	pageIx int
+	limit  int // exclusive upper page index; -1 = whole file
 	handle *buffer.Handle
 	page   disk.PageID
 	count  int
@@ -356,7 +357,34 @@ type PageScanner struct {
 // ScanPages opens a page-at-a-time scan. keepPages has the same buffer unfix
 // meaning as Scan.
 func (f *File) ScanPages(keepPages bool) *PageScanner {
-	return &PageScanner{f: f, pageIx: -1, keep: keepPages}
+	return &PageScanner{f: f, pageIx: -1, limit: -1, keep: keepPages}
+}
+
+// ScanPageRange opens a page-at-a-time scan over the half-open page-index
+// range [lo, hi) of the file's page list (clamped to it). Disjoint ranges
+// touch disjoint pages, so range scans over one file may run concurrently —
+// the buffer pool serializes frame management internally — which is how
+// morsel-driven parallel scans split a table: every worker owns a page range
+// and pays its own buffer fixes.
+func (f *File) ScanPageRange(lo, hi int, keepPages bool) *PageScanner {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(f.pages) {
+		hi = len(f.pages)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return &PageScanner{f: f, pageIx: lo - 1, limit: hi, keep: keepPages}
+}
+
+// end returns the exclusive page-index bound of this scan.
+func (ps *PageScanner) end() int {
+	if ps.limit < 0 || ps.limit > len(ps.f.pages) {
+		return len(ps.f.pages)
+	}
+	return ps.limit
 }
 
 // Next pins the next non-empty page and returns its record area: data holds
@@ -377,7 +405,7 @@ func (ps *PageScanner) Next() (data []byte, n int, pristine bool, err error) {
 			ps.handle = nil
 		}
 		ps.pageIx++
-		if ps.pageIx >= len(ps.f.pages) {
+		if ps.pageIx >= ps.end() {
 			ps.closed = true
 			return nil, 0, false, io.EOF
 		}
