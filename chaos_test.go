@@ -95,109 +95,135 @@ func TestChaosSuite(t *testing.T) {
 		{"torn-writes", faultinject.Plan{TornWriteEvery: 9, MaxFaults: 3}, false},
 	}
 
+	// Each plan runs twice: once on the synchronous fix path alone, and once
+	// with the asynchronous prefetcher racing it. Read-ahead loads take no
+	// retries and drop on any fault, so injected failures hit BOTH the
+	// background path (which must stay silent) and the sync path (which must
+	// absorb or type them) — the answers must not differ between modes.
+	modes := []struct {
+		name      string
+		readAhead bool
+	}{{"sync", false}, {"readahead", true}}
+
 	for _, pc := range plans {
-		t.Run(pc.name, func(t *testing.T) {
-			before := runtime.NumGoroutine()
-			pool := buffer.New(64 * 1024)
-			dividendDev := faultinject.Wrap(disk.NewDevice("dividend", disk.PaperPageSize), pc.plan)
-			divisorDev := faultinject.Wrap(disk.NewDevice("divisor", disk.PaperPageSize), pc.plan)
-			rel, err := workload.LoadOn(pool, inst, dividendDev, divisorDev)
-			if err != nil {
-				// Loading itself may hit permanent corruption; transient
-				// plans must load fine.
-				if pc.transientOnly || !typedFault(err) {
-					t.Fatalf("load failed: %v", err)
+		for _, mode := range modes {
+			pc, mode := pc, mode
+			t.Run(pc.name+"/"+mode.name, func(t *testing.T) {
+				before := runtime.NumGoroutine()
+				pool := buffer.New(64 * 1024)
+				var pf *buffer.Prefetcher
+				if mode.readAhead {
+					pf = pool.EnableReadAhead(8, 4)
 				}
-				t.Skipf("instance unloadable under %s: %v", pc.name, err)
-			}
-			tempDev := faultinject.Wrap(disk.NewDevice("temp", disk.PaperRunPageSize), pc.plan)
-			env := division.Env{Pool: pool, TempDev: tempDev, SortBytes: 16 * 1024}
-			storageSpec := func() division.Spec {
-				return division.Spec{
-					Dividend:    exec.NewTableScan(rel.Dividend, false),
-					Divisor:     exec.NewTableScan(rel.Divisor, true),
-					DivisorCols: []int{1},
+				// In-flight prefetch loads hold a pin until published or
+				// aborted; quiesce the window before counting leaks.
+				fixedFrames := func() int {
+					pf.Drain()
+					return pool.FixedFrames()
 				}
-			}
-			qs := storageSpec().QuotientSchema()
-
-			check := func(t *testing.T, label string, got []tuple.Tuple, err error) {
-				t.Helper()
+				dividendDev := faultinject.Wrap(disk.NewDevice("dividend", disk.PaperPageSize), pc.plan)
+				divisorDev := faultinject.Wrap(disk.NewDevice("divisor", disk.PaperPageSize), pc.plan)
+				rel, err := workload.LoadOn(pool, inst, dividendDev, divisorDev)
 				if err != nil {
-					if pc.transientOnly {
-						t.Fatalf("%s failed under transient-only faults: %v", label, err)
+					// Loading itself may hit permanent corruption; transient
+					// plans must load fine.
+					if pc.transientOnly || !typedFault(err) {
+						t.Fatalf("load failed: %v", err)
 					}
-					if !typedFault(err) {
-						t.Fatalf("%s returned untyped error: %v", label, err)
+					t.Skipf("instance unloadable under %s: %v", pc.name, err)
+				}
+				tempDev := faultinject.Wrap(disk.NewDevice("temp", disk.PaperRunPageSize), pc.plan)
+				env := division.Env{Pool: pool, TempDev: tempDev, SortBytes: 16 * 1024}
+				storageSpec := func() division.Spec {
+					return division.Spec{
+						Dividend:    exec.NewTableScan(rel.Dividend, false),
+						Divisor:     exec.NewTableScan(rel.Divisor, true),
+						DivisorCols: []int{1},
 					}
-					return
 				}
-				if !division.EqualTupleSets(qs, got, ref) {
-					t.Errorf("%s: WRONG quotient under faults (%d vs %d) — corruption leaked into results",
-						label, len(got), len(ref))
-				}
-			}
+				qs := storageSpec().QuotientSchema()
 
-			// Serial: all four general algorithms.
-			for _, alg := range []division.Algorithm{
-				division.AlgNaive, division.AlgSortAggJoin,
-				division.AlgHashAggJoin, division.AlgHashDivision,
-			} {
-				got, err := division.Run(alg, storageSpec(), env)
-				check(t, alg.String(), got, err)
-				if pool.FixedFrames() != 0 {
-					t.Fatalf("%v left %d frames fixed", alg, pool.FixedFrames())
+				check := func(t *testing.T, label string, got []tuple.Tuple, err error) {
+					t.Helper()
+					if err != nil {
+						if pc.transientOnly {
+							t.Fatalf("%s failed under transient-only faults: %v", label, err)
+						}
+						if !typedFault(err) {
+							t.Fatalf("%s returned untyped error: %v", label, err)
+						}
+						return
+					}
+					if !division.EqualTupleSets(qs, got, ref) {
+						t.Errorf("%s: WRONG quotient under faults (%d vs %d) — corruption leaked into results",
+							label, len(got), len(ref))
+					}
 				}
-			}
 
-			// Partitioned hash-division (spill files under fault injection).
-			got, _, _, err := division.DivideAdaptive(storageSpec(), env, 24*1024, 64)
-			check(t, "adaptive", got, err)
-			if pool.FixedFrames() != 0 {
-				t.Fatalf("adaptive left %d frames fixed", pool.FixedFrames())
-			}
-
-			// Parallel: every data path × partitioning strategy combination
-			// (shared-table requires quotient partitioning). The morsel paths
-			// scan page ranges concurrently, so faults fire under contention.
-			parallelCases := []struct {
-				strategy division.PartitionStrategy
-				path     parallel.Path
-			}{
-				{division.QuotientPartitioning, parallel.PathMorsel},
-				{division.QuotientPartitioning, parallel.PathCoordinator},
-				{division.QuotientPartitioning, parallel.PathSharedTable},
-				{division.DivisorPartitioning, parallel.PathMorsel},
-				{division.DivisorPartitioning, parallel.PathCoordinator},
-			}
-			for _, c := range parallelCases {
-				res, err := parallel.Divide(storageSpec(), parallel.Config{
-					Workers: 4, Strategy: c.strategy, Path: c.path,
-				})
-				var q []tuple.Tuple
-				if res != nil {
-					q = res.Quotient
+				// Serial: all four general algorithms.
+				for _, alg := range []division.Algorithm{
+					division.AlgNaive, division.AlgSortAggJoin,
+					division.AlgHashAggJoin, division.AlgHashDivision,
+				} {
+					got, err := division.Run(alg, storageSpec(), env)
+					check(t, alg.String(), got, err)
+					if n := fixedFrames(); n != 0 {
+						t.Fatalf("%v left %d frames fixed", alg, n)
+					}
 				}
-				label := "parallel/" + c.strategy.String() + "/" + c.path.String()
-				check(t, label, q, err)
-				if pool.FixedFrames() != 0 {
-					t.Fatalf("%s left %d frames fixed", label, pool.FixedFrames())
+
+				// Partitioned hash-division (spill files under fault injection).
+				got, _, _, err := division.DivideAdaptive(storageSpec(), env, 24*1024, 64)
+				check(t, "adaptive", got, err)
+				if n := fixedFrames(); n != 0 {
+					t.Fatalf("adaptive left %d frames fixed", n)
+				}
+
+				// Parallel: every data path × partitioning strategy combination
+				// (shared-table requires quotient partitioning). The morsel paths
+				// scan page ranges concurrently, so faults fire under contention.
+				parallelCases := []struct {
+					strategy division.PartitionStrategy
+					path     parallel.Path
+				}{
+					{division.QuotientPartitioning, parallel.PathMorsel},
+					{division.QuotientPartitioning, parallel.PathCoordinator},
+					{division.QuotientPartitioning, parallel.PathSharedTable},
+					{division.DivisorPartitioning, parallel.PathMorsel},
+					{division.DivisorPartitioning, parallel.PathCoordinator},
+				}
+				for _, c := range parallelCases {
+					res, err := parallel.Divide(storageSpec(), parallel.Config{
+						Workers: 4, Strategy: c.strategy, Path: c.path,
+					})
+					var q []tuple.Tuple
+					if res != nil {
+						q = res.Quotient
+					}
+					label := "parallel/" + c.strategy.String() + "/" + c.path.String()
+					check(t, label, q, err)
+					if n := fixedFrames(); n != 0 {
+						t.Fatalf("%s left %d frames fixed", label, n)
+					}
+					waitGoroutines(t, before)
+				}
+
+				if pc.transientOnly {
+					faults := dividendDev.FaultStats().Total() + divisorDev.FaultStats().Total() +
+						tempDev.FaultStats().Total()
+					if faults == 0 {
+						t.Error("fault plan injected nothing — the suite tested nothing")
+					}
+					if st := pool.Stats(); st.Retries == 0 {
+						t.Error("pool reports zero retries despite injected transient faults")
+					}
+				}
+				if mode.readAhead {
+					pool.DisableReadAhead()
 				}
 				waitGoroutines(t, before)
-			}
-
-			if pc.transientOnly {
-				faults := dividendDev.FaultStats().Total() + divisorDev.FaultStats().Total() +
-					tempDev.FaultStats().Total()
-				if faults == 0 {
-					t.Error("fault plan injected nothing — the suite tested nothing")
-				}
-				if st := pool.Stats(); st.Retries == 0 {
-					t.Error("pool reports zero retries despite injected transient faults")
-				}
-			}
-			waitGoroutines(t, before)
-		})
+			})
+		}
 	}
 }
 

@@ -107,6 +107,8 @@ func main() {
 		err = runOverflow(args)
 	case "parallel":
 		err = runParallel(args)
+	case "io":
+		err = runIO(args)
 	case "example":
 		err = runExample()
 	case "help", "-h", "--help":
@@ -136,6 +138,7 @@ commands:
   crossover analytic cost-vs-|R| series and overflow cost model
   overflow  hash table overflow / partition escalation
   parallel  multi-processor scaling (-workers, -reps, -json, -check)
+  io        buffer-pool sharding and read-ahead overlap (-pages, -shards, -json, -check)
   example   the paper's Figure 2 worked example`)
 }
 

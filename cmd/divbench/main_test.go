@@ -285,3 +285,98 @@ func TestRunBatchSmoke(t *testing.T) {
 		t.Errorf("missing batch_ablation section in %s", data)
 	}
 }
+
+func TestIOOverlapSectionPreservesSiblings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("io overlap smoke in short mode")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	if err := writeJSONSection(benchJSONFile, "table4", map[string]any{"geometry": "paper", "cells": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONSection(benchJSONFile, "parallel_scaling", map[string]any{"s": 20, "points": []int{3}}); err != nil {
+		t.Fatal(err)
+	}
+	sections := func() map[string]json.RawMessage {
+		data, err := os.ReadFile(benchJSONFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := map[string]json.RawMessage{}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	before := sections()
+
+	err = runIO([]string{"-pages", "8", "-scale", "0.01", "-shards", "1,2",
+		"-workers", "2", "-iters", "1", "-reps", "1", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sections()
+	for _, sib := range []string{"table4", "parallel_scaling"} {
+		if !bytes.Equal(before[sib], after[sib]) {
+			t.Errorf("%s section changed:\nbefore: %s\nafter:  %s", sib, before[sib], after[sib])
+		}
+	}
+	raw, ok := after["io_overlap"]
+	if !ok {
+		t.Fatal("io_overlap section missing")
+	}
+	var section struct {
+		Pages       int     `json:"pages"`
+		PageSize    int     `json:"page_size"`
+		ReadDelayNs int64   `json:"read_delay_ns"`
+		Scale       float64 `json:"scale"`
+		Window      int     `json:"window"`
+		Depth       int     `json:"depth"`
+		GOMAXPROCS  int     `json:"gomaxprocs"`
+		Scan        struct {
+			SyncNs         int64 `json:"sync_ns"`
+			ReadaheadNs    int64 `json:"readahead_ns"`
+			Fixes          int   `json:"fixes"`
+			PrefetchIssued int   `json:"prefetch_issued"`
+		} `json:"scan"`
+		ShardSweep struct {
+			Workers   int `json:"workers"`
+			PoolPages int `json:"pool_pages"`
+			Points    []struct {
+				Shards int   `json:"shards"`
+				Ns     int64 `json:"ns"`
+			} `json:"points"`
+		} `json:"shard_sweep"`
+	}
+	if err := json.Unmarshal(raw, &section); err != nil {
+		t.Fatal(err)
+	}
+	if section.Pages != 8 || section.PageSize == 0 || section.ReadDelayNs == 0 ||
+		section.Window == 0 || section.Depth == 0 || section.GOMAXPROCS == 0 {
+		t.Errorf("section header: %+v", section)
+	}
+	if section.Scan.SyncNs == 0 || section.Scan.ReadaheadNs == 0 || section.Scan.Fixes == 0 ||
+		section.Scan.PrefetchIssued == 0 {
+		t.Errorf("scan result unpopulated: %+v", section.Scan)
+	}
+	if section.ShardSweep.Workers != 2 || section.ShardSweep.PoolPages == 0 {
+		t.Errorf("shard sweep header: %+v", section.ShardSweep)
+	}
+	if len(section.ShardSweep.Points) != 2 {
+		t.Fatalf("shard sweep has %d points, want 2", len(section.ShardSweep.Points))
+	}
+	for _, p := range section.ShardSweep.Points {
+		if p.Shards == 0 || p.Ns == 0 {
+			t.Errorf("unpopulated sweep point %+v", p)
+		}
+	}
+}

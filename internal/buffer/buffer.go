@@ -8,6 +8,22 @@
 // ("copying is avoided as scans give memory addresses to records fixed in the
 // buffer pool"), so a frame's bytes stay valid exactly while it is fixed.
 //
+// # Sharding
+//
+// The pool is sharded by page-id hash into independent shards, each with its
+// own mutex, frame table, LRU/Clock victim list, checksum table, and
+// statistics. Concurrent fixes of different pages therefore contend only when
+// the pages hash to the same shard. The memory budget stays global: frame
+// bytes are reserved against one atomic counter, and a shard that needs room
+// may evict victims from any shard (one shard lock at a time, never nested,
+// so cross-shard eviction cannot deadlock). Aggregate Stats() sums the shards
+// under their locks for a consistent snapshot.
+//
+// No shard lock is ever held across a device read: a miss installs a loading
+// placeholder, releases the shard lock, performs the read, and then publishes
+// the bytes. Concurrent fixes of the page being loaded wait on the
+// placeholder instead of issuing a duplicate read.
+//
 // # Fault tolerance
 //
 // The pool is the integrity boundary of the storage path. Every page it
@@ -25,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
@@ -95,71 +112,179 @@ const PaperPoolBytes = 256 * 1024
 // PaperSortBytes is the paper's 100 KB sort space.
 const PaperSortBytes = 100 * 1024
 
+// minShardBytes is the smallest memory budget worth a shard of its own.
+// Pools below 2*minShardBytes get a single shard, which keeps the many tiny
+// pools in tests (and the victim-order guarantees they assert) exactly as
+// deterministic as the pre-sharding pool.
+const minShardBytes = 32 * 1024
+
+// maxDefaultShards caps the shard count New picks on its own; NewWithShards
+// accepts any count.
+const maxDefaultShards = 8
+
+// defaultShards picks a power-of-two shard count scaled to the memory
+// budget.
+func defaultShards(maxBytes int) int {
+	n := maxBytes / minShardBytes
+	if n < 1 {
+		return 1
+	}
+	if n > maxDefaultShards {
+		n = maxDefaultShards
+	}
+	// Round down to a power of two so shard selection is a mask.
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
 type frameKey struct {
 	dev  disk.Dev // nil for virtual frames
 	page disk.PageID
 }
 
 type frame struct {
-	key      frameKey
-	data     []byte
-	fixCount int
-	dirty    bool
-	virtual  bool
-	ref      bool          // Clock reference bit
-	lruElem  *list.Element // non-nil iff on the victim list (fixCount == 0)
+	key        frameKey
+	home       *shard
+	data       []byte
+	fixCount   int
+	dirty      bool
+	virtual    bool
+	prefetched bool          // loaded by the prefetcher, not yet fixed
+	loading    bool          // a reader owns this frame; data not yet valid
+	ready      chan struct{} // closed when loading completes (or fails)
+	ref        bool          // Clock reference bit
+	lruElem    *list.Element // non-nil iff on the victim list (fixCount == 0)
 }
 
 // Stats describe pool behaviour since creation or the last ResetStats.
 type Stats struct {
-	Hits          int // Fix found the page resident
-	Misses        int // Fix had to read the page from its device
-	Evictions     int // frames pushed out to make room
-	WriteBacks    int // dirty frames written to their device on eviction/flush
-	PeakBytes     int // high-water mark of pool memory
-	LiveBytes     int // current pool memory
-	VirtualLost   int // virtual frames discarded by eviction
-	Retries       int // transfers reissued after a transient fault or mismatch
-	ChecksumFails int // reads whose content did not match the recorded checksum
-	_             [0]byte
+	Fixes           int // Fix calls served; always equals Hits + Misses
+	Hits            int // Fix found the page resident
+	Misses          int // Fix had to read the page from its device
+	Evictions       int // frames pushed out to make room
+	WriteBacks      int // dirty frames written to their device on eviction/flush
+	PeakBytes       int // high-water mark of pool memory
+	LiveBytes       int // current pool memory
+	VirtualLost     int // virtual frames discarded by eviction
+	Retries         int // transfers reissued after a transient fault or mismatch
+	ChecksumFails   int // reads whose content did not match the recorded checksum
+	PrefetchIssued  int // asynchronous read-aheads started
+	PrefetchHits    int // fixes satisfied by a prefetched frame
+	PrefetchWasted  int // prefetched frames evicted or dropped before any fix
+	PrefetchDropped int // read-aheads declined (window full or load failed)
+	_               [0]byte
+}
+
+// add folds o into s (the byte-level fields are left alone).
+func (s *Stats) add(o Stats) {
+	s.Fixes += o.Fixes
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.WriteBacks += o.WriteBacks
+	s.VirtualLost += o.VirtualLost
+	s.Retries += o.Retries
+	s.ChecksumFails += o.ChecksumFails
+}
+
+// shard is one independently locked slice of the pool: its own frame table,
+// victim list, checksum table, and counters.
+type shard struct {
+	id        int
+	mu        sync.Mutex
+	frames    map[frameKey]*frame
+	lru       *list.List // unpinned frames; front = next eviction candidate
+	checksums map[frameKey]uint64
+	stats     Stats
 }
 
 // Pool is the buffer manager. It is safe for concurrent use.
 type Pool struct {
-	mu        sync.Mutex
-	maxBytes  int
-	policy    Policy
-	retry     RetryPolicy
-	frames    map[frameKey]*frame
-	lru       *list.List // unpinned frames; front = next eviction candidate
-	checksums map[frameKey]uint64
-	nextVirt  disk.PageID
-	curBytes  int
-	stats     Stats
+	maxBytes int
+	policy   Policy
+	shards   []*shard
+	mask     uint64 // len(shards)-1 when power of two, else 0 and mod is used
+
+	curBytes  atomic.Int64
+	peakBytes atomic.Int64
+	nextVirt  atomic.Int64
+	retry     atomic.Pointer[RetryPolicy]
+
+	prefetcher atomic.Pointer[Prefetcher]
+	hooks      atomic.Pointer[Hooks]
+
+	pfIssued  atomic.Int64
+	pfHits    atomic.Int64
+	pfWasted  atomic.Int64
+	pfDropped atomic.Int64
 }
 
 // New creates an LRU pool limited to maxBytes of frame memory. The pool
 // starts empty and grows on demand ("the buffer pool grows dynamically until
 // the main memory pool is exhausted, and shrinks as buffer slots are
-// unfixed").
+// unfixed"). The shard count scales with the budget (one shard per 32 KB,
+// capped at 8); use NewWithShards for explicit control.
 func New(maxBytes int) *Pool {
 	return NewWithPolicy(maxBytes, LRU)
 }
 
 // NewWithPolicy creates a pool with an explicit replacement policy.
 func NewWithPolicy(maxBytes int, policy Policy) *Pool {
+	return NewWithShards(maxBytes, policy, defaultShards(maxBytes))
+}
+
+// NewWithShards creates a pool with an explicit shard count. A single shard
+// reproduces the fully serialized pre-sharding pool (useful as a contention
+// baseline); counts that are not powers of two work but select shards by
+// modulo instead of mask.
+func NewWithShards(maxBytes int, policy Policy, nshards int) *Pool {
 	if maxBytes <= 0 {
 		panic(fmt.Sprintf("buffer: pool size must be positive, got %d", maxBytes))
 	}
-	return &Pool{
-		maxBytes:  maxBytes,
-		policy:    policy,
-		retry:     DefaultRetryPolicy(),
-		frames:    make(map[frameKey]*frame),
-		lru:       list.New(),
-		checksums: make(map[frameKey]uint64),
+	if nshards < 1 {
+		panic(fmt.Sprintf("buffer: shard count must be positive, got %d", nshards))
 	}
+	p := &Pool{
+		maxBytes: maxBytes,
+		policy:   policy,
+		shards:   make([]*shard, nshards),
+	}
+	if nshards&(nshards-1) == 0 {
+		p.mask = uint64(nshards - 1)
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			id:        i,
+			frames:    make(map[frameKey]*frame),
+			lru:       list.New(),
+			checksums: make(map[frameKey]uint64),
+		}
+	}
+	rp := DefaultRetryPolicy()
+	p.retry.Store(&rp)
+	return p
 }
+
+// shardFor hashes a frame key to its home shard. Virtual frames use the
+// same page-id hash over their private id space.
+func (p *Pool) shardFor(key frameKey) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	// Fibonacci hashing spreads the dense sequential page ids scans produce.
+	h := (uint64(uint32(key.page)) + 1) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	if p.mask != 0 {
+		return p.shards[h&p.mask]
+	}
+	return p.shards[h%uint64(len(p.shards))]
+}
+
+// NumShards reports how many independently locked shards the pool has.
+func (p *Pool) NumShards() int { return len(p.shards) }
 
 // PolicyName reports the configured replacement policy.
 func (p *Pool) PolicyName() Policy { return p.policy }
@@ -168,10 +293,10 @@ func (p *Pool) PolicyName() Policy { return p.policy }
 // default). A zero RetryPolicy disables retries; checksum verification stays
 // on regardless.
 func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
-	p.mu.Lock()
-	p.retry = rp
-	p.mu.Unlock()
+	p.retry.Store(&rp)
 }
+
+func (p *Pool) retryPolicy() RetryPolicy { return *p.retry.Load() }
 
 // MaxBytes returns the configured memory limit.
 func (p *Pool) MaxBytes() int { return p.maxBytes }
@@ -196,9 +321,10 @@ func (h *Handle) Page() disk.PageID {
 
 // MarkDirty records that the frame was modified and must be written back.
 func (h *Handle) MarkDirty() {
-	h.pool.mu.Lock()
+	s := h.f.home
+	s.mu.Lock()
 	h.f.dirty = true
-	h.pool.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Unfix releases the handle. keepLRU=true inserts the frame into the LRU
@@ -206,8 +332,9 @@ func (h *Handle) MarkDirty() {
 // (front of the list), the paper's "can be replaced immediately" hint.
 func (h *Handle) Unfix(keepLRU bool) error {
 	p := h.pool
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := h.f.home
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f := h.f
 	if f.fixCount <= 0 {
 		return ErrNotFixed
@@ -217,12 +344,12 @@ func (h *Handle) Unfix(keepLRU bool) error {
 		switch p.policy {
 		case Clock:
 			f.ref = keepLRU // second chance iff the caller wants it kept
-			f.lruElem = p.lru.PushBack(f)
+			f.lruElem = s.lru.PushBack(f)
 		default:
 			if keepLRU {
-				f.lruElem = p.lru.PushBack(f)
+				f.lruElem = s.lru.PushBack(f)
 			} else {
-				f.lruElem = p.lru.PushFront(f)
+				f.lruElem = s.lru.PushFront(f)
 			}
 		}
 	}
@@ -231,15 +358,16 @@ func (h *Handle) Unfix(keepLRU bool) error {
 
 // writePageLocked writes a frame's bytes to its device, retrying transient
 // faults per the retry policy, and records the page checksum for
-// verification on the next read. Backoff sleeps happen under the pool lock;
+// verification on the next read. Backoff sleeps happen under the shard lock;
 // with the default microsecond-scale policy that is harmless, and it keeps
 // the frame bytes stable while they are on their way to the device.
-func (p *Pool) writePageLocked(key frameKey, data []byte) error {
+func (p *Pool) writePageLocked(s *shard, key frameKey, data []byte) error {
 	var err error
-	backoff := p.retry.Backoff
-	for attempt := 0; attempt < p.retry.attempts(); attempt++ {
+	rp := p.retryPolicy()
+	backoff := rp.Backoff
+	for attempt := 0; attempt < rp.attempts(); attempt++ {
 		if attempt > 0 {
-			p.stats.Retries++
+			s.stats.Retries++
 			if backoff > 0 {
 				time.Sleep(backoff)
 				backoff *= 2
@@ -247,7 +375,7 @@ func (p *Pool) writePageLocked(key frameKey, data []byte) error {
 		}
 		err = key.dev.Write(key.page, data)
 		if err == nil {
-			p.checksums[key] = disk.Checksum(data)
+			s.checksums[key] = disk.Checksum(data)
 			return nil
 		}
 		if !disk.IsTransient(err) {
@@ -255,20 +383,22 @@ func (p *Pool) writePageLocked(key frameKey, data []byte) error {
 		}
 	}
 	return fmt.Errorf("buffer: write of page %d on %s gave up after %d attempts: %w",
-		key.page, key.dev.Name(), p.retry.attempts(), err)
+		key.page, key.dev.Name(), rp.attempts(), err)
 }
 
-// readPageLocked reads a page into data, retrying transient faults and
-// checksum mismatches (in-flight corruption heals on re-read); a mismatch
-// that outlives the retries is permanent corruption and surfaces as
-// *disk.CorruptPageError. Pages without a recorded checksum — never written
-// through this pool — are not verified.
-func (p *Pool) readPageLocked(key frameKey, data []byte) error {
-	var err error
-	backoff := p.retry.Backoff
-	for attempt := 0; attempt < p.retry.attempts(); attempt++ {
+// readPage reads a page into data without holding any shard lock, retrying
+// transient faults and checksum mismatches (in-flight corruption heals on
+// re-read); a mismatch that outlives the retries is permanent corruption and
+// surfaces as *disk.CorruptPageError. Pages without a recorded checksum —
+// never written through this pool — are not verified (verify=false). The
+// retry and mismatch counts are returned so the caller can fold them into
+// shard statistics under the lock.
+func (p *Pool) readPage(key frameKey, data []byte, want uint64, verify bool) (retries, csFails int, err error) {
+	rp := p.retryPolicy()
+	backoff := rp.Backoff
+	for attempt := 0; attempt < rp.attempts(); attempt++ {
 		if attempt > 0 {
-			p.stats.Retries++
+			retries++
 			if backoff > 0 {
 				time.Sleep(backoff)
 				backoff *= 2
@@ -279,75 +409,131 @@ func (p *Pool) readPageLocked(key frameKey, data []byte) error {
 			if disk.IsTransient(err) {
 				continue
 			}
-			return err
+			return retries, csFails, err
 		}
-		want, ok := p.checksums[key]
-		if !ok {
-			return nil
+		if !verify {
+			return retries, csFails, nil
 		}
 		got := disk.Checksum(data)
 		if got == want {
-			return nil
+			return retries, csFails, nil
 		}
-		p.stats.ChecksumFails++
+		csFails++
 		err = &disk.CorruptPageError{Device: key.dev.Name(), Page: key.page, Want: want, Got: got}
 	}
 	if disk.IsTransient(err) {
 		err = fmt.Errorf("buffer: read of page %d on %s gave up after %d attempts: %w",
-			key.page, key.dev.Name(), p.retry.attempts(), err)
+			key.page, key.dev.Name(), rp.attempts(), err)
 	}
-	return err
+	return retries, csFails, err
 }
 
-// ensureRoomLocked evicts unpinned frames until need more bytes fit, writing
-// back dirty real frames and discarding virtual ones.
-func (p *Pool) ensureRoomLocked(need int) error {
+// reserve claims need bytes of the global budget, evicting unpinned frames
+// (preferring the caller's home shard) until the claim fits. It never holds
+// a shard lock while looping, so concurrent reservations make independent
+// progress.
+func (p *Pool) reserve(need int, prefer *shard) error {
 	if need > p.maxBytes {
 		return fmt.Errorf("%w: frame of %d bytes exceeds pool of %d", ErrNoMemory, need, p.maxBytes)
 	}
-	for p.curBytes+need > p.maxBytes {
-		el := p.lru.Front()
+	for {
+		cur := p.curBytes.Load()
+		if cur+int64(need) <= int64(p.maxBytes) {
+			if !p.curBytes.CompareAndSwap(cur, cur+int64(need)) {
+				continue
+			}
+			for {
+				pk := p.peakBytes.Load()
+				if cur+int64(need) <= pk || p.peakBytes.CompareAndSwap(pk, cur+int64(need)) {
+					return nil
+				}
+			}
+		}
+		evicted, err := p.evictOne(prefer)
+		if err != nil {
+			return err
+		}
+		if !evicted {
+			return fmt.Errorf("%w: need %d bytes, %d in use", ErrNoMemory, need, p.curBytes.Load())
+		}
+	}
+}
+
+// release returns reserved bytes to the global budget.
+func (p *Pool) release(n int) { p.curBytes.Add(-int64(n)) }
+
+// evictOne evicts a single unpinned frame from some shard, starting at the
+// preferred shard and rotating. Exactly one shard lock is held at a time, so
+// two threads evicting across shards cannot deadlock. Returns false when no
+// shard has an evictable frame.
+func (p *Pool) evictOne(prefer *shard) (bool, error) {
+	start := 0
+	if prefer != nil {
+		start = prefer.id
+	}
+	for i := 0; i < len(p.shards); i++ {
+		s := p.shards[(start+i)%len(p.shards)]
+		s.mu.Lock()
+		evicted, wasPrefetched, err := p.evictFromShardLocked(s)
+		s.mu.Unlock()
+		if err != nil {
+			return false, err
+		}
+		if evicted {
+			if wasPrefetched {
+				p.notePrefetchWasted()
+			}
+			p.noteEviction(s.id)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evictFromShardLocked removes one victim from s, honoring Clock second
+// chances, writing back dirty real frames and discarding virtual ones. A
+// failed write-back leaves the frame at the front of the victim list so a
+// later attempt can retry.
+func (p *Pool) evictFromShardLocked(s *shard) (evicted, wasPrefetched bool, err error) {
+	// Each sweep iteration either evicts or clears one Clock bit, so
+	// 2*len passes bound the scan.
+	for sweep := 2*s.lru.Len() + 1; sweep > 0; sweep-- {
+		el := s.lru.Front()
 		if el == nil {
-			return fmt.Errorf("%w: need %d bytes, %d in use", ErrNoMemory, need, p.curBytes)
+			return false, false, nil
 		}
 		f := el.Value.(*frame)
 		if p.policy == Clock && f.ref {
 			// Second chance: clear the bit and move on. The sweep
 			// terminates because each pass clears bits.
 			f.ref = false
-			p.lru.MoveToBack(el)
+			s.lru.MoveToBack(el)
 			continue
 		}
-		p.lru.Remove(el)
-		f.lruElem = nil
 		if f.dirty && !f.virtual {
-			if err := p.writePageLocked(f.key, f.data); err != nil {
-				return fmt.Errorf("buffer: write-back: %w", err)
+			if err := p.writePageLocked(s, f.key, f.data); err != nil {
+				return false, false, fmt.Errorf("buffer: write-back: %w", err)
 			}
-			p.stats.WriteBacks++
+			f.dirty = false
+			s.stats.WriteBacks++
 		}
+		s.lru.Remove(el)
+		f.lruElem = nil
 		if f.virtual {
-			p.stats.VirtualLost++
+			s.stats.VirtualLost++
 		}
-		delete(p.frames, f.key)
-		p.curBytes -= len(f.data)
-		p.stats.Evictions++
+		delete(s.frames, f.key)
+		p.release(len(f.data))
+		s.stats.Evictions++
+		return true, f.prefetched, nil
 	}
-	return nil
+	return false, false, nil
 }
 
-func (p *Pool) addFrameLocked(f *frame) {
-	p.frames[f.key] = f
-	p.curBytes += len(f.data)
-	if p.curBytes > p.stats.PeakBytes {
-		p.stats.PeakBytes = p.curBytes
-	}
-}
-
-// pinLocked marks an existing frame fixed, removing it from the LRU list.
-func (p *Pool) pinLocked(f *frame) {
+// pinLocked marks an existing frame fixed, removing it from the victim list.
+func (s *shard) pinLocked(f *frame) {
 	if f.lruElem != nil {
-		p.lru.Remove(f.lruElem)
+		s.lru.Remove(f.lruElem)
 		f.lruElem = nil
 	}
 	f.fixCount++
@@ -357,26 +543,77 @@ func (p *Pool) pinLocked(f *frame) {
 // it is not resident, and returns a handle to its bytes. Reads are verified
 // against the page's recorded checksum and retried on transient faults; see
 // the package comment for the fault-tolerance contract.
+//
+// A miss installs a loading placeholder and performs the device read with no
+// shard lock held; concurrent fixes of the same page wait for that read
+// instead of duplicating it. If the read fails, the waiters retry as
+// initiators with the full retry policy — this is also how a dropped
+// prefetch re-surfaces its error on the synchronous path.
 func (p *Pool) Fix(dev disk.Dev, page disk.PageID) (*Handle, error) {
 	key := frameKey{dev: dev, page: page}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[key]; ok {
-		p.stats.Hits++
-		p.pinLocked(f)
+	s := p.shardFor(key)
+	for {
+		s.mu.Lock()
+		if f, ok := s.frames[key]; ok {
+			if f.loading {
+				ready := f.ready
+				s.mu.Unlock()
+				<-ready
+				continue
+			}
+			s.stats.Fixes++
+			s.stats.Hits++
+			hitPrefetch := f.prefetched
+			f.prefetched = false
+			s.pinLocked(f)
+			s.mu.Unlock()
+			if hitPrefetch {
+				p.notePrefetchHit()
+			}
+			return &Handle{pool: p, f: f}, nil
+		}
+		// Miss: own the slot with a loading placeholder, then read with no
+		// lock held.
+		f := &frame{
+			key:      key,
+			home:     s,
+			fixCount: 1,
+			loading:  true,
+			ready:    make(chan struct{}),
+		}
+		s.frames[key] = f
+		want, verify := s.checksums[key]
+		s.stats.Fixes++
+		s.stats.Misses++
+		s.mu.Unlock()
+
+		var data []byte
+		err := p.reserve(dev.PageSize(), s)
+		var retries, csFails int
+		if err == nil {
+			data = make([]byte, dev.PageSize())
+			retries, csFails, err = p.readPage(key, data, want, verify)
+			if err != nil {
+				p.release(dev.PageSize())
+			}
+		}
+
+		s.mu.Lock()
+		s.stats.Retries += retries
+		s.stats.ChecksumFails += csFails
+		if err != nil {
+			delete(s.frames, key)
+			f.loading = false
+			close(f.ready)
+			s.mu.Unlock()
+			return nil, err
+		}
+		f.data = data
+		f.loading = false
+		close(f.ready)
+		s.mu.Unlock()
 		return &Handle{pool: p, f: f}, nil
 	}
-	p.stats.Misses++
-	if err := p.ensureRoomLocked(dev.PageSize()); err != nil {
-		return nil, err
-	}
-	f := &frame{key: key, data: make([]byte, dev.PageSize())}
-	if err := p.readPageLocked(key, f.data); err != nil {
-		return nil, err
-	}
-	p.addFrameLocked(f)
-	f.fixCount = 1
-	return &Handle{pool: p, f: f}, nil
 }
 
 // NewPage allocates a fresh page on the device and fixes a zeroed frame for
@@ -385,14 +622,14 @@ func (p *Pool) Fix(dev disk.Dev, page disk.PageID) (*Handle, error) {
 func (p *Pool) NewPage(dev disk.Dev) (disk.PageID, *Handle, error) {
 	page := dev.Alloc()
 	key := frameKey{dev: dev, page: page}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.ensureRoomLocked(dev.PageSize()); err != nil {
+	s := p.shardFor(key)
+	if err := p.reserve(dev.PageSize(), s); err != nil {
 		return disk.InvalidPage, nil, err
 	}
-	f := &frame{key: key, data: make([]byte, dev.PageSize()), dirty: true}
-	p.addFrameLocked(f)
-	f.fixCount = 1
+	f := &frame{key: key, home: s, data: make([]byte, dev.PageSize()), dirty: true, fixCount: 1}
+	s.mu.Lock()
+	s.frames[key] = f
+	s.mu.Unlock()
 	return page, &Handle{pool: p, f: f}, nil
 }
 
@@ -400,48 +637,51 @@ func (p *Pool) NewPage(dev disk.Dev) (disk.PageID, *Handle, error) {
 // the pool. Re-fixing it after eviction returns ErrEvicted; virtual frames
 // model the paper's virtual devices for intermediate results.
 func (p *Pool) FixVirtual(size int) (*Handle, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.ensureRoomLocked(size); err != nil {
+	key := frameKey{dev: nil, page: disk.PageID(p.nextVirt.Add(1) - 1)}
+	s := p.shardFor(key)
+	if err := p.reserve(size, s); err != nil {
 		return nil, err
 	}
-	key := frameKey{dev: nil, page: p.nextVirt}
-	p.nextVirt++
-	f := &frame{key: key, data: make([]byte, size), virtual: true}
-	p.addFrameLocked(f)
-	f.fixCount = 1
+	f := &frame{key: key, home: s, data: make([]byte, size), virtual: true, fixCount: 1}
+	s.mu.Lock()
+	s.frames[key] = f
+	s.mu.Unlock()
 	return &Handle{pool: p, f: f}, nil
 }
 
 // Refix pins a handle's frame again if it is still resident. For virtual
 // frames that were evicted it returns ErrEvicted.
 func (p *Pool) Refix(h *Handle) (*Handle, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[h.f.key]
+	s := h.f.home
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[h.f.key]
 	if !ok || f != h.f {
 		if h.f.virtual {
 			return nil, ErrEvicted
 		}
 		return nil, fmt.Errorf("buffer: page %d no longer resident", h.f.key.page)
 	}
-	p.pinLocked(f)
+	s.pinLocked(f)
 	return &Handle{pool: p, f: f}, nil
 }
 
 // FlushAll writes every dirty real frame back to its device. Fixed frames are
 // flushed but stay resident and fixed.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty && !f.virtual {
-			if err := p.writePageLocked(f.key, f.data); err != nil {
-				return fmt.Errorf("buffer: flush: %w", err)
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty && !f.virtual && !f.loading {
+				if err := p.writePageLocked(s, f.key, f.data); err != nil {
+					s.mu.Unlock()
+					return fmt.Errorf("buffer: flush: %w", err)
+				}
+				f.dirty = false
+				s.stats.WriteBacks++
 			}
-			f.dirty = false
-			p.stats.WriteBacks++
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -450,51 +690,98 @@ func (p *Pool) FlushAll() error {
 // changes (dirty unfixed frames are written back first). Used between
 // experiment runs to cold-start the cache.
 func (p *Pool) DropClean() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for el := p.lru.Front(); el != nil; {
-		next := el.Next()
-		f := el.Value.(*frame)
-		if f.dirty && !f.virtual {
-			if err := p.writePageLocked(f.key, f.data); err != nil {
-				return fmt.Errorf("buffer: drop: %w", err)
+	for _, s := range p.shards {
+		var droppedPrefetched int
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; {
+			next := el.Next()
+			f := el.Value.(*frame)
+			if f.dirty && !f.virtual {
+				if err := p.writePageLocked(s, f.key, f.data); err != nil {
+					s.mu.Unlock()
+					return fmt.Errorf("buffer: drop: %w", err)
+				}
+				s.stats.WriteBacks++
 			}
-			p.stats.WriteBacks++
+			if f.prefetched {
+				droppedPrefetched++
+			}
+			s.lru.Remove(el)
+			f.lruElem = nil
+			delete(s.frames, f.key)
+			p.release(len(f.data))
+			el = next
 		}
-		p.lru.Remove(el)
-		delete(p.frames, f.key)
-		p.curBytes -= len(f.data)
-		el = next
+		s.mu.Unlock()
+		for i := 0; i < droppedPrefetched; i++ {
+			p.notePrefetchWasted()
+		}
 	}
 	return nil
 }
 
-// Stats returns a snapshot of pool statistics.
+// Stats returns a consistent snapshot of pool statistics: all shard locks
+// are held simultaneously while summing, so the Hits+Misses == Fixes
+// invariant holds in every snapshot even under concurrent fixes.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s := p.stats
-	s.LiveBytes = p.curBytes
-	return s
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	var out Stats
+	for _, s := range p.shards {
+		out.add(s.stats)
+	}
+	for i := len(p.shards) - 1; i >= 0; i-- {
+		p.shards[i].mu.Unlock()
+	}
+	out.LiveBytes = int(p.curBytes.Load())
+	out.PeakBytes = int(p.peakBytes.Load())
+	out.PrefetchIssued = int(p.pfIssued.Load())
+	out.PrefetchHits = int(p.pfHits.Load())
+	out.PrefetchWasted = int(p.pfWasted.Load())
+	out.PrefetchDropped = int(p.pfDropped.Load())
+	return out
+}
+
+// ShardStats returns each shard's own counters (aggregate byte and prefetch
+// fields are left zero). Shards are snapshotted one at a time.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats zeroes the counters (resident pages stay).
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
+	p.peakBytes.Store(0)
+	p.pfIssued.Store(0)
+	p.pfHits.Store(0)
+	p.pfWasted.Store(0)
+	p.pfDropped.Store(0)
 }
 
 // FixedFrames reports how many frames are currently pinned, for leak checks
-// in tests.
+// in tests. In-flight prefetch loads count as pinned until they publish;
+// call (*Prefetcher).Drain first for a quiescent count.
 func (p *Pool) FixedFrames() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.fixCount > 0 {
-			n++
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.fixCount > 0 {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }

@@ -1,0 +1,51 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyDelaysAndDelegates(t *testing.T) {
+	base := NewDevice("lat", 64)
+	base.AllocExtent(2)
+	lat := NewLatency(base, 3*time.Millisecond, 2*time.Millisecond)
+
+	buf := make([]byte, 64)
+	start := time.Now()
+	if err := lat.Write(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Errorf("write returned in %v, want >= 2ms", el)
+	}
+	start = time.Now()
+	if err := lat.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 3*time.Millisecond {
+		t.Errorf("read returned in %v, want >= 3ms", el)
+	}
+	// Statistics and geometry come from the wrapped device.
+	if st := lat.Stats(); st.Reads != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v, want 1 read and 1 write", st)
+	}
+	if lat.PageSize() != 64 || lat.Name() != "lat" {
+		t.Errorf("delegation broken: size %d name %q", lat.PageSize(), lat.Name())
+	}
+	// Errors pass through (after the delay).
+	if err := lat.Read(99, buf); err == nil {
+		t.Error("bad page read did not error through the wrapper")
+	}
+}
+
+func TestLatencyFromCost(t *testing.T) {
+	base := NewDevice("cost", PaperPageSize)
+	lat := LatencyFromCost(base, PaperCost(), 1.0)
+	// 8 ms rotational + 8 KB * 0.5 ms/KB = 12 ms per transfer.
+	if want := 12 * time.Millisecond; lat.ReadDelay != want || lat.WriteDelay != want {
+		t.Errorf("delays = %v/%v, want %v", lat.ReadDelay, lat.WriteDelay, want)
+	}
+	if lat := LatencyFromCost(base, PaperCost(), 0.1); lat.ReadDelay != 1200*time.Microsecond {
+		t.Errorf("scaled delay = %v, want 1.2ms", lat.ReadDelay)
+	}
+}

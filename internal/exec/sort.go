@@ -430,6 +430,13 @@ func (h *cursorHeap) Pop() any {
 func (s *Sort) newMergeState(runs []*storage.File) (*mergeState, error) {
 	m := &mergeState{s: s}
 	m.h.m = m
+	// Stage the head page of every run before opening the cursors: the merge
+	// will touch all of them immediately, and issuing the reads together
+	// overlaps their device latency. Each run cursor then keeps its own
+	// read-ahead going as it advances.
+	for _, r := range runs {
+		r.PrefetchPages(0, 1)
+	}
 	for i, r := range runs {
 		rc := &runCursor{sc: r.Scan(false), index: i}
 		t, _, err := rc.sc.Next()

@@ -27,6 +27,15 @@ type Splittable interface {
 	Morsels(tuplesPerMorsel int) []BatchOperator
 }
 
+// Prefetchable is implemented by morsels that can warm the buffer pool for
+// their data ahead of being scanned. Producers call Prefetch on the NEXT
+// morsel while absorbing the current one, overlapping its device reads with
+// CPU work; the call never blocks on I/O and is a no-op when the pool has no
+// prefetcher.
+type Prefetchable interface {
+	Prefetch()
+}
+
 // SplitMorsels splits op when it supports splitting. The bool result reports
 // capability, not emptiness: (nil, true) is a legitimate answer for an empty
 // splittable source. Wrappers that hide operator capabilities (Opaque,
@@ -94,6 +103,10 @@ type pageRangeScan struct {
 }
 
 func (r *pageRangeScan) Schema() *tuple.Schema { return r.file.Schema() }
+
+// Prefetch implements Prefetchable: asynchronously stage this morsel's page
+// range so a worker picking it up next finds the frames already resident.
+func (r *pageRangeScan) Prefetch() { r.file.PrefetchPages(r.lo, r.hi) }
 
 func (r *pageRangeScan) Open() error {
 	if err := r.Close(); err != nil {

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+)
+
+// InstrumentPool binds a buffer pool's event hooks to registry counters:
+//
+//	buffer.prefetch.issued   — asynchronous read-aheads started
+//	buffer.prefetch.hit      — fixes satisfied by a prefetched frame
+//	buffer.prefetch.wasted   — prefetched frames evicted/dropped unused
+//	buffer.prefetch.dropped  — read-aheads declined (window full) or failed
+//	buffer.evictions         — frames evicted, all shards
+//	buffer.shard.N.evictions — frames evicted from shard N
+//
+// The registry aggregates for the life of the process, so instrument
+// long-lived pools (a benchmark's pool, a server's pool), not per-query
+// throwaways.
+func InstrumentPool(r *Registry, p *buffer.Pool) {
+	issued := r.Counter("buffer.prefetch.issued")
+	hit := r.Counter("buffer.prefetch.hit")
+	wasted := r.Counter("buffer.prefetch.wasted")
+	dropped := r.Counter("buffer.prefetch.dropped")
+	evictions := r.Counter("buffer.evictions")
+	perShard := make([]*Counter, p.NumShards())
+	for i := range perShard {
+		perShard[i] = r.Counter(fmt.Sprintf("buffer.shard.%d.evictions", i))
+	}
+	p.SetHooks(buffer.Hooks{
+		PrefetchIssued:  issued.Inc,
+		PrefetchHit:     hit.Inc,
+		PrefetchWasted:  wasted.Inc,
+		PrefetchDropped: dropped.Inc,
+		ShardEviction: func(shard int) {
+			evictions.Inc()
+			if shard >= 0 && shard < len(perShard) {
+				perShard[shard].Inc()
+			}
+		},
+	})
+}

@@ -72,10 +72,18 @@ func newMorselSource(ctx context.Context, dividend exec.Operator, morselTuples, 
 }
 
 // take claims the next unscanned morsel, or nil when the queue is drained.
+// Claiming morsel i also asks morsel i+1 to prefetch its page range, so its
+// device reads overlap with absorbing morsel i (the prefetcher dedupes when
+// several producers nominate the same successor).
 func (s *morselSource) take() exec.BatchOperator {
 	i := s.next.Add(1) - 1
 	if i >= int64(len(s.ops)) {
 		return nil
+	}
+	if nxt := i + 1; nxt < int64(len(s.ops)) {
+		if pf, ok := s.ops[nxt].(exec.Prefetchable); ok {
+			pf.Prefetch()
+		}
 	}
 	return s.ops[i]
 }

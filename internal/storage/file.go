@@ -260,6 +260,42 @@ func (f *File) FetchRef(rid RID) (tuple.Tuple, *buffer.Handle, error) {
 	return tuple.Tuple(data[off : off+f.schema.Width()]), h, nil
 }
 
+// PrefetchPages asks the pool's prefetcher (if read-ahead is enabled) to
+// load the half-open page-index range [lo, hi) of the file asynchronously.
+// It never blocks on device I/O and failures are silently dropped — the
+// synchronous Fix path re-reads and reports them. Morsel producers use this
+// to warm the next morsel's page range while the current one is absorbed,
+// and the sort merge uses it to stage the head page of every run.
+func (f *File) PrefetchPages(lo, hi int) {
+	pf := f.pool.ReadAhead()
+	if pf == nil {
+		return
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(f.pages) {
+		hi = len(f.pages)
+	}
+	if hi <= lo {
+		return
+	}
+	pf.Prefetch(f.dev, f.pages[lo:hi]...)
+}
+
+// readAhead issues prefetches for the pages a sequential cursor will fix
+// next: up to the prefetcher's depth, bounded by limit (exclusive).
+func (f *File) readAhead(next, limit int) {
+	pf := f.pool.ReadAhead()
+	if pf == nil {
+		return
+	}
+	if hi := next + pf.Depth(); hi < limit {
+		limit = hi
+	}
+	f.PrefetchPages(next, limit)
+}
+
 func (f *File) pageIndex(p disk.PageID) int {
 	for i, pg := range f.pages {
 		if pg == p {
@@ -321,6 +357,9 @@ func (s *Scanner) Next() (tuple.Tuple, RID, error) {
 		if err != nil {
 			return nil, RID{}, err
 		}
+		// The cursor is sequential by construction: overlap the next pages'
+		// reads with consuming this one.
+		s.f.readAhead(s.pageIx+1, len(s.f.pages))
 		s.handle = h
 		s.count = pageCount(h.Bytes())
 		s.slot = 0
@@ -414,6 +453,9 @@ func (ps *PageScanner) Next() (data []byte, n int, pristine bool, err error) {
 		if err != nil {
 			return nil, 0, false, err
 		}
+		// Page cursors are sequential within their range; stay ahead of the
+		// consumer without crossing into a neighboring morsel's range.
+		ps.f.readAhead(ps.pageIx+1, ps.end())
 		ps.handle = h
 		ps.count = pageCount(h.Bytes())
 		if ps.count == 0 {

@@ -628,3 +628,143 @@ func TestScanPageRangeConcurrent(t *testing.T) {
 		t.Errorf("%d frames still fixed after concurrent scans", fixed)
 	}
 }
+
+// TestScanPageRangeDegenerate pins down the edge geometry of range scans:
+// empty ranges, ranges entirely past the end of the file, and ranges of
+// exactly one page. None of these may pin frames, touch the device beyond
+// their pages, or report anything but clean io.EOF at the end.
+func TestScanPageRangeDegenerate(t *testing.T) {
+	f := testFile(t, 68, 4096) // 4 records per page
+	s := f.Schema()
+	const n = 9 // 3 pages, last one partial
+	for i := 0; i < n; i++ {
+		if _, err := f.Append(s.MustMake(i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Empty range [k, k): immediate EOF, zero device reads, zero fixes.
+	fixesBefore := f.Pool().Stats().Fixes
+	for _, k := range []int{0, 1, f.NumPages(), f.NumPages() + 5} {
+		ps := f.ScanPageRange(k, k, true)
+		if _, _, _, err := ps.Next(); err != io.EOF {
+			t.Errorf("empty range [%d,%d): err = %v, want EOF", k, k, err)
+		}
+		// EOF is sticky.
+		if _, _, _, err := ps.Next(); err != io.EOF {
+			t.Errorf("empty range [%d,%d) second Next: err = %v, want EOF", k, k, err)
+		}
+		if err := ps.Close(); err != nil {
+			t.Errorf("empty range close: %v", err)
+		}
+	}
+	if got := f.Pool().Stats().Fixes; got != fixesBefore {
+		t.Errorf("empty ranges fixed %d pages, want 0", got-fixesBefore)
+	}
+
+	// Range entirely past EOF: clamped to nothing.
+	if got := collectRange(t, f, f.NumPages(), f.NumPages()+10); len(got) != 0 {
+		t.Errorf("past-EOF range saw %d records, want 0", len(got))
+	}
+	if got := collectRange(t, f, 100, 200); len(got) != 0 {
+		t.Errorf("far past-EOF range saw %d records, want 0", len(got))
+	}
+
+	// Single-page ranges partition the file exactly, including the final
+	// partial page.
+	wants := []int{4, 4, 1}
+	for pg, want := range wants {
+		got := collectRange(t, f, pg, pg+1)
+		if len(got) != want {
+			t.Errorf("single-page range [%d,%d): %d records, want %d", pg, pg+1, len(got), want)
+		}
+		for i, v := range got {
+			if v != int64(pg*4+i) {
+				t.Errorf("single-page range page %d record %d = %d, want %d", pg, i, v, pg*4+i)
+			}
+		}
+	}
+
+	// A partly-overhanging range behaves like its clamped core.
+	if got := collectRange(t, f, 2, 50); len(got) != 1 {
+		t.Errorf("overhanging range saw %d records, want 1", len(got))
+	}
+	if fixed := f.Pool().FixedFrames(); fixed != 0 {
+		t.Errorf("%d frames still fixed after degenerate scans", fixed)
+	}
+}
+
+// TestScanReadAhead: with a prefetcher enabled on the pool, a sequential
+// page scan should find most of its pages already resident — the scanner
+// stays ahead of itself — and a range scan must never prefetch pages beyond
+// its own bound into a neighboring morsel's territory.
+func TestScanReadAhead(t *testing.T) {
+	f := testFile(t, 68, 16*1024)
+	s := f.Schema()
+	const n = 64 // 16 pages
+	for i := 0; i < n; i++ {
+		if _, err := f.Append(s.MustMake(i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Pool().FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Pool().DropClean(); err != nil {
+		t.Fatal(err)
+	}
+	pf := f.Pool().EnableReadAhead(32, 4)
+	defer f.Pool().DisableReadAhead()
+
+	// Staged read-ahead: prefetch the whole file, wait for it, then scan.
+	// Every fix must land on a prefetched frame.
+	f.PrefetchPages(0, f.NumPages())
+	pf.Drain()
+	if got := collectRange(t, f, 0, f.NumPages()); len(got) != n {
+		t.Fatalf("scan with read-ahead saw %d records, want %d", len(got), n)
+	}
+	st := f.Pool().Stats()
+	if st.PrefetchIssued != f.NumPages() {
+		t.Errorf("prefetch issued %d loads, want %d", st.PrefetchIssued, f.NumPages())
+	}
+	if st.PrefetchHits != f.NumPages() {
+		t.Errorf("prefetch hits = %d, want %d", st.PrefetchHits, f.NumPages())
+	}
+	if st.Misses != 0 {
+		t.Errorf("scan over fully prefetched file missed %d times, want 0", st.Misses)
+	}
+
+	// Pipelined read-ahead: a cold sequential scan issues prefetches for the
+	// pages ahead of the cursor as it goes. (Whether they complete in time
+	// is a scheduling question; that they are issued is not.)
+	if err := f.Pool().DropClean(); err != nil {
+		t.Fatal(err)
+	}
+	f.Pool().ResetStats()
+	if got := collectRange(t, f, 0, f.NumPages()); len(got) != n {
+		t.Fatalf("cold scan saw %d records, want %d", len(got), n)
+	}
+	pf.Drain()
+	if st := f.Pool().Stats(); st.PrefetchIssued+st.PrefetchDropped == 0 {
+		t.Error("cold sequential scan issued no read-ahead at all")
+	}
+
+	// A bounded range must not prefetch past its limit: drop everything,
+	// scan only pages [0, 4), and verify pages >= 4+depth were never read.
+	if err := f.Pool().DropClean(); err != nil {
+		t.Fatal(err)
+	}
+	f.Pool().ResetStats()
+	readsBefore := f.Device().Stats().Reads
+	if got := collectRange(t, f, 0, 4); len(got) != 16 {
+		t.Fatalf("bounded range saw %d records, want 16", len(got))
+	}
+	pf.Drain()
+	reads := f.Device().Stats().Reads - readsBefore
+	if reads > 4 {
+		t.Errorf("bounded range of 4 pages read %d pages from the device, want <= 4", reads)
+	}
+	if fixed := f.Pool().FixedFrames(); fixed != 0 {
+		t.Errorf("%d frames still fixed after read-ahead scans", fixed)
+	}
+}
