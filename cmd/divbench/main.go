@@ -109,6 +109,8 @@ func main() {
 		err = runParallel(args)
 	case "io":
 		err = runIO(args)
+	case "wal":
+		err = runWAL(args)
 	case "example":
 		err = runExample()
 	case "help", "-h", "--help":
@@ -139,6 +141,7 @@ commands:
   overflow  hash table overflow / partition escalation
   parallel  multi-processor scaling (-workers, -reps, -json, -check)
   io        buffer-pool sharding and read-ahead overlap (-pages, -shards, -json, -check)
+  wal       WAL group-commit throughput sweep (-appenders, -windows, -json, -check)
   example   the paper's Figure 2 worked example`)
 }
 

@@ -380,3 +380,84 @@ func TestIOOverlapSectionPreservesSiblings(t *testing.T) {
 		}
 	}
 }
+
+func TestWALCommitSectionPreservesSiblings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wal commit smoke in short mode")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	if err := writeJSONSection(benchJSONFile, "table4", map[string]any{"geometry": "paper", "cells": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONSection(benchJSONFile, "io_overlap", map[string]any{"pages": 8, "scale": 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	sections := func() map[string]json.RawMessage {
+		data, err := os.ReadFile(benchJSONFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := map[string]json.RawMessage{}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	before := sections()
+
+	err = runWAL([]string{"-appenders", "1,4", "-windows", "0",
+		"-records", "20", "-scale", "0.01", "-reps", "1", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sections()
+	for _, sib := range []string{"table4", "io_overlap"} {
+		if !bytes.Equal(before[sib], after[sib]) {
+			t.Errorf("%s section changed:\nbefore: %s\nafter:  %s", sib, before[sib], after[sib])
+		}
+	}
+	raw, ok := after["wal_commit"]
+	if !ok {
+		t.Fatal("wal_commit section missing")
+	}
+	var section struct {
+		RecordsPerAppender int     `json:"records_per_appender"`
+		PayloadBytes       int     `json:"payload_bytes"`
+		Scale              float64 `json:"scale"`
+		SyncDelayNs        int64   `json:"sync_delay_ns"`
+		Points             []struct {
+			Appenders      int     `json:"appenders"`
+			WindowUs       int     `json:"window_us"`
+			Ns             int64   `json:"ns"`
+			Appends        int     `json:"appends"`
+			Syncs          int     `json:"syncs"`
+			SyncsPerAppend float64 `json:"syncs_per_append"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &section); err != nil {
+		t.Fatal(err)
+	}
+	if section.RecordsPerAppender != 20 || section.SyncDelayNs <= 0 {
+		t.Errorf("section shape off: %+v", section)
+	}
+	if len(section.Points) != 2 {
+		t.Fatalf("%d sweep points, want 2", len(section.Points))
+	}
+	for _, p := range section.Points {
+		if p.Appends != p.Appenders*20 {
+			t.Errorf("point %+v: appends != appenders*records", p)
+		}
+		if p.Syncs <= 0 || p.SyncsPerAppend <= 0 {
+			t.Errorf("point %+v: sync counters missing", p)
+		}
+	}
+}

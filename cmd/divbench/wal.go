@@ -1,0 +1,181 @@
+package main
+
+// divbench wal — measures what group commit buys on the write path. A sweep
+// over (concurrent appenders × commit window) runs against a WAL device
+// whose Sync pays the paper's Table 3 fsync cost (seek + rotation) at a
+// configurable scale. Every appender stages a record and waits for it to be
+// durable; with one appender each commit pays a full device sync, while
+// concurrent appenders pile into the round a leader already has in flight
+// and share its sync. The syncs/append ratio is the figure of merit: it
+// falls from 1 toward 1/appenders as batches grow.
+//
+// Results merge into the wal_commit section of BENCH_divbench.json,
+// preserving sibling sections byte-for-byte.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/wal"
+)
+
+// walCommitPoint is one (appenders, window) cell of the group-commit sweep.
+type walCommitPoint struct {
+	Appenders      int     `json:"appenders"`
+	WindowUs       int     `json:"window_us"`
+	Ns             int64   `json:"ns"`
+	Appends        int     `json:"appends"`
+	Syncs          int     `json:"syncs"`
+	SyncsPerAppend float64 `json:"syncs_per_append"`
+	MeanBatch      float64 `json:"mean_batch"`
+	AppendsPerSec  float64 `json:"appends_per_sec"`
+}
+
+// walCommitOnce runs one sweep cell: `appenders` goroutines each commit
+// `records` payload-sized records against a fresh log on a latency device,
+// and the cell reports the log counters plus wall clock.
+func walCommitOnce(appenders, records, payloadLen int, window time.Duration, scale float64) (walCommitPoint, error) {
+	base := disk.NewDevice("walbench", disk.PaperPageSize)
+	lat := disk.LatencyFromCost(base, disk.PaperCost(), scale)
+	lat.ReadDelay, lat.WriteDelay = 0, 0 // isolate the fsync cost
+	l := wal.New(lat, wal.Options{Window: window})
+	if _, err := l.Recover(nil); err != nil {
+		return walCommitPoint{}, err
+	}
+	payload := bytes.Repeat([]byte{0xA5}, payloadLen)
+
+	var wg sync.WaitGroup
+	errs := make([]error, appenders)
+	start := time.Now()
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < records; i++ {
+				if _, err := l.AppendCommit(payload); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ns := time.Since(start).Nanoseconds()
+	for _, err := range errs {
+		if err != nil {
+			return walCommitPoint{}, err
+		}
+	}
+
+	st := l.Stats()
+	p := walCommitPoint{
+		Appenders: appenders,
+		WindowUs:  int(window / time.Microsecond),
+		Ns:        ns,
+		Appends:   st.Appends,
+		Syncs:     st.Syncs,
+	}
+	if st.Appends > 0 {
+		p.SyncsPerAppend = float64(st.Syncs) / float64(st.Appends)
+		p.AppendsPerSec = float64(st.Appends) / (float64(ns) / float64(time.Second))
+	}
+	if st.Batches > 0 {
+		p.MeanBatch = float64(st.BatchRecords) / float64(st.Batches)
+	}
+	return p, nil
+}
+
+func runWAL(args []string) error {
+	fs := flag.NewFlagSet("wal", flag.ContinueOnError)
+	appendersFlag := fs.String("appenders", "1,2,4,8", "comma-separated concurrent appender counts")
+	windowsFlag := fs.String("windows", "0,500", "comma-separated commit windows in microseconds")
+	records := fs.Int("records", 200, "records committed per appender per cell")
+	payloadLen := fs.Int("payload", 64, "record payload bytes")
+	scale := fs.Float64("scale", 0.05, "fsync cost scale: 1.0 = the paper's full seek+rotation milliseconds")
+	reps := fs.Int("reps", 3, "repetitions per cell; minimum wall clock wins")
+	jsonOut := fs.Bool("json", false, "merge a wal_commit section into "+benchJSONFile)
+	check := fs.Bool("check", false, "exit nonzero unless 8 appenders cut syncs/append by >= 4x vs 1 appender at window 0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	appenderCounts, err := parseSizes(*appendersFlag)
+	if err != nil {
+		return err
+	}
+	windows, err := parseSizes(*windowsFlag)
+	if err != nil {
+		return err
+	}
+
+	syncDelay := time.Duration(disk.PaperCost().SyncMS * *scale * float64(time.Millisecond))
+	fmt.Printf("WAL group commit (fsync %s at scale %g, %d x %d-byte records per appender, GOMAXPROCS=%d)\n",
+		syncDelay, *scale, *records, *payloadLen, runtime.GOMAXPROCS(0))
+	fmt.Printf("%10s %10s %12s %8s %14s %10s %14s\n",
+		"appenders", "window_us", "wall", "syncs", "syncs/append", "batch", "appends/s")
+
+	var points []walCommitPoint
+	for _, w := range windows {
+		for _, a := range appenderCounts {
+			var best walCommitPoint
+			for r := 0; r < *reps; r++ {
+				p, err := walCommitOnce(a, *records, *payloadLen, time.Duration(w)*time.Microsecond, *scale)
+				if err != nil {
+					return err
+				}
+				if r == 0 || p.Ns < best.Ns {
+					best = p
+				}
+			}
+			points = append(points, best)
+			fmt.Printf("%10d %10d %12s %8d %14.3f %10.1f %14.0f\n",
+				best.Appenders, best.WindowUs, time.Duration(best.Ns).Round(time.Microsecond),
+				best.Syncs, best.SyncsPerAppend, best.MeanBatch, best.AppendsPerSec)
+		}
+	}
+
+	if *jsonOut {
+		section := map[string]any{
+			"records_per_appender": *records,
+			"payload_bytes":        *payloadLen,
+			"scale":                *scale,
+			"sync_delay_ns":        syncDelay.Nanoseconds(),
+			"reps":                 *reps,
+			"gomaxprocs":           runtime.GOMAXPROCS(0),
+			"points":               points,
+		}
+		if err := writeJSONSection(benchJSONFile, "wal_commit", section); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote wal_commit section to %s)\n", benchJSONFile)
+	}
+
+	if *check {
+		// Baseline: one appender committing alone at window 0 (a sync per
+		// append). Candidate: the best 8-appender cell over the swept windows.
+		var solo, grouped *walCommitPoint
+		for i := range points {
+			p := &points[i]
+			if p.Appenders == 1 && p.WindowUs == 0 {
+				solo = p
+			}
+			if p.Appenders == 8 && (grouped == nil || p.SyncsPerAppend < grouped.SyncsPerAppend) {
+				grouped = p
+			}
+		}
+		if solo == nil || grouped == nil {
+			return fmt.Errorf("wal -check: sweep must include 1 appender at window 0 and 8 appenders")
+		}
+		if grouped.SyncsPerAppend > solo.SyncsPerAppend/4 {
+			return fmt.Errorf("wal -check: syncs/append %.3f at 8 appenders, need <= %.3f (4x below the %.3f of 1 appender)",
+				grouped.SyncsPerAppend, solo.SyncsPerAppend/4, solo.SyncsPerAppend)
+		}
+		fmt.Printf("(-check passed: syncs/append %.3f -> %.3f, a %.1fx reduction at 8 appenders)\n",
+			solo.SyncsPerAppend, grouped.SyncsPerAppend, solo.SyncsPerAppend/grouped.SyncsPerAppend)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	reldiv "repro"
+	"repro/internal/disk"
 )
 
 // The basic pattern: build two relations, divide, read the quotient.
@@ -122,4 +123,59 @@ func ExampleDivideWithStats() {
 	}
 	fmt.Println(stats.DividendTuples, stats.DiscardedNoMatch, stats.QuotientRows)
 	// Output: 2 1 1
+}
+
+// The durable write path: WAL-backed tables survive a crash and reopen
+// ready for division (the README walkthrough, runnable).
+func ExampleOpenDurableStore() {
+	walDev := disk.NewDevice("wal", 4096)
+	store, err := reldiv.OpenDurableStore(walDev, disk.NewDevice("data", 8192), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enrolled, err := store.CreateTable("enrolled",
+		reldiv.Int64Col("student"), reldiv.Int64Col("course"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	required, err := store.CreateTable("required", reldiv.Int64Col("course"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := required.Insert(int64(101)); err != nil {
+		log.Fatal(err)
+	}
+	if err := enrolled.InsertRows([][]any{
+		{int64(1), int64(101)}, {int64(2), int64(7)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// The store is abandoned without Close — as a crash would leave it; the
+	// WAL device image alone carries every acknowledged insert.
+
+	recovered, err := reldiv.OpenDurableStore(walDev, disk.NewDevice("data", 8192), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, _ := recovered.Table("enrolled")
+	req, _ := recovered.Table("required")
+	divd, err := tbl.Relation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	divr, err := req.Relation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	quotient, err := reldiv.Divide(divd, divr, []string{"course"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows recovered:", divd.NumRows())
+	for _, row := range quotient.Rows() {
+		fmt.Println("completed all requirements:", row[0])
+	}
+	// Output:
+	// rows recovered: 2
+	// completed all requirements: 1
 }

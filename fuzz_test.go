@@ -1,13 +1,16 @@
 package reldiv
 
-// Fuzz coverage for the CSV loader: arbitrary input bytes must either parse
-// into a well-formed relation or return an error — never panic, whatever the
-// row shape, field type, or string length.
+// Fuzz coverage for the untrusted-bytes decoders: the CSV loader and the WAL
+// record codec. Arbitrary input bytes must either parse into a well-formed
+// value or return a typed error — never panic, whatever the shape.
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/wal"
 )
 
 func FuzzFromCSV(f *testing.F) {
@@ -40,6 +43,65 @@ func FuzzFromCSV(f *testing.F) {
 				if s, ok := row[1].(string); ok && len(s) > 8 {
 					t.Fatalf("oversized string %q accepted past declared width", s)
 				}
+			}
+		}
+	})
+}
+
+// FuzzWALRecord drives the WAL record codec with arbitrary bytes: a valid
+// encoding must round-trip exactly, a single flipped bit must never decode
+// as a valid record, and raw garbage must come back as the typed wal.ErrCorrupt
+// (or a clean end-of-stream) — never a panic, whatever the bytes.
+func FuzzWALRecord(f *testing.F) {
+	f.Add([]byte("a committed row"), uint16(0))
+	f.Add([]byte{0x00}, uint16(3))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), uint16(11))
+	f.Add([]byte(""), uint16(0))
+	f.Add([]byte("\x00\x00\x00\x00 zero length field inside"), uint16(1))
+	f.Fuzz(func(t *testing.T, payload []byte, flip uint16) {
+		// Round trip: every non-empty payload encodes and decodes back.
+		if len(payload) > 0 {
+			enc := wal.EncodeRecord(nil, payload)
+			got, n, err := wal.DecodeRecord(enc)
+			if err != nil {
+				t.Fatalf("decode of fresh encoding: %v", err)
+			}
+			if n != len(enc) || !bytes.Equal(got, payload) {
+				t.Fatalf("round trip consumed %d of %d bytes, payload match %v",
+					n, len(enc), bytes.Equal(got, payload))
+			}
+
+			// Corruption: flipping any single bit must be detected. The only
+			// other legal outcome is the end-of-stream sentinel, reachable
+			// when the flip zeroes the length field.
+			bad := bytes.Clone(enc)
+			pos := int(flip) % len(bad)
+			bad[pos] ^= 1 << (flip % 8)
+			got, n, err = wal.DecodeRecord(bad)
+			if err == nil && n != 0 {
+				t.Fatalf("flipped bit at byte %d decoded as a valid %d-byte record %q",
+					pos, n, got)
+			}
+			if err != nil && !errors.Is(err, wal.ErrCorrupt) {
+				t.Fatalf("corruption surfaced untyped error %v", err)
+			}
+		}
+
+		// Raw garbage: never panic, and errors are always the typed sentinel.
+		got, n, err := wal.DecodeRecord(payload)
+		switch {
+		case err != nil:
+			if !errors.Is(err, wal.ErrCorrupt) {
+				t.Fatalf("garbage decode returned untyped error %v", err)
+			}
+		case n == 0:
+			// Clean end of stream.
+		default:
+			if n > len(payload) {
+				t.Fatalf("decode consumed %d of %d bytes", n, len(payload))
+			}
+			if len(got) == 0 {
+				t.Fatal("valid record with empty payload")
 			}
 		}
 	})

@@ -215,6 +215,7 @@ type Pool struct {
 
 	prefetcher atomic.Pointer[Prefetcher]
 	hooks      atomic.Pointer[Hooks]
+	barrier    atomic.Pointer[WriteBarrier]
 
 	pfIssued  atomic.Int64
 	pfHits    atomic.Int64
@@ -356,12 +357,37 @@ func (h *Handle) Unfix(keepLRU bool) error {
 	return nil
 }
 
+// WriteBarrier gates dirty-page write-back. When one is installed, the pool
+// invokes it with the destination device and page before any dirty frame's
+// bytes are written (eviction, FlushAll, DropClean); an error aborts the
+// write-back. The write-ahead logging layer uses this to enforce the
+// WAL-before-data invariant: the barrier blocks until the log record
+// covering the page's latest change is durable, so no data page can reach
+// its device ahead of its log record.
+type WriteBarrier func(dev disk.Dev, page disk.PageID) error
+
+// SetWriteBarrier installs the write-back barrier (nil removes it). The
+// barrier runs with a shard lock held and must not re-enter the pool; it may
+// block (e.g. on a group commit joining a device sync).
+func (p *Pool) SetWriteBarrier(b WriteBarrier) {
+	if b == nil {
+		p.barrier.Store(nil)
+		return
+	}
+	p.barrier.Store(&b)
+}
+
 // writePageLocked writes a frame's bytes to its device, retrying transient
 // faults per the retry policy, and records the page checksum for
 // verification on the next read. Backoff sleeps happen under the shard lock;
 // with the default microsecond-scale policy that is harmless, and it keeps
 // the frame bytes stable while they are on their way to the device.
 func (p *Pool) writePageLocked(s *shard, key frameKey, data []byte) error {
+	if b := p.barrier.Load(); b != nil {
+		if err := (*b)(key.dev, key.page); err != nil {
+			return fmt.Errorf("buffer: write barrier for page %d on %s: %w", key.page, key.dev.Name(), err)
+		}
+	}
 	var err error
 	rp := p.retryPolicy()
 	backoff := rp.Backoff

@@ -32,15 +32,20 @@ type CostParams struct {
 	RotationalMS     float64 // rotational latency per transfer
 	TransferMSPerKB  float64 // transfer time per KB
 	CPUMSPerTransfer float64 // CPU cost per transfer
+	SyncMS           float64 // cache flush (fsync) per Sync call
 }
 
-// PaperCost returns the Table 3 constants.
+// PaperCost returns the Table 3 constants. The paper predates durability
+// experiments and prices no fsync; SyncMS charges a flush as one seek plus
+// one rotational delay — the head movement a forced cache drain costs on the
+// simulated device.
 func PaperCost() CostParams {
 	return CostParams{
 		SeekMS:           20,
 		RotationalMS:     8,
 		TransferMSPerKB:  0.5,
 		CPUMSPerTransfer: 2,
+		SyncMS:           28,
 	}
 }
 
@@ -57,6 +62,7 @@ type Stats struct {
 	Transfers int   // total page transfers (reads + writes)
 	Reads     int   // read transfers
 	Writes    int   // write transfers
+	Syncs     int   // cache flushes (Sync calls)
 	Bytes     int64 // bytes transferred
 }
 
@@ -67,6 +73,7 @@ func (s Stats) Add(o Stats) Stats {
 		Transfers: s.Transfers + o.Transfers,
 		Reads:     s.Reads + o.Reads,
 		Writes:    s.Writes + o.Writes,
+		Syncs:     s.Syncs + o.Syncs,
 		Bytes:     s.Bytes + o.Bytes,
 	}
 }
@@ -78,16 +85,19 @@ func (s Stats) Sub(o Stats) Stats {
 		Transfers: s.Transfers - o.Transfers,
 		Reads:     s.Reads - o.Reads,
 		Writes:    s.Writes - o.Writes,
+		Syncs:     s.Syncs - o.Syncs,
 		Bytes:     s.Bytes - o.Bytes,
 	}
 }
 
 // IOCostMS converts the statistics to simulated I/O milliseconds
-// (seek + rotation + transfer), excluding the per-transfer CPU charge.
+// (seek + rotation + transfer + flush), excluding the per-transfer CPU
+// charge.
 func (s Stats) IOCostMS(p CostParams) float64 {
 	return float64(s.Seeks)*p.SeekMS +
 		float64(s.Transfers)*p.RotationalMS +
-		float64(s.Bytes)/1024*p.TransferMSPerKB
+		float64(s.Bytes)/1024*p.TransferMSPerKB +
+		float64(s.Syncs)*p.SyncMS
 }
 
 // CPUCostMS is the per-transfer CPU charge of the cost model.
@@ -101,8 +111,8 @@ func (s Stats) TotalCostMS(p CostParams) float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("seeks=%d transfers=%d (r=%d w=%d) bytes=%d",
-		s.Seeks, s.Transfers, s.Reads, s.Writes, s.Bytes)
+	return fmt.Sprintf("seeks=%d transfers=%d (r=%d w=%d) syncs=%d bytes=%d",
+		s.Seeks, s.Transfers, s.Reads, s.Writes, s.Syncs, s.Bytes)
 }
 
 // Dev is the paged-device interface the buffer manager and file layers
@@ -127,8 +137,16 @@ type Dev interface {
 	Free(p PageID) error
 	// Read copies page p into buf (exactly one page long).
 	Read(p PageID, buf []byte) error
-	// Write copies buf onto page p.
+	// Write copies buf onto page p. A completed Write is visible to
+	// subsequent Reads but not necessarily durable: devices may hold
+	// written pages in a volatile cache until Sync.
 	Write(p PageID, buf []byte) error
+	// Sync flushes the device write cache: every Write that completed
+	// before Sync returns is durable afterwards — it survives a simulated
+	// crash or power cut (internal/faultinject). The write-ahead log calls
+	// this on commit; data devices call it through the buffer pool's
+	// flush-coordination barrier.
+	Sync() error
 	// Stats returns a snapshot of the transfer statistics.
 	Stats() Stats
 	// ResetStats zeroes the statistics.
@@ -284,6 +302,17 @@ func (d *Device) Write(p PageID, buf []byte) error {
 	}
 	d.accountLocked(p, true)
 	copy(d.pages[p], buf)
+	return nil
+}
+
+// Sync counts one cache flush. The in-memory device has no volatile cache —
+// every Write is immediately "durable" — so the call is pure accounting;
+// crash semantics come from the faultinject wrappers that stand in front of
+// the device.
+func (d *Device) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Syncs++
 	return nil
 }
 

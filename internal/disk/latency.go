@@ -16,6 +16,7 @@ type Latency struct {
 	Dev
 	ReadDelay  time.Duration
 	WriteDelay time.Duration
+	SyncDelay  time.Duration
 }
 
 // NewLatency wraps dev with the given per-read and per-write delays.
@@ -28,11 +29,16 @@ func NewLatency(dev Dev, readDelay, writeDelay time.Duration) *Latency {
 // device's size, scaled by scale (1.0 = the paper's milliseconds; smaller
 // scales keep benchmarks quick while preserving the read/compute ratio).
 // Seek cost is excluded — it depends on the access pattern, which the
-// wrapped device already accounts for in its statistics.
+// wrapped device already accounts for in its statistics. Sync pays the
+// CostParams.SyncMS flush cost at the same scale, which is what makes group
+// commit measurable: the fsync delay dominates a commit, so amortizing it
+// across a batch shows directly in wall clock (divbench wal).
 func LatencyFromCost(dev Dev, c CostParams, scale float64) *Latency {
 	perPage := c.RotationalMS + float64(dev.PageSize())/1024*c.TransferMSPerKB
 	d := time.Duration(perPage * scale * float64(time.Millisecond))
-	return NewLatency(dev, d, d)
+	l := NewLatency(dev, d, d)
+	l.SyncDelay = time.Duration(c.SyncMS * scale * float64(time.Millisecond))
+	return l
 }
 
 // Read delays, then reads from the wrapped device.
@@ -49,4 +55,14 @@ func (l *Latency) Write(p PageID, buf []byte) error {
 		time.Sleep(l.WriteDelay)
 	}
 	return l.Dev.Write(p, buf)
+}
+
+// Sync delays, then flushes the wrapped device. The sleep happens while the
+// caller holds no lock of the layers above, so concurrent appenders pile up
+// behind one group-commit leader exactly as they would behind real fsync.
+func (l *Latency) Sync() error {
+	if l.SyncDelay > 0 {
+		time.Sleep(l.SyncDelay)
+	}
+	return l.Dev.Sync()
 }

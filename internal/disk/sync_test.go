@@ -1,0 +1,76 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSyncStatAndCost(t *testing.T) {
+	d := NewDevice("s", 1024)
+	p := d.Alloc()
+	buf := make([]byte, 1024)
+	if err := d.Write(p, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.Syncs != 3 {
+		t.Fatalf("Syncs = %d, want 3", st.Syncs)
+	}
+
+	c := CostParams{SyncMS: 28}
+	if got := st.IOCostMS(c); got != 3*28 {
+		t.Fatalf("IOCostMS = %v, want %v (flush cost only)", got, 3*28)
+	}
+
+	// Add/Sub thread the field through interval arithmetic.
+	a := Stats{Syncs: 5}
+	b := Stats{Syncs: 2}
+	if got := a.Add(b).Syncs; got != 7 {
+		t.Fatalf("Add: %d", got)
+	}
+	if got := a.Sub(b).Syncs; got != 3 {
+		t.Fatalf("Sub: %d", got)
+	}
+
+	d.ResetStats()
+	if d.Stats().Syncs != 0 {
+		t.Fatal("ResetStats left Syncs nonzero")
+	}
+}
+
+func TestPaperCostPricesSync(t *testing.T) {
+	c := PaperCost()
+	if c.SyncMS != c.SeekMS+c.RotationalMS {
+		t.Fatalf("SyncMS = %v, want seek+rotation = %v", c.SyncMS, c.SeekMS+c.RotationalMS)
+	}
+}
+
+func TestLatencySyncDelay(t *testing.T) {
+	inner := NewDevice("s", 1024)
+	l := NewLatency(inner, 0, 0)
+	l.SyncDelay = 2 * time.Millisecond
+	start := time.Now()
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("Sync returned after %v, want >= 2ms", elapsed)
+	}
+	if inner.Stats().Syncs != 1 {
+		t.Fatal("delegated Sync not counted")
+	}
+}
+
+func TestLatencyFromCostSetsSyncDelay(t *testing.T) {
+	inner := NewDevice("s", PaperPageSize)
+	l := LatencyFromCost(inner, PaperCost(), 0.001)
+	want := time.Duration(28 * 0.001 * float64(time.Millisecond))
+	if l.SyncDelay != want {
+		t.Fatalf("SyncDelay = %v, want %v", l.SyncDelay, want)
+	}
+}

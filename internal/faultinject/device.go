@@ -19,10 +19,14 @@ import (
 //   - Bit flips corrupt one bit of the buffer returned by Read; the stored
 //     page stays intact, so a re-read returns clean data. The pool's
 //     checksum verification catches the corruption and the retry heals it.
-//   - Torn writes persist only the first half of the page (the rest keeps
-//     its previous content) while reporting success — the classic partial
-//     sector write. The damage is permanent: every later read of the page
-//     fails checksum verification and surfaces *disk.CorruptPageError.
+//   - Torn writes persist only a prefix of the page (the rest keeps its
+//     previous content) while reporting success — the classic partial
+//     sector write. The tear point is seed-driven and sweeps the whole
+//     [0, pageSize-1] range, including the 0 edge (nothing new persisted)
+//     and the pageSize-1 edge (all but the final byte), so recovery tests
+//     cover the full torn-prefix space rather than one fixed split. The
+//     damage is permanent: every later read of the page fails checksum
+//     verification and surfaces *disk.CorruptPageError.
 type Device struct {
 	inner disk.Dev
 	inj   *injector
@@ -110,10 +114,19 @@ func (d *Device) Write(p disk.PageID, buf []byte) error {
 		d.inj.stats.WriteErrors++
 	}
 	torn := false
+	var tearAt int
 	if !fail {
 		torn = d.inj.due(n, d.inj.plan.TornWriteEvery, d.inj.plan.TornWriteProb)
 		if torn {
 			d.inj.stats.TornWrites++
+			// Deterministic tear point in [0, pageSize-1]: from the PRNG
+			// when seeded schedules are in play, spread by op count
+			// otherwise (the multiplier is odd, so the walk mod pageSize
+			// visits both edges).
+			tearAt = (n * 0x9E3779B1) % len(buf)
+			if d.inj.plan.TornWriteProb > 0 {
+				tearAt = d.inj.rng.Intn(len(buf))
+			}
 		}
 	}
 	d.inj.mu.Unlock()
@@ -122,20 +135,25 @@ func (d *Device) Write(p disk.PageID, buf []byte) error {
 		return fmt.Errorf("%w: write of page %d on %s (%w)", ErrInjected, p, d.inner.Name(), disk.ErrTransient)
 	}
 	if torn {
-		// Persist only the first half: read the page's current content and
-		// splice the new first half over it, then report success.
+		// Persist only the bytes before the tear point: read the page's
+		// current content and splice the new prefix over it, then report
+		// success.
 		old := make([]byte, len(buf))
 		if err := d.inner.Read(p, old); err != nil {
 			// A page that was never readable can't tear meaningfully; fall
 			// through to a full write.
 			return d.inner.Write(p, buf)
 		}
-		half := len(buf) / 2
-		copy(old[:half], buf[:half])
+		copy(old[:tearAt], buf[:tearAt])
 		return d.inner.Write(p, old)
 	}
 	return d.inner.Write(p, buf)
 }
+
+// Sync implements disk.Dev, delegating to the wrapped device. Crash and
+// power-cut semantics live in CrashDevice; this wrapper's faults are
+// per-transfer.
+func (d *Device) Sync() error { return d.inner.Sync() }
 
 // Stats implements disk.Dev (transfer statistics of the wrapped device).
 func (d *Device) Stats() disk.Stats { return d.inner.Stats() }

@@ -38,7 +38,7 @@ type Plan struct {
 	ReadErrEvery   int     // every Nth read fails with a transient error
 	WriteErrEvery  int     // every Nth write fails with a transient error
 	BitFlipEvery   int     // every Nth read returns data with one bit flipped
-	TornWriteEvery int     // every Nth write persists only the first half
+	TornWriteEvery int     // every Nth write persists only a seed-driven prefix
 	ReadErrProb    float64 // per-read transient-error probability
 	WriteErrProb   float64 // per-write transient-error probability
 	BitFlipProb    float64 // per-read bit-flip probability

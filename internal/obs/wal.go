@@ -1,0 +1,33 @@
+package obs
+
+import "repro/internal/wal"
+
+// InstrumentWAL binds a write-ahead log's event hooks to registry counters:
+//
+//	wal.appends       — records staged by Append
+//	wal.syncs         — device flushes issued by commit leaders
+//	wal.batches       — group-commit rounds that advanced the durable horizon
+//	wal.batch_records — records made durable, summed over batches (so
+//	                    batch_records/batches is the mean group-commit size)
+//	wal.replayed      — records restored by recovery
+//
+// Like InstrumentPool, instrument long-lived logs: the registry aggregates
+// for the life of the process.
+func InstrumentWAL(r *Registry, l *wal.Log) {
+	appends := r.Counter("wal.appends")
+	syncs := r.Counter("wal.syncs")
+	batches := r.Counter("wal.batches")
+	batchRecords := r.Counter("wal.batch_records")
+	replayed := r.Counter("wal.replayed")
+	l.SetHooks(wal.Hooks{
+		Append: appends.Inc,
+		Sync:   syncs.Inc,
+		Batch: func(records int) {
+			batches.Inc()
+			batchRecords.Add(int64(records))
+		},
+		Replay: func(records int) {
+			replayed.Add(int64(records))
+		},
+	})
+}

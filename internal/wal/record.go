@@ -1,0 +1,120 @@
+// Package wal implements a write-ahead log over a disk.Dev: length-prefixed,
+// checksummed records in fixed-size segments, group commit amortizing
+// Sync across concurrent appenders, and a replay path that walks the durable
+// image back into committed records after a crash.
+//
+// # On-device layout
+//
+// The log owns its whole device. Segment k occupies the contiguous page
+// extent [k·segPages, (k+1)·segPages); within a segment, records form one
+// byte stream across the pages:
+//
+//	[u32 length][u64 disk.Checksum(payload)][payload]
+//
+// A length of zero marks the end of the stream (allocated pages are zeroed,
+// so unwritten space reads as end-of-log). Records may span pages but never
+// segments: when a record does not fit in the current segment's remainder,
+// the remainder stays zero and the record opens the next segment. The first
+// record of every segment is a header (magic, segment index, segPages) so
+// replay can validate the chain with no metadata beside the device itself.
+//
+// # Torn tails
+//
+// Pages are rewritten only by appending: a later image of a page differs
+// from an earlier one exclusively in bytes past the previously valid stream.
+// A crash that tears a page write therefore leaves the valid prefix intact
+// and garbles only the record being appended — replay decodes records until
+// the first zero length or checksum mismatch and stops, which is exactly the
+// committed prefix plus at most records staged but never acknowledged.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// recordOverhead is the per-record header: u32 payload length + u64 checksum.
+const recordOverhead = 4 + 8
+
+// ErrCorrupt marks a record whose bytes fail validation: an impossible
+// length or a checksum mismatch. Replay treats the first corrupt record as
+// the (torn) end of the log; direct codec users get it as a typed error.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrTooLarge is returned for a payload that cannot fit one segment.
+var ErrTooLarge = errors.New("wal: record exceeds segment size")
+
+// encodedLen returns the on-device size of a record with the given payload.
+func encodedLen(payload int) int { return recordOverhead + payload }
+
+// EncodeRecord appends the wire form of payload to dst and returns the
+// extended slice.
+func EncodeRecord(dst []byte, payload []byte) []byte {
+	var hdr [recordOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], disk.Checksum(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeRecord reads one record from the front of buf. It returns the
+// payload (aliasing buf) and the total encoded length consumed. A zero
+// length field yields (nil, 0, nil): the end-of-stream sentinel. Corruption
+// — a length that cannot fit the buffer or a checksum mismatch — returns an
+// error wrapping ErrCorrupt. DecodeRecord never panics, whatever the bytes.
+func DecodeRecord(buf []byte) (payload []byte, n int, err error) {
+	if len(buf) < recordOverhead {
+		// Too short to hold any record; an all-zero remainder is a clean end.
+		for _, b := range buf {
+			if b != 0 {
+				return nil, 0, fmt.Errorf("%w: %d trailing bytes, no room for a header", ErrCorrupt, len(buf))
+			}
+		}
+		return nil, 0, nil
+	}
+	length := binary.LittleEndian.Uint32(buf[0:4])
+	if length == 0 {
+		return nil, 0, nil
+	}
+	if int64(length) > int64(len(buf)-recordOverhead) {
+		return nil, 0, fmt.Errorf("%w: length %d exceeds %d available bytes", ErrCorrupt, length, len(buf)-recordOverhead)
+	}
+	want := binary.LittleEndian.Uint64(buf[4:12])
+	payload = buf[recordOverhead : recordOverhead+int(length)]
+	if got := disk.Checksum(payload); got != want {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch (want %#x, got %#x)", ErrCorrupt, want, got)
+	}
+	return payload, encodedLen(int(length)), nil
+}
+
+// Segment header record: magic + segment index + segment size, written as
+// the first record of every segment so replay can validate the chain.
+const segMagic = "WALSEG1\x00"
+
+// segHeaderLen is the header record's payload size.
+const segHeaderLen = len(segMagic) + 4 + 4
+
+func encodeSegHeader(seg, segPages int) []byte {
+	p := make([]byte, segHeaderLen)
+	copy(p, segMagic)
+	binary.LittleEndian.PutUint32(p[8:12], uint32(seg))
+	binary.LittleEndian.PutUint32(p[12:16], uint32(segPages))
+	return p
+}
+
+// decodeSegHeader validates a segment header payload and returns the
+// segment index and segment size it declares.
+func decodeSegHeader(payload []byte) (seg, segPages int, err error) {
+	if len(payload) != segHeaderLen || string(payload[:8]) != segMagic {
+		return 0, 0, fmt.Errorf("%w: not a segment header", ErrCorrupt)
+	}
+	seg = int(binary.LittleEndian.Uint32(payload[8:12]))
+	segPages = int(binary.LittleEndian.Uint32(payload[12:16]))
+	if segPages <= 0 {
+		return 0, 0, fmt.Errorf("%w: segment header declares %d pages", ErrCorrupt, segPages)
+	}
+	return seg, segPages, nil
+}

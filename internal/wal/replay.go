@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"fmt"
+
+	"repro/internal/disk"
+)
+
+// streamEnd describes where a log's valid record stream stops.
+type streamEnd struct {
+	segPages    int  // segment size declared by the on-device header
+	seg         int  // segment holding the stream end
+	off         int  // stream offset of the end within that segment
+	records     int  // user records decoded (the final LSN)
+	headerValid bool // segment 0's header record was decodable
+}
+
+// Replay walks the log on dev from the beginning, invoking apply for every
+// valid record in append order with its LSN. It stops cleanly at the first
+// zero-length slot or corrupt record — a torn tail from a crash terminates
+// the stream, it is not an error — and follows segment rotation as long as
+// the next segment opens with a valid header. It returns the number of
+// records applied. Errors come only from the device or from apply itself.
+func Replay(dev disk.Dev, apply func(lsn uint64, payload []byte) error) (int, error) {
+	end, err := scan(dev, apply)
+	if err != nil {
+		return 0, err
+	}
+	return end.records, nil
+}
+
+// scan is the shared replay walk behind Replay and (*Log).Recover.
+func scan(dev disk.Dev, apply func(lsn uint64, payload []byte) error) (streamEnd, error) {
+	pageSize := dev.PageSize()
+	numPages := dev.NumPages()
+	if numPages == 0 {
+		return streamEnd{}, fmt.Errorf("wal: device %s holds no log", dev.Name())
+	}
+
+	// Segment 0 starts at page 0; its header declares the segment size. A
+	// log that crashed before its first commit may have nothing durable —
+	// that is an empty stream, not corruption.
+	first := make([]byte, pageSize)
+	if err := dev.Read(0, first); err != nil {
+		return streamEnd{}, err
+	}
+	hdr, n, err := DecodeRecord(first)
+	if err != nil || n == 0 {
+		return streamEnd{segPages: DefaultSegPages, headerValid: false}, nil
+	}
+	_, segPages, err := decodeSegHeader(hdr)
+	if err != nil {
+		return streamEnd{segPages: DefaultSegPages, headerValid: false}, nil
+	}
+
+	end := streamEnd{segPages: segPages, headerValid: true}
+	segBuf := make([]byte, segPages*pageSize)
+	for seg := 0; ; seg++ {
+		if (seg+1)*segPages > numPages {
+			return end, nil // segment never allocated: stream ended in the previous one
+		}
+		for i := 0; i < segPages; i++ {
+			if err := dev.Read(disk.PageID(seg*segPages+i), segBuf[i*pageSize:(i+1)*pageSize]); err != nil {
+				return streamEnd{}, err
+			}
+		}
+		hdr, n, err := DecodeRecord(segBuf)
+		if err != nil || n == 0 {
+			if seg == 0 {
+				return end, nil
+			}
+			return end, nil // rotation staged but its header never became durable
+		}
+		gotSeg, gotPages, err := decodeSegHeader(hdr)
+		if err != nil || gotSeg != seg || gotPages != segPages {
+			return end, nil // not a continuation of this log's chain
+		}
+		end.seg, end.off = seg, n
+		for {
+			payload, rn, err := DecodeRecord(segBuf[end.off:])
+			if err != nil {
+				return end, nil // torn tail: the stream ends at the last valid record
+			}
+			if rn == 0 {
+				break // zero slot: segment stream exhausted; rotation may continue it
+			}
+			end.records++
+			if apply != nil {
+				if aerr := apply(uint64(end.records), payload); aerr != nil {
+					return streamEnd{}, fmt.Errorf("wal: replay apply at lsn %d: %w", end.records, aerr)
+				}
+			}
+			end.off += rn
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/disk"
+)
+
+// DefaultSegPages is the segment size New uses when Options leaves it zero.
+const DefaultSegPages = 64
+
+// ErrNotOpen is returned for appends or commits before Recover has run (or
+// after it failed).
+var ErrNotOpen = errors.New("wal: log not open, call Recover first")
+
+// ErrEmptyRecord rejects zero-length payloads: a zero length field is the
+// end-of-stream sentinel, so an empty record would truncate the log.
+var ErrEmptyRecord = errors.New("wal: empty record payload")
+
+// Options configure a Log.
+type Options struct {
+	// SegPages is the number of pages per segment (DefaultSegPages if zero).
+	// When Recover finds an existing log, the on-device value wins.
+	SegPages int
+	// Window is the optional group-commit window: a commit leader sleeps
+	// this long before cutting the batch, letting more appenders stage.
+	// Zero commits immediately — batches then form only from appends that
+	// arrive while an earlier sync is in flight, which under a modeled
+	// fsync latency is already most of them.
+	Window time.Duration
+}
+
+// Stats count log activity since creation.
+type Stats struct {
+	Appends      int // records staged by Append
+	Syncs        int // device flushes issued by commit leaders
+	Batches      int // group-commit rounds that advanced the durable horizon
+	BatchRecords int // records made durable, summed over batches
+	Rotations    int // segments opened after the first
+	Replayed     int // records restored by Recover
+}
+
+// Hooks observe log events; obs.InstrumentWAL binds them to registry
+// counters. Callbacks run with the log mutex held and must not call back
+// into the log.
+type Hooks struct {
+	Append func()            // one record staged
+	Sync   func()            // one device flush issued
+	Batch  func(records int) // one group-commit round, with its batch size
+	Replay func(records int) // recovery finished, with its record count
+}
+
+// Log is a write-ahead log on a dedicated device. Concurrent Appends stage
+// records into the segment stream under the log mutex; Commit makes a
+// record durable via group commit — one leader flushes the tail page and
+// runs the device Sync (mutex released, so appenders keep staging and pile
+// into the next batch) while followers wait for the durable horizon to pass
+// their record. It is safe for concurrent use.
+type Log struct {
+	dev      disk.Dev
+	pageSize int
+	window   time.Duration
+	hooks    atomic.Pointer[Hooks]
+
+	mu        sync.Mutex
+	committed *sync.Cond // broadcast when a leader finishes a round
+	opened    bool
+	failed    error // sticky first device failure; the log is dead after
+
+	segPages int
+	seg      int         // current segment index
+	segFirst disk.PageID // first page of the current segment
+	off      int         // stream offset within the current segment
+	tail     []byte      // image of the partial tail page (off%pageSize > 0)
+
+	nextLSN    uint64 // LSN the next Append returns; first record gets 1
+	durableLSN uint64 // highest LSN known durable
+	syncing    bool   // a commit leader owns the device flush
+
+	stats Stats
+}
+
+// New binds a log to its device without touching it; call Recover before
+// appending. The log assumes sole ownership of the device.
+func New(dev disk.Dev, opts Options) *Log {
+	segPages := opts.SegPages
+	if segPages <= 0 {
+		segPages = DefaultSegPages
+	}
+	l := &Log{
+		dev:      dev,
+		pageSize: dev.PageSize(),
+		window:   opts.Window,
+		segPages: segPages,
+	}
+	l.committed = sync.NewCond(&l.mu)
+	return l
+}
+
+// SetHooks installs event hooks (replacing any previous set).
+func (l *Log) SetHooks(h Hooks) { l.hooks.Store(&h) }
+
+// Device returns the log's device.
+func (l *Log) Device() disk.Dev { return l.dev }
+
+// Stats returns a snapshot of the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// DurableLSN returns the highest LSN known durable.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableLSN
+}
+
+// segBytes is the stream capacity of one segment.
+func (l *Log) segBytes() int { return l.segPages * l.pageSize }
+
+// Recover opens the log. On a fresh device it lays down segment 0; on a
+// device holding a previous life's log it replays every decodable record in
+// order through apply (which may be nil to discard), truncates any torn
+// tail, and positions the log to append after the last valid record. The
+// LSN sequence continues from the replayed count, so LSNs stay unique
+// across crashes. It returns the number of records replayed.
+func (l *Log) Recover(apply func(lsn uint64, payload []byte) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opened {
+		return 0, errors.New("wal: Recover called twice")
+	}
+	l.nextLSN = 1
+	if l.dev.NumPages() == 0 {
+		// Fresh device: open segment 0.
+		l.segFirst = l.dev.AllocExtent(l.segPages)
+		l.tail = make([]byte, l.pageSize)
+		if err := l.writeStreamLocked(EncodeRecord(nil, encodeSegHeader(0, l.segPages))); err != nil {
+			return 0, err
+		}
+		l.opened = true
+		return 0, nil
+	}
+	end, err := scan(l.dev, apply)
+	if err != nil {
+		return 0, err
+	}
+	if end.headerValid {
+		l.segPages = end.segPages
+	} else if short := l.segPages - l.dev.NumPages(); short > 0 {
+		// Nothing durable survived, but reopening with a larger segment
+		// size than the previous life allocated must still cover segment 0.
+		l.dev.AllocExtent(short)
+	}
+	l.seg = end.seg
+	l.segFirst = disk.PageID(end.seg * l.segPages)
+	l.off = end.off
+	l.nextLSN = uint64(end.records) + 1
+	l.durableLSN = uint64(end.records)
+	l.tail = make([]byte, l.pageSize)
+	if part := l.off % l.pageSize; part > 0 {
+		// Rebuild the tail image from the valid prefix and zero the torn
+		// remainder on the device, so stale bytes past the tail can never
+		// masquerade as records for a later replay.
+		page := l.segFirst + disk.PageID(l.off/l.pageSize)
+		if err := l.dev.Read(page, l.tail); err != nil {
+			return 0, err
+		}
+		for i := part; i < l.pageSize; i++ {
+			l.tail[i] = 0
+		}
+		if err := l.dev.Write(page, l.tail); err != nil {
+			return 0, err
+		}
+	}
+	if !end.headerValid {
+		// The very first header never became durable (crash before the
+		// first commit); restage it.
+		if err := l.writeStreamLocked(EncodeRecord(nil, encodeSegHeader(l.seg, l.segPages))); err != nil {
+			return 0, err
+		}
+	}
+	l.stats.Replayed = end.records
+	l.opened = true
+	if h := l.hooks.Load(); h != nil && h.Replay != nil {
+		h.Replay(end.records)
+	}
+	return end.records, nil
+}
+
+// Append stages one record and returns its LSN. The record is not durable
+// until Commit(lsn) (or any later Commit/Sync) returns.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.opened {
+		return 0, ErrNotOpen
+	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	if len(payload) == 0 {
+		return 0, ErrEmptyRecord
+	}
+	need := encodedLen(len(payload))
+	if need > l.segBytes()-encodedLen(segHeaderLen) {
+		return 0, fmt.Errorf("%w: %d bytes, segment holds %d", ErrTooLarge, need, l.segBytes()-encodedLen(segHeaderLen))
+	}
+	if l.off+need > l.segBytes() {
+		if err := l.rotateLocked(); err != nil {
+			l.failed = err
+			return 0, err
+		}
+	}
+	if err := l.writeStreamLocked(EncodeRecord(nil, payload)); err != nil {
+		l.failed = err
+		return 0, err
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.stats.Appends++
+	if h := l.hooks.Load(); h != nil && h.Append != nil {
+		h.Append()
+	}
+	return lsn, nil
+}
+
+// writeStreamLocked appends raw bytes to the segment stream: full pages go
+// to the device immediately, the partial remainder accumulates in the tail
+// image (flushed by commit leaders and rotation). Caller holds l.mu and has
+// ensured the bytes fit the current segment.
+func (l *Log) writeStreamLocked(data []byte) error {
+	for len(data) > 0 {
+		part := l.off % l.pageSize
+		n := min(l.pageSize-part, len(data))
+		copy(l.tail[part:], data[:n])
+		l.off += n
+		data = data[n:]
+		if l.off%l.pageSize == 0 {
+			page := l.segFirst + disk.PageID(l.off/l.pageSize-1)
+			if err := l.dev.Write(page, l.tail); err != nil {
+				return err
+			}
+			for i := range l.tail {
+				l.tail[i] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the current segment (flushing its partial tail; the
+// remainder stays zero, the end-of-stream sentinel replay follows to the
+// next segment) and opens the next one with its header record.
+func (l *Log) rotateLocked() error {
+	if part := l.off % l.pageSize; part > 0 {
+		page := l.segFirst + disk.PageID(l.off/l.pageSize)
+		if err := l.dev.Write(page, l.tail); err != nil {
+			return err
+		}
+		for i := range l.tail {
+			l.tail[i] = 0
+		}
+	}
+	// Segment k lives at pages [k·segPages, (k+1)·segPages). A crash can
+	// leave the next extent already allocated (allocation is metadata and
+	// survives) with its header lost — reuse it rather than allocating a
+	// fresh extent, or the chain's fixed layout would break.
+	l.seg++
+	next := l.seg * l.segPages
+	if short := next + l.segPages - l.dev.NumPages(); short > 0 {
+		l.dev.AllocExtent(short)
+	}
+	l.segFirst = disk.PageID(next)
+	l.off = 0
+	l.stats.Rotations++
+	return l.writeStreamLocked(EncodeRecord(nil, encodeSegHeader(l.seg, l.segPages)))
+}
+
+// Commit blocks until the record at lsn is durable, running or joining a
+// group commit as needed. Concurrent callers elect one leader per round;
+// the leader flushes the tail page (under the mutex, so a racing appender
+// cannot be overwritten by a stale image) and then runs the device Sync
+// with the mutex released — every Append that lands during that sync joins
+// the next round, which is what grows batches beyond one.
+func (l *Log) Commit(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.opened {
+		return ErrNotOpen
+	}
+	for l.durableLSN < lsn {
+		if l.failed != nil {
+			return l.failed
+		}
+		if l.syncing {
+			l.committed.Wait()
+			continue
+		}
+		if err := l.leadRoundLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leadRoundLocked runs one group-commit round as leader: optional window
+// sleep, tail flush, device sync. Called with l.mu held; the mutex is
+// released during the window sleep and the sync, and held again on return.
+func (l *Log) leadRoundLocked() error {
+	l.syncing = true
+	if l.window > 0 {
+		l.mu.Unlock()
+		time.Sleep(l.window)
+		l.mu.Lock()
+	}
+	target := l.nextLSN - 1
+	var err error
+	if part := l.off % l.pageSize; part > 0 {
+		page := l.segFirst + disk.PageID(l.off/l.pageSize)
+		err = l.dev.Write(page, l.tail)
+	}
+	l.mu.Unlock()
+	if err == nil {
+		err = l.dev.Sync()
+	}
+	l.mu.Lock()
+	l.syncing = false
+	defer l.committed.Broadcast()
+	if err != nil {
+		l.failed = err
+		return err
+	}
+	l.stats.Syncs++
+	h := l.hooks.Load()
+	if h != nil && h.Sync != nil {
+		h.Sync()
+	}
+	if target > l.durableLSN {
+		batch := int(target - l.durableLSN)
+		l.durableLSN = target
+		l.stats.Batches++
+		l.stats.BatchRecords += batch
+		if h != nil && h.Batch != nil {
+			h.Batch(batch)
+		}
+	}
+	return nil
+}
+
+// AppendCommit stages one record and waits for it to become durable.
+func (l *Log) AppendCommit(payload []byte) (uint64, error) {
+	lsn, err := l.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.Commit(lsn)
+}
+
+// Sync makes every record appended so far durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.nextLSN - 1
+	l.mu.Unlock()
+	return l.Commit(target)
+}

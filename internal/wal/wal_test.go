@@ -1,0 +1,396 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/faultinject"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		{0x01},
+		[]byte("hello, wal"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	var stream []byte
+	for _, p := range payloads {
+		stream = EncodeRecord(stream, p)
+	}
+	off := 0
+	for i, want := range payloads {
+		got, n, err := DecodeRecord(stream[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if n != encodedLen(len(want)) {
+			t.Fatalf("record %d: consumed %d bytes, want %d", i, n, encodedLen(len(want)))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: payload mismatch", i)
+		}
+		off += n
+	}
+	if _, n, err := DecodeRecord(stream[off:]); err != nil || n != 0 {
+		t.Fatalf("stream end: got n=%d err=%v, want clean end", n, err)
+	}
+}
+
+func TestRecordDecodeCorruption(t *testing.T) {
+	rec := EncodeRecord(nil, []byte("the record under test"))
+	rec = append(rec, make([]byte, 64)...) // zero tail after the record
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := bytes.Clone(rec)
+		bad[recordOverhead+3] ^= 0x40
+		if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("length beyond buffer", func(t *testing.T) {
+		bad := bytes.Clone(rec[:recordOverhead+5])
+		bad[0], bad[1], bad[2], bad[3] = 0xFF, 0xFF, 0xFF, 0x7F
+		if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("nonzero trailing fragment", func(t *testing.T) {
+		if _, _, err := DecodeRecord([]byte{0, 0, 1}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("short zero fragment is clean end", func(t *testing.T) {
+		if _, n, err := DecodeRecord([]byte{0, 0, 0}); err != nil || n != 0 {
+			t.Fatalf("got n=%d err=%v, want clean end", n, err)
+		}
+	})
+}
+
+func openFresh(t *testing.T, pageSize, segPages int) (*Log, *disk.Device) {
+	t.Helper()
+	dev := disk.NewDevice("wal", pageSize)
+	l := New(dev, Options{SegPages: segPages})
+	if _, err := l.Recover(nil); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return l, dev
+}
+
+func TestAppendCommitReplay(t *testing.T) {
+	l, dev := openFresh(t, 256, 4)
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		p := []byte(fmt.Sprintf("record-%03d-%s", i, bytes.Repeat([]byte{byte(i)}, i%40)))
+		want = append(want, p)
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d: lsn %d", i, lsn)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := l.DurableLSN(); got != 50 {
+		t.Fatalf("durable lsn %d, want 50", got)
+	}
+	if l.Stats().Rotations == 0 {
+		t.Fatal("expected segment rotation with 4-page segments")
+	}
+
+	var got [][]byte
+	n, err := Replay(dev, func(lsn uint64, payload []byte) error {
+		if lsn != uint64(len(got)+1) {
+			return fmt.Errorf("lsn %d out of order", lsn)
+		}
+		got = append(got, bytes.Clone(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != len(want) {
+		t.Fatalf("replayed %d records, want %d", n, len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch after replay", i)
+		}
+	}
+}
+
+func TestRecoverResumesAppending(t *testing.T) {
+	pageSize, segPages := 256, 4
+	dev := disk.NewDevice("wal", pageSize)
+	l := New(dev, Options{SegPages: segPages})
+	if _, err := l.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.AppendCommit([]byte(fmt.Sprintf("first-life-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Second life over the same device: replay, then keep appending.
+	l2 := New(dev, Options{SegPages: segPages})
+	n, err := l2.Recover(nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("replayed %d, want 10", n)
+	}
+	for i := 0; i < 30; i++ {
+		lsn, err := l2.AppendCommit([]byte(fmt.Sprintf("second-life-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(11+i) {
+			t.Fatalf("resumed lsn %d, want %d", lsn, 11+i)
+		}
+	}
+
+	count := 0
+	if _, err := Replay(dev, func(lsn uint64, payload []byte) error {
+		count++
+		life, idx := "first-life", int(lsn)-1
+		if lsn > 10 {
+			life, idx = "second-life", int(lsn)-11
+		}
+		if want := fmt.Sprintf("%s-%d", life, idx); string(payload) != want {
+			return fmt.Errorf("lsn %d: got %q, want %q", lsn, payload, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 40 {
+		t.Fatalf("replayed %d records across lives, want 40", count)
+	}
+}
+
+func TestTornTailTruncatesUncommitted(t *testing.T) {
+	pageSize, segPages := 256, 4
+	inner := disk.NewDevice("wal", pageSize)
+	crash := faultinject.WrapCrash(inner, faultinject.NeverCrash(true))
+	l := New(crash, Options{SegPages: segPages})
+	if _, err := l.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := l.AppendCommit([]byte(fmt.Sprintf("committed-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Staged but never committed: lost in the power cut.
+	if _, err := l.Append([]byte("staged-but-unacknowledged")); err != nil {
+		t.Fatal(err)
+	}
+	crash.Crash()
+
+	n, err := Replay(inner, func(lsn uint64, payload []byte) error {
+		if want := fmt.Sprintf("committed-%d", lsn-1); string(payload) != want {
+			return fmt.Errorf("lsn %d: got %q", lsn, payload)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("replayed %d records, want exactly the 8 committed", n)
+	}
+}
+
+func TestCrashMidSyncKeepsPrefix(t *testing.T) {
+	pageSize, segPages := 256, 2
+	// Rehearse to learn the total durable byte count, then crash at every
+	// prefix boundary and check replay yields a prefix of the appends.
+	run := func(crashAt int64) (replayed int, durable int64, commitErr error) {
+		inner := disk.NewDevice("wal", pageSize)
+		crash := faultinject.WrapCrash(inner, faultinject.CrashPlan{CrashAtByte: crashAt, PowerCut: true})
+		l := New(crash, Options{SegPages: segPages})
+		if _, err := l.Recover(nil); err != nil {
+			panic(err)
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := l.AppendCommit([]byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+				commitErr = err
+				break
+			}
+		}
+		n, err := Replay(inner, func(lsn uint64, payload []byte) error {
+			if want := fmt.Sprintf("rec-%04d", lsn-1); string(payload) != want {
+				return fmt.Errorf("lsn %d: got %q, want %q", lsn, payload, want)
+			}
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		return n, crash.DurableBytes(), commitErr
+	}
+
+	total, _, err := func() (int, int64, error) { return run(-1) }()
+	if err != nil || total != 20 {
+		t.Fatalf("rehearsal: %d records, err %v", total, err)
+	}
+	_, totalBytes, _ := run(-1)
+	for off := int64(0); off <= totalBytes; off += 97 {
+		n, _, commitErr := run(off)
+		if commitErr == nil && n != 20 {
+			t.Fatalf("crash at %d: no commit error but only %d records replayed", off, n)
+		}
+		if n > 20 {
+			t.Fatalf("crash at %d: %d records replayed, more than appended", off, n)
+		}
+		if commitErr != nil && !errors.Is(commitErr, faultinject.ErrCrashed) {
+			t.Fatalf("crash at %d: commit error %v, want ErrCrashed", off, commitErr)
+		}
+	}
+}
+
+func TestGroupCommitBatchesConcurrentAppenders(t *testing.T) {
+	const appenders, perAppender = 8, 25
+	inner := disk.NewDevice("wal", 512)
+	// A modeled fsync delay is what makes appenders pile up behind the
+	// leader; without it the syncs are instant and batches stay near 1.
+	lat := disk.NewLatency(inner, 0, 0)
+	lat.SyncDelay = 2 * time.Millisecond
+	l := New(lat, Options{SegPages: 16})
+	if _, err := l.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, appenders)
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAppender; i++ {
+				if _, err := l.AppendCommit([]byte(fmt.Sprintf("a%d-r%d", a, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := l.Stats()
+	if st.Appends != appenders*perAppender {
+		t.Fatalf("appends %d, want %d", st.Appends, appenders*perAppender)
+	}
+	if st.BatchRecords != st.Appends {
+		t.Fatalf("batch records %d, want %d (every record committed exactly once)", st.BatchRecords, st.Appends)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("group commit amortized nothing: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	t.Logf("%d appends, %d syncs, mean batch %.1f",
+		st.Appends, st.Syncs, float64(st.BatchRecords)/float64(st.Batches))
+
+	if n, err := Replay(inner, nil); err != nil || n != appenders*perAppender {
+		t.Fatalf("replay: %d records, err %v", n, err)
+	}
+}
+
+func TestCommitWindowGrowsBatches(t *testing.T) {
+	l, _ := openFresh(t, 512, 16)
+	l.window = 500 * time.Microsecond
+
+	const appenders = 6
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			if _, err := l.AppendCommit([]byte(fmt.Sprintf("w%d", a))); err != nil {
+				t.Error(err)
+			}
+		}(a)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.BatchRecords != appenders {
+		t.Fatalf("batch records %d, want %d", st.BatchRecords, appenders)
+	}
+	if st.Batches == 0 || st.Batches > appenders {
+		t.Fatalf("batches %d out of range", st.Batches)
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	dev := disk.NewDevice("wal", 256)
+	l := New(dev, Options{SegPages: 4})
+	var mu sync.Mutex
+	counts := map[string]int{}
+	l.SetHooks(Hooks{
+		Append: func() { mu.Lock(); counts["append"]++; mu.Unlock() },
+		Sync:   func() { mu.Lock(); counts["sync"]++; mu.Unlock() },
+		Batch:  func(n int) { mu.Lock(); counts["batch"] += n; mu.Unlock() },
+		Replay: func(n int) { mu.Lock(); counts["replay"] += n; mu.Unlock() },
+	})
+	if _, err := l.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.AppendCommit([]byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if counts["append"] != 5 || counts["batch"] != 5 || counts["sync"] != 5 {
+		t.Fatalf("counts %v", counts)
+	}
+
+	l2 := New(dev, Options{SegPages: 4})
+	replayTotal := 0
+	l2.SetHooks(Hooks{Replay: func(n int) { replayTotal += n }})
+	if _, err := l2.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	if replayTotal != 5 {
+		t.Fatalf("replay hook saw %d records, want 5", replayTotal)
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	l, _ := openFresh(t, 256, 2)
+	if _, err := l.Append(nil); !errors.Is(err, ErrEmptyRecord) {
+		t.Fatalf("empty append: %v", err)
+	}
+	if _, err := l.Append(make([]byte, 2*256*2)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: %v", err)
+	}
+	unopened := New(disk.NewDevice("w2", 256), Options{})
+	if _, err := unopened.Append([]byte{1}); !errors.Is(err, ErrNotOpen) {
+		t.Fatalf("unopened append: %v", err)
+	}
+}
+
+func TestSyncCostAccounting(t *testing.T) {
+	l, dev := openFresh(t, 256, 4)
+	for i := 0; i < 3; i++ {
+		if _, err := l.AppendCommit([]byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := dev.Stats().Syncs; got != 3 {
+		t.Fatalf("device counted %d syncs, want 3", got)
+	}
+}

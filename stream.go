@@ -47,6 +47,32 @@ type StreamInput struct {
 	Open    func() (RowReader, error)
 }
 
+// StreamInput exposes a durable table as a streamed relation, so divisions
+// can run straight off WAL-backed storage (including tables just restored
+// by crash recovery) without materializing a Relation first. Each Open
+// starts a fresh scan; rows inserted after a reader is opened may or may
+// not be seen by it, but every row acknowledged before the call to
+// DivideStream is.
+func (t *DurableTable) StreamInput() StreamInput {
+	cols := make([]Column, t.schema.NumFields())
+	for i := range cols {
+		f := t.schema.Field(i)
+		cols[i] = Column{Name: f.Name, kind: f.Kind, width: f.Width}
+	}
+	return StreamInput{
+		Columns: cols,
+		Open: func() (RowReader, error) {
+			// Snapshot under the table lock: readers must not race the
+			// appender writing into the same buffer frames.
+			rel, err := t.Relation()
+			if err != nil {
+				return nil, err
+			}
+			return SliceReader(rel.Rows()), nil
+		},
+	}
+}
+
 // rowSourceOp adapts a StreamInput to the internal iterator protocol.
 type rowSourceOp struct {
 	in     StreamInput
