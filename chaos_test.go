@@ -22,6 +22,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/parallel"
+	"repro/internal/storage"
 	"repro/internal/tuple"
 	"repro/internal/workload"
 )
@@ -121,6 +122,16 @@ func TestChaosSuite(t *testing.T) {
 					pf.Drain()
 					return pool.FixedFrames()
 				}
+				// Spill files (partition clusters, recursive spill cells,
+				// sort runs) are query scratch: success, typed failure, and
+				// cancellation must all drop every one of them.
+				spillBase := storage.LiveSpillFiles()
+				checkSpill := func(label string) {
+					t.Helper()
+					if n := storage.LiveSpillFiles(); n != spillBase {
+						t.Fatalf("%s leaked spill files: %d live, want %d", label, n, spillBase)
+					}
+				}
 				dividendDev := faultinject.Wrap(disk.NewDevice("dividend", disk.PaperPageSize), pc.plan)
 				divisorDev := faultinject.Wrap(disk.NewDevice("divisor", disk.PaperPageSize), pc.plan)
 				rel, err := workload.LoadOn(pool, inst, dividendDev, divisorDev)
@@ -170,6 +181,7 @@ func TestChaosSuite(t *testing.T) {
 					if n := fixedFrames(); n != 0 {
 						t.Fatalf("%v left %d frames fixed", alg, n)
 					}
+					checkSpill(alg.String())
 				}
 
 				// Partitioned hash-division (spill files under fault injection).
@@ -178,6 +190,20 @@ func TestChaosSuite(t *testing.T) {
 				if n := fixedFrames(); n != 0 {
 					t.Fatalf("adaptive left %d frames fixed", n)
 				}
+				checkSpill("adaptive")
+
+				// Recursive out-of-core division at a budget tight enough to
+				// force spilling: the full spill-file lifecycle (create,
+				// append, scan, drop) runs under fault injection.
+				rq, _, err := division.DivideRecursive(storageSpec(), env,
+					division.QuotientPartitioning,
+					division.HashDivisionOptions{MemoryBudget: 4 * 1024},
+					division.RecursiveOptions{})
+				check(t, "recursive", rq, err)
+				if n := fixedFrames(); n != 0 {
+					t.Fatalf("recursive left %d frames fixed", n)
+				}
+				checkSpill("recursive")
 
 				// Parallel: every data path × partitioning strategy combination
 				// (shared-table requires quotient partitioning). The morsel paths
@@ -205,6 +231,7 @@ func TestChaosSuite(t *testing.T) {
 					if n := fixedFrames(); n != 0 {
 						t.Fatalf("%s left %d frames fixed", label, n)
 					}
+					checkSpill(label)
 					waitGoroutines(t, before)
 				}
 

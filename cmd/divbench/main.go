@@ -10,6 +10,7 @@
 //	divbench sweep  [flags]          # §4.6 dilution speculation
 //	divbench overflow [flags]        # §3.4 hash table overflow escalation
 //	divbench parallel [flags]        # §6 multi-processor scaling
+//	divbench spill [flags]           # out-of-core memory-pressure sweep
 //	divbench example                 # Figure 2 worked example, step by step
 //
 // table4 flags:
@@ -111,6 +112,8 @@ func main() {
 		err = runIO(args)
 	case "wal":
 		err = runWAL(args)
+	case "spill":
+		err = runSpill(args)
 	case "example":
 		err = runExample()
 	case "help", "-h", "--help":
@@ -142,6 +145,7 @@ commands:
   parallel  multi-processor scaling (-workers, -reps, -json, -check)
   io        buffer-pool sharding and read-ahead overlap (-pages, -shards, -json, -check)
   wal       WAL group-commit throughput sweep (-appenders, -windows, -json, -check)
+  spill     out-of-core memory-pressure sweep (-budgets, -strategy, -reps, -json, -check)
   example   the paper's Figure 2 worked example`)
 }
 
@@ -439,6 +443,16 @@ func runCrossover(args []string) error {
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		fmt.Printf("  k=%-3d %14.0f ms\n", k, p.PartitionedHashDivisionCost(k))
 	}
+	fmt.Println("\nOut-of-core analytic model (|S|=|Q|=400): recursive partitioning vs restart loop")
+	big := costmodel.PaperParams(400, 400)
+	fmt.Printf("  %8s %14s %14s %8s\n", "budget", "recursive ms", "restart ms", "ratio")
+	for _, b := range []float64{64, 32, 16, 8, 4, 2} {
+		rec := big.RecursiveHashDivisionCost(b, 8)
+		restart := big.RestartEscalationCost(b, 64)
+		fmt.Printf("  %7.0fp %14.0f %14.0f %8.2f\n", b, rec, restart, restart/rec)
+	}
+	fmt.Println("(each budget halving costs the restart loop another abandoned full scan;")
+	fmt.Println(" divbench spill measures the same comparison on real tables)")
 	return nil
 }
 

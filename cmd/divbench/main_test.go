@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"testing"
+	"time"
 )
 
 func TestParseSizes(t *testing.T) {
@@ -378,6 +379,147 @@ func TestIOOverlapSectionPreservesSiblings(t *testing.T) {
 		if p.Shards == 0 || p.Ns == 0 {
 			t.Errorf("unpopulated sweep point %+v", p)
 		}
+	}
+}
+
+// TestMemoryPressureSectionPreservesSiblings runs the spill sweep with
+// -json -check on a reduced workload: siblings must stay byte-for-byte
+// intact, the section must have the expected shape, and the -check gate
+// (exact quotients, spill engaged, smooth degradation) must hold.
+func TestMemoryPressureSectionPreservesSiblings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory pressure smoke in short mode")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	if err := writeJSONSection(benchJSONFile, "table4", map[string]any{"geometry": "paper", "cells": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONSection(benchJSONFile, "wal_commit", map[string]any{"points": []int{3}}); err != nil {
+		t.Fatal(err)
+	}
+	sections := func() map[string]json.RawMessage {
+		data, err := os.ReadFile(benchJSONFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := map[string]json.RawMessage{}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	before := sections()
+
+	// The budget list stops at 5%: the -race builds of this test slow the
+	// deep-recursion points far more than the in-memory ones, so the 1%
+	// point of the CI sweep (go run, uninstrumented) would trip the
+	// smoothness gate here on instrumentation overhead, not on real cost.
+	err = runSpill([]string{"-s", "8", "-q", "600", "-budgets", "100,25,5",
+		"-reps", "1", "-json", "-check"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sections()
+	for _, sib := range []string{"table4", "wal_commit"} {
+		if !bytes.Equal(before[sib], after[sib]) {
+			t.Errorf("%s section changed:\nbefore: %s\nafter:  %s", sib, before[sib], after[sib])
+		}
+	}
+	raw, ok := after["memory_pressure"]
+	if !ok {
+		t.Fatal("memory_pressure section missing")
+	}
+	var section struct {
+		S          int    `json:"s"`
+		R          int    `json:"r"`
+		Strategy   string `json:"strategy"`
+		InputBytes int    `json:"input_bytes"`
+		Points     []struct {
+			Pct          int   `json:"pct"`
+			BudgetBytes  int   `json:"budget_bytes"`
+			Ns           int64 `json:"ns"`
+			QuotientRows int   `json:"quotient_rows"`
+			Attempts     int   `json:"attempts"`
+			MaxDepth     int   `json:"max_depth"`
+			SpillBytes   int64 `json:"spill_bytes"`
+			RestartOK    bool  `json:"restart_ok"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &section); err != nil {
+		t.Fatal(err)
+	}
+	if section.S != 8 || section.R == 0 || section.InputBytes == 0 || section.Strategy != "quotient" {
+		t.Errorf("section header: %+v", section)
+	}
+	if len(section.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(section.Points))
+	}
+	if p := section.Points[0]; p.Pct != 100 || p.SpillBytes != 0 {
+		t.Errorf("full-budget point should not spill: %+v", p)
+	}
+	spilled := false
+	for _, p := range section.Points {
+		if p.Ns == 0 || p.BudgetBytes == 0 || p.QuotientRows == 0 || p.Attempts == 0 {
+			t.Errorf("unpopulated point %+v", p)
+		}
+		if p.SpillBytes > 0 {
+			spilled = true
+		}
+	}
+	if !spilled {
+		t.Error("no sweep point spilled")
+	}
+}
+
+// TestCheckSpillSweep exercises the gate logic on synthetic curves.
+func TestCheckSpillSweep(t *testing.T) {
+	ms := int64(time.Millisecond)
+	mk := func(pct int, ns int64, spill int64) spillPoint {
+		p := spillPoint{Pct: pct, BudgetBytes: pct, Ns: ns, SpillBytes: spill}
+		if spill > 0 {
+			p.SpilledParts = 1
+		}
+		return p
+	}
+	smooth := []spillPoint{mk(100, 2*ms, 0), mk(50, 3*ms, 1), mk(25, 5*ms, 2), mk(10, 7*ms, 3)}
+	if err := checkSpillSweep(smooth); err != nil {
+		t.Errorf("smooth curve rejected: %v", err)
+	}
+	if err := checkSpillSweep(smooth[:1]); err == nil {
+		t.Error("single point accepted")
+	}
+	unordered := []spillPoint{mk(50, 2*ms, 0), mk(100, 3*ms, 1)}
+	if err := checkSpillSweep(unordered); err == nil {
+		t.Error("non-decreasing budget order accepted")
+	}
+	fullSpills := []spillPoint{mk(100, 2*ms, 9), mk(50, 3*ms, 9)}
+	if err := checkSpillSweep(fullSpills); err == nil {
+		t.Error("spill at the full budget accepted")
+	}
+	noSpill := []spillPoint{mk(100, 2*ms, 0), mk(50, 3*ms, 0)}
+	if err := checkSpillSweep(noSpill); err == nil {
+		t.Error("sweep without any spill accepted")
+	}
+	cliff := []spillPoint{mk(100, 2*ms, 0), mk(50, 20*ms, 1)}
+	if err := checkSpillSweep(cliff); err == nil {
+		t.Error("10x step cliff accepted")
+	}
+	creep := []spillPoint{mk(100, 2*ms, 0), mk(50, 7*ms, 1), mk(25, 20*ms, 1)}
+	if err := checkSpillSweep(creep); err == nil {
+		t.Error("10x total growth accepted")
+	}
+	noisy := []spillPoint{mk(100, 10_000, 0), mk(50, 90_000, 1), mk(25, 2*ms, 1)}
+	if err := checkSpillSweep(noisy); err != nil {
+		t.Errorf("sub-noise-floor jitter rejected: %v", err)
 	}
 }
 

@@ -275,6 +275,66 @@ func (p Params) PartitionedHashDivisionCost(k int) float64 {
 	return p.HashDivisionCost() + partitionPass + perPhaseDivisor
 }
 
+// tablePages approximates the hash-division tables' footprint in pages: one
+// quotient-table entry per candidate plus the divisor table, at the
+// divisor/quotient page geometry.
+func (p Params) tablePages() float64 {
+	return (float64(p.QTuples) + float64(p.STuples)) / float64(p.SQPerPage)
+}
+
+// RecursiveHashDivisionCost extends the overflow model to recursive grace
+// partitioning under a memory budget of budgetPages with the given fan-out:
+// the recursion needs ⌈log_F(T/B)⌉ levels to shrink a T-page table under a
+// B-page budget, each level re-hashes the dividend and spools the spilled
+// fraction out and back in (hybrid residency keeps a budget's worth of cells
+// in memory, so only the (1 − B/T) fraction pays the sequential write+read),
+// and each of the ~⌈T/B⌉ leaf cells rebuilds its share of the divisor table.
+// The per-tuple division work of §4.5 is paid exactly once. A budget that
+// fits degenerates to HashDivisionCost.
+func (p Params) RecursiveHashDivisionCost(budgetPages float64, fanOut int) float64 {
+	t := p.tablePages()
+	if budgetPages <= 0 || t <= budgetPages {
+		return p.HashDivisionCost()
+	}
+	if fanOut < 2 {
+		fanOut = 2
+	}
+	levels := math.Ceil(math.Log(t/budgetPages) / math.Log(float64(fanOut)))
+	spillFraction := 1 - budgetPages/t
+	leaves := math.Ceil(t / budgetPages)
+	perLevel := float64(p.rTuples())*p.Units.Hash +
+		2*p.rPages()*spillFraction*p.Units.SIO
+	divisorRebuild := leaves * float64(p.STuples) * p.Units.Hash
+	return p.HashDivisionCost() + levels*perLevel + divisorRebuild
+}
+
+// RestartEscalationCost models the pre-recursive overflow loop this package
+// replaced: restart the whole division with k = 1, 2, 4, … partitions until
+// the per-partition table fits the budget. Every abandoned attempt burns a
+// full dividend read plus its per-tuple hash work before being thrown away,
+// so the total degrades multiplicatively with the number of attempts — the
+// cost cliff the memory-pressure sweep demonstrates recursive partitioning
+// removes. The successful final attempt is charged at
+// PartitionedHashDivisionCost.
+func (p Params) RestartEscalationCost(budgetPages float64, maxK int) float64 {
+	t := p.tablePages()
+	if budgetPages <= 0 || t <= budgetPages {
+		return p.HashDivisionCost()
+	}
+	if maxK < 1 {
+		maxK = 64
+	}
+	attemptCost := p.rPages()*p.Units.SIO +
+		float64(p.rTuples())*(p.Units.Hash+p.HBS*p.Units.Comp)
+	total := 0.0
+	k := 1
+	for t/float64(k) > budgetPages && k < maxK {
+		total += attemptCost // abandoned attempt at this k
+		k *= 2
+	}
+	return total + p.PartitionedHashDivisionCost(k)
+}
+
 // Crossover sweeps |R| (holding |S|, tuple/page geometry, and memory fixed,
 // with |Q| = |R|/|S|) and returns the smallest |R| at which algorithm a
 // becomes cheaper than algorithm b, or -1 if it never does within the range.

@@ -235,6 +235,54 @@ func TestPaperUnits(t *testing.T) {
 	}
 }
 
+func TestRecursiveCostDegeneratesWhenFitting(t *testing.T) {
+	p := PaperParams(100, 400)
+	if got, want := p.RecursiveHashDivisionCost(p.tablePages()+1, 8), p.HashDivisionCost(); got != want {
+		t.Errorf("fitting budget: recursive cost %v, want plain %v", got, want)
+	}
+	if got, want := p.RestartEscalationCost(p.tablePages()+1, 64), p.HashDivisionCost(); got != want {
+		t.Errorf("fitting budget: restart cost %v, want plain %v", got, want)
+	}
+}
+
+func TestRecursiveCostMonotoneInBudget(t *testing.T) {
+	p := PaperParams(400, 400)
+	prev := math.Inf(1)
+	for _, b := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		c := p.RecursiveHashDivisionCost(b, 8)
+		if c > prev {
+			t.Errorf("cost rose with budget: %v pages -> %v, previous %v", b, c, prev)
+		}
+		if c < p.HashDivisionCost() {
+			t.Errorf("recursive cost %v below in-memory floor %v", c, p.HashDivisionCost())
+		}
+		prev = c
+	}
+}
+
+// TestRestartCostliness pins the analytic claim behind the tentpole: under
+// memory pressure the restart loop pays strictly more than recursive
+// partitioning at every budget (each halving of the budget adds another
+// abandoned full-scan attempt), and its total grows monotonically as the
+// budget shrinks. The absolute gap oscillates with the ceil() terms in the
+// recursive model, so the invariant is ordering plus monotone escalation,
+// not a monotone gap.
+func TestRestartCostliness(t *testing.T) {
+	p := PaperParams(400, 400)
+	prevRestart := 0.0
+	for _, b := range []float64{32, 16, 8, 4, 2} {
+		rec := p.RecursiveHashDivisionCost(b, 8)
+		restart := p.RestartEscalationCost(b, 64)
+		if restart <= rec {
+			t.Errorf("budget %v pages: restart %v not costlier than recursive %v", b, restart, rec)
+		}
+		if restart < prevRestart {
+			t.Errorf("budget %v pages: restart cost %v fell from %v as pressure rose", b, restart, prevRestart)
+		}
+		prevRestart = restart
+	}
+}
+
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if rows := Table2(); len(rows) != 9 {

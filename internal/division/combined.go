@@ -109,7 +109,7 @@ func (c *CombinedPartitionedHashDivision) run() error {
 	cells := make([]*storage.File, c.kd*c.kq)
 	appenders := make([]*storage.Appender, len(cells))
 	for i := range cells {
-		cells[i] = storage.NewFile(c.env.Pool, c.env.TempDev, ds, fmt.Sprintf("divcell-%d", i))
+		cells[i] = storage.NewSpillFile(c.env.Pool, c.env.TempDev, ds, fmt.Sprintf("divcell-%d", i))
 		appenders[i] = cells[i].NewAppender()
 	}
 	c.spilled = cells

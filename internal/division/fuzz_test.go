@@ -1,10 +1,22 @@
 package division
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/exec"
+	"repro/internal/storage"
 )
+
+// depth2Seed is the fuzz-corpus seed that forces at least depth-2 recursion:
+// 16 distinct students all taking course 0, with a one-course divisor and
+// the minimum 256-byte budget — the candidate table overflows at the root
+// and again after the first re-partitioning (TestFuzzSeedForcesDepth2 pins
+// that it actually does).
+var depth2Seed = []byte{
+	0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70,
+	0x80, 0x90, 0xa0, 0xb0, 0xc0, 0xd0, 0xe0, 0xf0,
+}
 
 // FuzzHashDivision cross-checks hash-division (all variants) against the
 // brute-force reference on fuzzer-generated inputs. Each input byte encodes
@@ -37,6 +49,67 @@ func FuzzHashDivision(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzRecursiveDivision cross-checks recursive out-of-core division against
+// the reference under fuzzer-chosen budgets (256..4336 bytes) and both
+// partitioning strategies. A run may refuse with one of the typed errors
+// (budget too small for the divisor, depth cap under skew) — that is a
+// valid outcome — but it must never produce a wrong quotient or leak a
+// spill file.
+func FuzzRecursiveDivision(f *testing.F) {
+	f.Add(depth2Seed, uint8(0), uint8(0))
+	f.Add([]byte{0x01, 0x12, 0x21}, uint8(2), uint8(40))
+	f.Add([]byte{0x00, 0x00, 0x00}, uint8(3), uint8(255))
+	f.Fuzz(func(t *testing.T, raw []byte, nDivisorRaw, budgetRaw uint8) {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		dividend, divisor := quickInstance(raw, nDivisorRaw)
+		budget := 256 + int(budgetRaw)*16
+		ref, err := Reference(makeSpec(dividend, divisor))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := makeSpec(dividend, divisor).QuotientSchema()
+		for _, strat := range []PartitionStrategy{QuotientPartitioning, DivisorPartitioning} {
+			live := storage.LiveSpillFiles()
+			got, st, err := DivideRecursive(makeSpec(dividend, divisor), testEnv(), strat,
+				HashDivisionOptions{MemoryBudget: budget}, RecursiveOptions{})
+			if err != nil {
+				if !errors.Is(err, ErrPartitionDepth) && !errors.Is(err, ErrMemoryBudget) {
+					t.Fatalf("%v budget %d: %v", strat, budget, err)
+				}
+			} else if !EqualTupleSets(qs, got, ref) {
+				t.Fatalf("%v budget %d: got %d tuples, reference %d (stats %+v)",
+					strat, budget, len(got), len(ref), st)
+			}
+			if after := storage.LiveSpillFiles(); after != live {
+				t.Fatalf("%v budget %d: spill files leaked: %d -> %d", strat, budget, live, after)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedForcesDepth2 keeps the fuzz corpus honest: the dedicated seed
+// must actually drive the recursion to depth >= 2 (and still succeed).
+func TestFuzzSeedForcesDepth2(t *testing.T) {
+	dividend, divisor := quickInstance(depth2Seed, 0)
+	got, st, err := DivideRecursive(makeSpec(dividend, divisor), testEnv(), QuotientPartitioning,
+		HashDivisionOptions{MemoryBudget: 256}, RecursiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxDepth < 2 {
+		t.Fatalf("seed only reached depth %d: %+v", st.MaxDepth, st)
+	}
+	ref, err := Reference(makeSpec(dividend, divisor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualTupleSets(makeSpec(dividend, divisor).QuotientSchema(), got, ref) {
+		t.Fatal("depth-2 seed quotient mismatch")
+	}
 }
 
 // FuzzPartitionedDivision cross-checks the partitioned variants.

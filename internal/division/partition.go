@@ -87,7 +87,7 @@ func (p *PartitionedHashDivision) partitionDividend(cols []int, keep func(tuple.
 		if p.env.Pool == nil || p.env.TempDev == nil {
 			return nil, nil, fmt.Errorf("division: partitioned division with k=%d needs Pool and TempDev", p.k)
 		}
-		files[i] = storage.NewFile(p.env.Pool, p.env.TempDev, ds, fmt.Sprintf("divcluster-%d", i))
+		files[i] = storage.NewSpillFile(p.env.Pool, p.env.TempDev, ds, fmt.Sprintf("divcluster-%d", i))
 		appenders[i] = files[i].NewAppender()
 	}
 	abort := func() {
@@ -152,31 +152,7 @@ func (p *PartitionedHashDivision) partitionDividend(cols []int, keep func(tuple.
 // collectDivisor reads the divisor once, eliminating duplicates, and returns
 // the distinct tuples.
 func (p *PartitionedHashDivision) collectDivisor() ([]tuple.Tuple, error) {
-	ss := p.sp.Divisor.Schema()
-	tab := hashtab.NewForExpected(ss, p.env.expectedDivisor(), p.env.hbs())
-	if err := p.sp.Divisor.Open(); err != nil {
-		return nil, err
-	}
-	var out []tuple.Tuple
-	for {
-		t, err := p.sp.Divisor.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			p.sp.Divisor.Close()
-			return nil, err
-		}
-		if e, created := tab.GetOrInsert(t); created {
-			out = append(out, e.Tuple)
-		}
-	}
-	if p.env.Counters != nil {
-		st := tab.Stats()
-		p.env.Counters.Hash += st.Hashes
-		p.env.Counters.Comp += st.Comparisons
-	}
-	return out, p.sp.Divisor.Close()
+	return collectDistinctDivisor(p.sp, p.env)
 }
 
 // phaseEnv derives the Env for partition phase i of n: with tracing on, the
@@ -399,66 +375,61 @@ func (p *PartitionedHashDivision) Close() error {
 	return nil
 }
 
-// DivideAdaptive resolves hash table overflow the way §3.4 prescribes,
-// picking the partitioning dimension that actually overflowed: when the
-// divisor table is the problem it doubles the divisor clusters (kd), when
-// the quotient table is the problem it doubles the quotient clusters (kq),
-// and when both overflow it grows both — "combinations of the techniques
-// discussed above". It returns the quotient and the (kd, kq) grid that fit.
-func DivideAdaptive(sp Spec, env Env, budget int, maxGrid int) ([]tuple.Tuple, int, int, error) {
+// AdaptiveStats report what adaptive overflow resolution actually did — in
+// particular how much work abandoned in-memory attempts burned, which the
+// old restart loop silently threw away.
+type AdaptiveStats struct {
+	Attempts     int   // in-memory division attempts, including abandoned ones
+	Overflowed   int   // attempts abandoned on ErrMemoryBudget
+	WastedTuples int64 // dividend tuples absorbed by abandoned attempts
+	Kd, Kq       int   // effective grid: divisor leaves × max quotient cells per leaf
+	Recursive    RecursiveStats
+}
+
+// DivideAdaptiveStats resolves hash table overflow by recursive grace
+// partitioning (divisor-side first, quotient-side within each divisor leaf),
+// re-partitioning only the cells that actually overflow instead of
+// restarting the whole division with a larger grid. It returns the quotient
+// plus the resolution statistics, and publishes the attempt/waste totals on
+// obs.Default so long-running processes can watch for mis-sized budgets.
+func DivideAdaptiveStats(sp Spec, env Env, budget int, maxGrid int) ([]tuple.Tuple, AdaptiveStats, error) {
 	if maxGrid < 1 {
 		maxGrid = 64
 	}
-	// Estimate the divisor table's footprint with a cheap counting pass
-	// (the divisor is scanned again by the division itself; operators are
-	// re-openable).
-	divisorTuples := 0
-	if err := exec.ForEach(sp.Divisor, func(tuple.Tuple) error {
-		divisorTuples++
-		return nil
-	}); err != nil {
-		return nil, 0, 0, err
+	op := NewRecursiveHashDivision(sp, env, DivisorPartitioning,
+		HashDivisionOptions{MemoryBudget: budget}, RecursiveOptions{MaxFanOut: maxGrid})
+	qts, err := exec.Collect(op)
+	st := op.Stats()
+	as := AdaptiveStats{
+		Attempts:     st.Attempts,
+		Overflowed:   st.Overflowed,
+		WastedTuples: st.WastedTuples,
+		Kd:           st.DivisorLeaves,
+		Kq:           st.MaxQuotientCells,
+		Recursive:    st,
 	}
-	divisorBytes := divisorTuples * (sp.Divisor.Schema().Width() + 48)
+	if as.Kd < 1 {
+		as.Kd = 1
+	}
+	if as.Kq < 1 {
+		as.Kq = 1
+	}
+	obs.Default.Counter("division.adaptive.attempts").Add(int64(st.Attempts))
+	obs.Default.Counter("division.adaptive.wasted_tuples").Add(st.WastedTuples)
+	if err != nil {
+		return nil, as, err
+	}
+	return qts, as, nil
+}
 
-	kd, kq := 1, 1
-	if budget > 0 {
-		for divisorBytes/kd > budget/2 && kd < maxGrid {
-			kd *= 2
-		}
-	}
-	for kd <= maxGrid && kq <= maxGrid {
-		var op exec.Operator
-		hdOpts := HashDivisionOptions{MemoryBudget: budget}
-		switch {
-		case kd == 1 && kq == 1:
-			op = NewHashDivision(sp, env, hdOpts)
-		case kd == 1:
-			op = NewPartitionedHashDivision(sp, env, QuotientPartitioning, kq, hdOpts)
-		case kq == 1:
-			op = NewPartitionedHashDivision(sp, env, DivisorPartitioning, kd, hdOpts)
-		default:
-			op = NewCombinedPartitionedHashDivision(sp, env, kd, kq, hdOpts)
-		}
-		qts, err := exec.Collect(op)
-		if err == nil {
-			return qts, kd, kq, nil
-		}
-		if !errors.Is(err, ErrMemoryBudget) {
-			return nil, kd, kq, err
-		}
-		// The divisor side was pre-sized from an exact tuple count, so
-		// remaining overflow is the quotient table (bit maps included):
-		// grow kq. Only if kq is exhausted (hash skew left one divisor
-		// cluster oversized) grow kd as a fallback.
-		if kq < maxGrid {
-			kq *= 2
-		} else {
-			kd *= 2
-		}
-	}
-	return nil, kd, kq, fmt.Errorf("division: budget of %d bytes not met within a %d-grid: %w",
-		budget, maxGrid, ErrMemoryBudget)
+// DivideAdaptive is the historical entry point for adaptive overflow
+// resolution; it is now a thin compatibility shim over the recursive path
+// (DivideAdaptiveStats). The returned pair reports the effective grid: the
+// number of divisor-side leaves and the largest quotient-side leaf count
+// within any of them.
+func DivideAdaptive(sp Spec, env Env, budget int, maxGrid int) ([]tuple.Tuple, int, int, error) {
+	qts, st, err := DivideAdaptiveStats(sp, env, budget, maxGrid)
+	return qts, st.Kd, st.Kq, err
 }
 
 // DivideWithBudget runs hash-division under a hard memory budget for the two

@@ -1,0 +1,228 @@
+package division
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// skewedWorkload builds a duplicate-heavy dividend whose course column is
+// Zipf-distributed: a handful of popular courses soak up most enrollments,
+// the shape that defeats a single partitioning pass. Students 0..full-1 take
+// every course (the guaranteed quotient); the rest enroll Zipf-randomly.
+func skewedWorkload(students, full, courses, dupFactor int, seed int64) ([][2]int64, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(courses-1))
+	divisor := make([]int64, courses)
+	for i := range divisor {
+		divisor[i] = int64(i)
+	}
+	var dividend [][2]int64
+	add := func(s, c int64) {
+		for d := 0; d < dupFactor; d++ {
+			dividend = append(dividend, [2]int64{s, c})
+		}
+	}
+	for s := 0; s < students; s++ {
+		if s < full {
+			for c := 0; c < courses; c++ {
+				add(int64(s), int64(c))
+			}
+			continue
+		}
+		n := 1 + rng.Intn(courses)
+		for i := 0; i < n; i++ {
+			add(int64(s), int64(zipf.Uint64()))
+		}
+	}
+	rng.Shuffle(len(dividend), func(i, j int) {
+		dividend[i], dividend[j] = dividend[j], dividend[i]
+	})
+	return dividend, divisor
+}
+
+// TestRecursiveMatchesReferenceUnderPressure is the out-of-core property
+// test: recursive division must agree with the brute-force reference on a
+// skewed, duplicate-heavy workload across the whole budget range, for both
+// partitioning strategies — and at 100% budget it must never touch disk.
+func TestRecursiveMatchesReferenceUnderPressure(t *testing.T) {
+	dividend, divisor := skewedWorkload(400, 25, 10, 3, 42)
+	inputBytes := len(dividend) * transcriptSchema.Width()
+	ref, err := Reference(makeSpec(dividend, divisor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := makeSpec(dividend, divisor).QuotientSchema()
+
+	for _, pct := range []int{1, 5, 25, 100} {
+		budget := inputBytes * pct / 100
+		for _, strat := range []PartitionStrategy{QuotientPartitioning, DivisorPartitioning} {
+			t.Run(fmt.Sprintf("budget=%d%%/%v", pct, strat), func(t *testing.T) {
+				live := storage.LiveSpillFiles()
+				got, st, err := DivideRecursive(makeSpec(dividend, divisor), testEnv(), strat,
+					HashDivisionOptions{MemoryBudget: budget}, RecursiveOptions{})
+				if err != nil {
+					t.Fatalf("budget %d: %v", budget, err)
+				}
+				if !EqualTupleSets(qs, got, ref) {
+					t.Fatalf("budget %d: quotient mismatch: got %d tuples, want %d (stats %+v)",
+						budget, len(got), len(ref), st)
+				}
+				if pct == 100 && (st.SpillBytes != 0 || st.SpilledPartitions != 0) {
+					t.Fatalf("full budget still spilled: %+v", st)
+				}
+				if pct == 1 && st.Repartitions == 0 {
+					t.Fatalf("1%% budget did not re-partition: %+v", st)
+				}
+				if after := storage.LiveSpillFiles(); after != live {
+					t.Fatalf("spill files leaked: %d -> %d", live, after)
+				}
+			})
+		}
+	}
+}
+
+// TestRecursiveHybridResidency pins the hybrid policy: at a budget that
+// forces re-partitioning but a fan-out that makes children smaller than the
+// budget, some cells must stay memory-resident while others spill. A
+// duplicate-free dividend with wide candidates (table footprint ≈ 2× input)
+// drives the fan-out high enough for that to happen.
+func TestRecursiveHybridResidency(t *testing.T) {
+	divisor := []int64{0, 1}
+	var dividend [][2]int64
+	for s := 0; s < 2000; s++ {
+		dividend = append(dividend, [2]int64{int64(s), 0})
+		if s%3 != 0 { // every third student is incomplete
+			dividend = append(dividend, [2]int64{int64(s), 1})
+		}
+	}
+	got, st, err := DivideRecursive(makeSpec(dividend, divisor), testEnv(), QuotientPartitioning,
+		HashDivisionOptions{MemoryBudget: 8 << 10}, RecursiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(makeSpec(dividend, divisor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualTupleSets(makeSpec(dividend, divisor).QuotientSchema(), got, ref) {
+		t.Fatalf("quotient mismatch under hybrid residency (stats %+v)", st)
+	}
+	if st.SpilledPartitions == 0 {
+		t.Fatalf("expected some partitions to spill at 5%% budget: %+v", st)
+	}
+	if st.MemResidentCells == 0 {
+		t.Fatalf("expected some cells to stay memory-resident (hybrid): %+v", st)
+	}
+	if st.MaxDepth < 1 {
+		t.Fatalf("expected at least one recursion level: %+v", st)
+	}
+}
+
+// TestRecursiveDepthCapTypedError pins the skew backstop: when every
+// dividend tuple shares one quotient value and the divisor table alone
+// exceeds the budget, no amount of quotient-side partitioning helps; the
+// recursion must stop at the depth cap with ErrPartitionDepth — and leak no
+// spill files on the way out.
+func TestRecursiveDepthCapTypedError(t *testing.T) {
+	divisor := make([]int64, 10)
+	var dividend [][2]int64
+	for c := range divisor {
+		divisor[c] = int64(c)
+		dividend = append(dividend, [2]int64{1, int64(c)})
+	}
+	live := storage.LiveSpillFiles()
+	// Budget above the raw divisor bytes (so the hopeless-divisor precheck
+	// passes) but below the divisor table's footprint: every cell overflows.
+	_, st, err := DivideRecursive(makeSpec(dividend, divisor), testEnv(), QuotientPartitioning,
+		HashDivisionOptions{MemoryBudget: 300}, RecursiveOptions{MaxDepth: 3})
+	if !errors.Is(err, ErrPartitionDepth) {
+		t.Fatalf("want ErrPartitionDepth, got %v (stats %+v)", err, st)
+	}
+	if after := storage.LiveSpillFiles(); after != live {
+		t.Fatalf("spill files leaked on error: %d -> %d", live, after)
+	}
+}
+
+// TestRecursiveNoBudgetIsPlainDivision pins the degenerate path: without a
+// budget the operator is plain hash-division — one attempt, no partitioning.
+func TestRecursiveNoBudgetIsPlainDivision(t *testing.T) {
+	dividend, divisor := skewedWorkload(50, 5, 6, 2, 3)
+	got, st, err := DivideRecursive(makeSpec(dividend, divisor), testEnv(), DivisorPartitioning,
+		HashDivisionOptions{}, RecursiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(makeSpec(dividend, divisor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualTupleSets(makeSpec(dividend, divisor).QuotientSchema(), got, ref) {
+		t.Fatal("quotient mismatch without budget")
+	}
+	if st.Attempts != 1 || st.Repartitions != 0 || st.SpillBytes != 0 {
+		t.Fatalf("no-budget run should be a single in-memory attempt: %+v", st)
+	}
+}
+
+// TestAdaptiveReportsWaste pins the satellite contract for the adaptive
+// shim: abandoned attempts are counted, their absorbed tuples reported, and
+// the totals land on the obs registry.
+func TestAdaptiveReportsWaste(t *testing.T) {
+	dividend, divisor := skewedWorkload(400, 25, 10, 3, 11)
+	inputBytes := len(dividend) * transcriptSchema.Width()
+	before := obs.Default.Get("division.adaptive.attempts")
+	beforeWaste := obs.Default.Get("division.adaptive.wasted_tuples")
+
+	got, st, err := DivideAdaptiveStats(makeSpec(dividend, divisor), testEnv(), inputBytes*5/100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Reference(makeSpec(dividend, divisor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualTupleSets(makeSpec(dividend, divisor).QuotientSchema(), got, ref) {
+		t.Fatal("adaptive quotient mismatch")
+	}
+	if st.Overflowed == 0 || st.WastedTuples == 0 {
+		t.Fatalf("expected abandoned attempts to be reported: %+v", st)
+	}
+	if st.Attempts <= st.Overflowed {
+		t.Fatalf("attempts must include the successful ones: %+v", st)
+	}
+	if st.Kd < 1 || st.Kq < 1 {
+		t.Fatalf("grid must be at least 1x1: %+v", st)
+	}
+	if obs.Default.Get("division.adaptive.attempts") <= before {
+		t.Fatal("division.adaptive.attempts not published")
+	}
+	if obs.Default.Get("division.adaptive.wasted_tuples") <= beforeWaste {
+		t.Fatal("division.adaptive.wasted_tuples not published")
+	}
+}
+
+// TestAdaptiveShimMatchesStats pins the compatibility shim's return values
+// against the stats entry point.
+func TestAdaptiveShimMatchesStats(t *testing.T) {
+	dividend, divisor := skewedWorkload(100, 10, 6, 2, 5)
+	qts, kd, kq, err := DivideAdaptive(makeSpec(dividend, divisor), testEnv(), 2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qts2, st, err := DivideAdaptiveStats(makeSpec(dividend, divisor), testEnv(), 2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kd != st.Kd || kq != st.Kq {
+		t.Fatalf("shim grid (%d,%d) != stats grid (%d,%d)", kd, kq, st.Kd, st.Kq)
+	}
+	qs := makeSpec(dividend, divisor).QuotientSchema()
+	if !EqualTupleSets(qs, qts, qts2) {
+		t.Fatal("shim and stats quotients differ")
+	}
+}

@@ -124,9 +124,10 @@ func (s *Sort) spillRun(ts []tuple.Tuple) error {
 	if s.cfg.Pool == nil || s.cfg.TempDev == nil {
 		return errors.New("exec: Sort input exceeds MemoryBytes but no temp device configured")
 	}
-	f := storage.NewFile(s.cfg.Pool, s.cfg.TempDev, s.schema, fmt.Sprintf("sortrun-%d", s.runSeq))
+	f := storage.NewSpillFile(s.cfg.Pool, s.cfg.TempDev, s.schema, fmt.Sprintf("sortrun-%d", s.runSeq))
 	s.runSeq++
 	if err := f.Load(ts); err != nil {
+		f.Drop() // not yet in s.runs; Close would never reclaim it
 		return err
 	}
 	if s.cfg.Counters != nil {
@@ -238,8 +239,18 @@ func (s *Sort) replacementSelection(buf []tuple.Tuple) error {
 	curRun := 0
 	var out *storage.File
 	var ap *storage.Appender
+	// The run being written is not yet in s.runs, so Close would never
+	// reclaim it: every error return must drop it here.
+	defer func() {
+		if ap != nil {
+			ap.Close()
+		}
+		if out != nil {
+			out.Drop()
+		}
+	}()
 	startRun := func() error {
-		out = storage.NewFile(s.cfg.Pool, s.cfg.TempDev, s.schema, fmt.Sprintf("sortrun-%d", s.runSeq))
+		out = storage.NewSpillFile(s.cfg.Pool, s.cfg.TempDev, s.schema, fmt.Sprintf("sortrun-%d", s.runSeq))
 		s.runSeq++
 		ap = out.NewAppender()
 		return nil
@@ -248,14 +259,16 @@ func (s *Sort) replacementSelection(buf []tuple.Tuple) error {
 		if ap == nil {
 			return nil
 		}
-		if err := ap.Close(); err != nil {
+		a := ap
+		ap = nil
+		if err := a.Close(); err != nil {
 			return err
 		}
 		if s.cfg.Counters != nil {
 			s.cfg.Counters.Move += int64(out.NumPages())
 		}
 		s.runs = append(s.runs, out)
-		ap, out = nil, nil
+		out = nil
 		return nil
 	}
 	if err := startRun(); err != nil {
@@ -320,12 +333,22 @@ func (s *Sort) Open() error {
 	if maxTuples < 1 {
 		maxTuples = 1
 	}
+	// Callers are not required to Close an operator whose Open failed, so
+	// every error exit below this point must release the run files itself.
+	fail := func(err error) error {
+		for _, r := range s.runs {
+			r.Drop()
+		}
+		s.runs = nil
+		return err
+	}
+
 	spilled, err := s.formRuns(maxTuples)
 	if cerr := s.input.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	if !spilled {
 		s.opened = true
@@ -339,19 +362,25 @@ func (s *Sort) Open() error {
 		rest := s.runs[fan:]
 		merged, err := s.mergeToFile(batch)
 		if err != nil {
-			return err
+			return fail(err)
 		}
+		// Hand merged to s.runs before dropping the batch, so a failed drop
+		// leaves everything still reclaimable.
+		s.runs = append(rest, merged)
+		var dropErr error
 		for _, r := range batch {
-			if err := r.Drop(); err != nil {
-				return err
+			if err := r.Drop(); err != nil && dropErr == nil {
+				dropErr = err
 			}
 		}
-		s.runs = append(rest, merged)
+		if dropErr != nil {
+			return fail(dropErr)
+		}
 	}
 
 	m, err := s.newMergeState(s.runs)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	s.merge = m
 	s.opened = true
@@ -365,9 +394,13 @@ func (s *Sort) mergeToFile(runs []*storage.File) (*storage.File, error) {
 		return nil, err
 	}
 	defer m.close()
-	out := storage.NewFile(s.cfg.Pool, s.cfg.TempDev, s.schema, fmt.Sprintf("sortrun-%d", s.runSeq))
+	out := storage.NewSpillFile(s.cfg.Pool, s.cfg.TempDev, s.schema, fmt.Sprintf("sortrun-%d", s.runSeq))
 	s.runSeq++
 	ap := out.NewAppender()
+	fail := func(err error) (*storage.File, error) {
+		out.Drop() // not yet in s.runs; Close would never reclaim it
+		return nil, err
+	}
 	for {
 		t, err := s.nextMerged(m)
 		if err == io.EOF {
@@ -375,15 +408,15 @@ func (s *Sort) mergeToFile(runs []*storage.File) (*storage.File, error) {
 		}
 		if err != nil {
 			ap.Close()
-			return nil, err
+			return fail(err)
 		}
 		if _, err := ap.Append(t); err != nil {
 			ap.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	if err := ap.Close(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if s.cfg.Counters != nil {
 		s.cfg.Counters.Move += int64(out.NumPages())

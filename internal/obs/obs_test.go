@@ -241,6 +241,40 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+func TestCounterSetMax(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("depth")
+	c.SetMax(3)
+	if got := c.Load(); got != 3 {
+		t.Fatalf("after SetMax(3): %d", got)
+	}
+	c.SetMax(1) // lower value must not regress the high-water mark
+	if got := c.Load(); got != 3 {
+		t.Fatalf("after SetMax(1): %d", got)
+	}
+	c.SetMax(7)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("after SetMax(7): %d", got)
+	}
+
+	// Concurrent racers: the gauge must end at the global maximum.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.SetMax(int64(i*100 + j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 799 {
+		t.Fatalf("concurrent SetMax high-water = %d, want 799", got)
+	}
+}
+
 func TestRegistryConcurrent(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

@@ -84,6 +84,18 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// SetMax raises the counter to v if v exceeds the current value — a
+// high-water gauge for quantities like spill recursion depth, where the
+// interesting number is the worst level any query ever reached.
+func (c *Counter) SetMax(v int64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // progressMu serializes every progress sink wrapped by SerializeProgress.
 // One process-wide mutex suffices: progress lines are per-phase, not
 // per-tuple, so contention is negligible, and a shared lock also serializes

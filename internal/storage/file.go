@@ -43,6 +43,9 @@ type File struct {
 	pages   []disk.PageID
 	numRecs int
 	deleted map[RID]bool
+	// spill marks a file created by NewSpillFile; the first Drop retires it
+	// from the live-spill gauge.
+	spill bool
 }
 
 // NewFile creates an empty heap file for schema records on dev.
@@ -499,6 +502,10 @@ func (ps *PageScanner) Close() error {
 // Drop flushes nothing and frees every page of the file back to its device.
 // The file is empty and reusable afterwards.
 func (f *File) Drop() error {
+	if f.spill {
+		f.spill = false
+		liveSpillFiles.Add(-1)
+	}
 	if err := f.pool.DropClean(); err != nil {
 		return err
 	}

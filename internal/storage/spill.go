@@ -1,0 +1,42 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/tuple"
+)
+
+// liveSpillFiles counts spill files created by NewSpillFile that have not
+// been dropped yet. Spill files are scratch state: a query that returns —
+// with a result, an error, or a cancellation — must leave this gauge where
+// it found it, and the chaos suite asserts exactly that alongside its
+// zero-fixed-frames check.
+var liveSpillFiles atomic.Int64
+
+// LiveSpillFiles reports how many spill files are currently live
+// process-wide. Test-suite leak assertions compare snapshots of this gauge
+// around query execution.
+func LiveSpillFiles() int64 { return liveSpillFiles.Load() }
+
+// NewSpillFile creates a heap file whose lifetime is tracked as query
+// scratch space: partition spill files, external-sort runs, and any other
+// temporary file an operator must drop before it returns. The file behaves
+// exactly like NewFile's; Drop additionally retires it from the live-spill
+// gauge (once — a second Drop of the same file is a plain re-drop of an
+// empty file).
+func NewSpillFile(pool *buffer.Pool, dev disk.Dev, schema *tuple.Schema, name string) *File {
+	f := NewFile(pool, dev, schema, name)
+	f.spill = true
+	liveSpillFiles.Add(1)
+	return f
+}
+
+// BytesOnDevice reports the file's device footprint (whole pages, headers
+// included) — the number spill accounting charges when a partition is staged
+// out.
+func (f *File) BytesOnDevice() int64 {
+	return int64(len(f.pages)) * int64(f.dev.PageSize())
+}
+

@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/tuple"
+)
+
+// TestSpillFileGauge pins the live-spill gauge contract: NewSpillFile
+// raises it, the FIRST Drop retires it, and a redundant second Drop must
+// not retire it again (operators drop eagerly and again defensively in
+// Close).
+func TestSpillFileGauge(t *testing.T) {
+	dev := disk.NewDevice("t", 68)
+	pool := buffer.New(1024)
+	schema := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+
+	base := LiveSpillFiles()
+	f := NewSpillFile(pool, dev, schema, "spill")
+	if got := LiveSpillFiles(); got != base+1 {
+		t.Fatalf("after create: %d live, want %d", got, base+1)
+	}
+	g := NewSpillFile(pool, dev, schema, "spill2")
+	if got := LiveSpillFiles(); got != base+2 {
+		t.Fatalf("after second create: %d live, want %d", got, base+2)
+	}
+	if _, err := f.Append(schema.MustMake(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := LiveSpillFiles(); got != base+1 {
+		t.Fatalf("after drop: %d live, want %d", got, base+1)
+	}
+	if err := f.Drop(); err != nil { // redundant drop: no double decrement
+		t.Fatal(err)
+	}
+	if got := LiveSpillFiles(); got != base+1 {
+		t.Fatalf("after redundant drop: %d live, want %d", got, base+1)
+	}
+	if err := g.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := LiveSpillFiles(); got != base {
+		t.Fatalf("after dropping all: %d live, want %d", got, base)
+	}
+}
+
+// TestSpillFileNotCountedForPlainFiles pins that NewFile does not touch the
+// gauge: only files explicitly created as spill scratch are tracked.
+func TestSpillFileNotCountedForPlainFiles(t *testing.T) {
+	base := LiveSpillFiles()
+	f := testFile(t, 68, 1024)
+	if got := LiveSpillFiles(); got != base {
+		t.Fatalf("plain NewFile moved the spill gauge: %d, want %d", got, base)
+	}
+	if err := f.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := LiveSpillFiles(); got != base {
+		t.Fatalf("plain Drop moved the spill gauge: %d, want %d", got, base)
+	}
+}
+
+// TestBytesOnDevice pins the spill accounting unit: whole pages, headers
+// included.
+func TestBytesOnDevice(t *testing.T) {
+	dev := disk.NewDevice("t", 68) // header 4 + 4 records of 16 bytes
+	pool := buffer.New(1024)
+	schema := tuple.NewSchema(tuple.Int64Field("a"), tuple.Int64Field("b"))
+	f := NewSpillFile(pool, dev, schema, "spill")
+	defer f.Drop()
+	if got := f.BytesOnDevice(); got != 0 {
+		t.Fatalf("empty file: %d bytes, want 0", got)
+	}
+	for i := 0; i < 5; i++ { // 5 records -> 2 pages
+		if _, err := f.Append(schema.MustMake(i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.BytesOnDevice(); got != 2*68 {
+		t.Fatalf("BytesOnDevice = %d, want %d", got, 2*68)
+	}
+}
