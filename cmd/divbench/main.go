@@ -11,6 +11,7 @@
 //	divbench overflow [flags]        # §3.4 hash table overflow escalation
 //	divbench parallel [flags]        # §6 multi-processor scaling
 //	divbench spill [flags]           # out-of-core memory-pressure sweep
+//	divbench serve [flags]           # concurrent query server / load generator
 //	divbench example                 # Figure 2 worked example, step by step
 //
 // table4 flags:
@@ -114,6 +115,8 @@ func main() {
 		err = runWAL(args)
 	case "spill":
 		err = runSpill(args)
+	case "serve":
+		err = runServe(args)
 	case "example":
 		err = runExample()
 	case "help", "-h", "--help":
@@ -146,6 +149,8 @@ commands:
   io        buffer-pool sharding and read-ahead overlap (-pages, -shards, -json, -check)
   wal       WAL group-commit throughput sweep (-appenders, -windows, -json, -check)
   spill     out-of-core memory-pressure sweep (-budgets, -strategy, -reps, -json, -check)
+  serve     concurrent query server: -addr to listen, or a closed-loop client
+            sweep (-clients, -queries, -mem, -grant, -json, -check)
   example   the paper's Figure 2 worked example`)
 }
 

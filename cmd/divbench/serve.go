@@ -1,0 +1,312 @@
+package main
+
+// divbench serve: the concurrent query server, in two modes.
+//
+// Listen mode (-addr) runs the long-lived service on a TCP address until the
+// process is killed; divql's "connect" command is the matching client.
+//
+// Load-generator mode (the default) starts an in-process server, populates a
+// transcript/courses workload, and sweeps closed-loop client counts: each
+// client issues -queries back-to-back division queries on its own connection,
+// and the sweep reports throughput (qps), latency percentiles, admission
+// queueing, and plan-cache hit rates per client count. -json merges a
+// server_throughput section into BENCH_divbench.json; -check gates CI on the
+// 8-client run (exact quotients, one compile for the whole run, governor
+// high water within budget).
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	reldiv "repro"
+	"repro/internal/obs"
+	"repro/server"
+)
+
+// serveThroughputPoint is one client-count measurement in the JSON dump.
+type serveThroughputPoint struct {
+	Clients         int     `json:"clients"`
+	Queries         int     `json:"queries"` // total completed queries
+	QPS             float64 `json:"qps"`
+	P50Micros       int64   `json:"p50_us"`
+	P95Micros       int64   `json:"p95_us"`
+	P99Micros       int64   `json:"p99_us"`
+	QueuedP95Micros int64   `json:"queued_p95_us"` // admission wait, p95
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	Compiles        int64   `json:"compiles"`   // rewrite.Compile calls during the point
+	HighWater       int64   `json:"high_water"` // governor peak grant bytes
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "", "listen address; when set, serve forever instead of benchmarking")
+	clientsFlag := fs.String("clients", "1,2,4,8", "comma-separated concurrent client counts to sweep")
+	queries := fs.Int("queries", 16, "queries per client per point")
+	students := fs.Int("s", 1500, "students in the transcript workload")
+	courses := fs.Int("q", 8, "courses in the divisor")
+	memKB := fs.Int("mem", 1024, "global memory budget in KB (split across in-flight queries)")
+	grantKB := fs.Int("grant", 256, "per-query admission grant in KB")
+	jsonOut := fs.Bool("json", false, "merge a server_throughput section into "+benchJSONFile)
+	check := fs.Bool("check", false, "exit nonzero unless the 8-client point returns exact quotients with one compile and the governor within budget (skipped when GOMAXPROCS < 2)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *addr != "" {
+		return serveForever(*addr, *memKB)
+	}
+
+	clientCounts, err := parseSizes(*clientsFlag)
+	if err != nil {
+		return err
+	}
+	if *check {
+		if runtime.GOMAXPROCS(0) < 2 {
+			fmt.Println("(-check skipped: GOMAXPROCS < 2, no concurrency available)")
+			return nil
+		}
+		has8 := false
+		for _, n := range clientCounts {
+			has8 = has8 || n == 8
+		}
+		if !has8 {
+			return fmt.Errorf("serve -check: the gate runs at 8 clients (add 8 to -clients)")
+		}
+	}
+
+	grantBytes := *grantKB << 10
+	memBytes := int64(*memKB) << 10
+	if int64(grantBytes) > memBytes {
+		return fmt.Errorf("per-query grant %d KB exceeds the %d KB budget: every query would be rejected", *grantKB, *memKB)
+	}
+
+	fmt.Printf("Server throughput: %d students x %d courses, budget %d KB, grant %d KB, GOMAXPROCS=%d\n",
+		*students, *courses, *memKB, *grantKB, runtime.GOMAXPROCS(0))
+	fmt.Printf("%8s %10s %10s %10s %10s %12s %8s %9s\n",
+		"clients", "qps", "p50", "p95", "p99", "queued p95", "hits", "compiles")
+
+	var points []serveThroughputPoint
+	for _, n := range clientCounts {
+		p, err := serveLoadPoint(n, *queries, *students, *courses, memBytes, grantBytes, *check)
+		if err != nil {
+			return err
+		}
+		points = append(points, p)
+		fmt.Printf("%8d %10.0f %10s %10s %10s %12s %8d %9d\n",
+			n, p.QPS,
+			time.Duration(p.P50Micros)*time.Microsecond,
+			time.Duration(p.P95Micros)*time.Microsecond,
+			time.Duration(p.P99Micros)*time.Microsecond,
+			time.Duration(p.QueuedP95Micros)*time.Microsecond,
+			p.CacheHits, p.Compiles)
+	}
+
+	if *jsonOut {
+		section := map[string]any{
+			"s":                  *students,
+			"q":                  *courses,
+			"queries_per_client": *queries,
+			"mem_kb":             *memKB,
+			"grant_kb":           *grantKB,
+			"gomaxprocs":         runtime.GOMAXPROCS(0),
+			"points":             points,
+		}
+		if err := writeJSONSection(benchJSONFile, "server_throughput", section); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote server_throughput section to %s)\n", benchJSONFile)
+	}
+
+	if *check {
+		for _, p := range points {
+			if p.Clients != 8 {
+				continue
+			}
+			// One query shape for the whole point: the first query compiles,
+			// every repeat must hit the prepared-plan cache and skip
+			// rewrite.Compile — the "rewrite.compiles" counter is the witness.
+			if p.Compiles != 1 {
+				return fmt.Errorf("serve -check: %d compiles across %d queries, want exactly 1 (plan-cache hits must skip rewrite.Compile)", p.Compiles, p.Queries)
+			}
+			if want := int64(p.Queries - 1); p.CacheHits != want {
+				return fmt.Errorf("serve -check: %d cache hits across %d queries, want %d", p.CacheHits, p.Queries, want)
+			}
+			if p.HighWater > memBytes {
+				return fmt.Errorf("serve -check: governor high water %d exceeds the %d-byte budget", p.HighWater, memBytes)
+			}
+			fmt.Printf("(-check passed: 8 clients, exact quotients, 1 compile / %d hits, high water %d <= budget %d)\n",
+				p.CacheHits, p.HighWater, memBytes)
+		}
+	}
+	return nil
+}
+
+// serveLoadPoint runs one client-count point against a fresh server so the
+// cache, governor high water, and obs deltas belong to this point alone.
+// verify additionally checks every quotient against the library answer.
+func serveLoadPoint(clients, queries, students, courses int, memBytes int64, grantBytes int, verify bool) (serveThroughputPoint, error) {
+	var p serveThroughputPoint
+	s := server.NewServer(server.Options{MemoryBytes: memBytes})
+	defer s.Close()
+
+	dial := func() (*server.Client, error) {
+		cc, sc := net.Pipe()
+		go s.ServeConn(sc)
+		return server.NewClient(cc), nil
+	}
+
+	setup, err := dial()
+	if err != nil {
+		return p, err
+	}
+	wantRows, err := loadServeWorkload(setup, students, courses)
+	setup.Close()
+	if err != nil {
+		return p, err
+	}
+
+	compiles := obs.Default.Counter("rewrite.compiles")
+	compilesBefore := compiles.Load()
+
+	type result struct {
+		latencies []time.Duration
+		queued    []time.Duration
+		err       error
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &results[i]
+			c, err := dial()
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer c.Close()
+			for q := 0; q < queries; q++ {
+				t0 := time.Now()
+				resp, err := c.Do(server.Request{Op: "divide", Dividend: "transcript",
+					Divisor: "courses", MemoryBudget: grantBytes})
+				if err != nil {
+					r.err = err
+					return
+				}
+				if err := resp.Err(); err != nil {
+					r.err = err
+					return
+				}
+				if verify && len(resp.Rows) != wantRows {
+					r.err = fmt.Errorf("quotient has %d rows, library says %d", len(resp.Rows), wantRows)
+					return
+				}
+				r.latencies = append(r.latencies, time.Since(t0))
+				r.queued = append(r.queued, time.Duration(resp.QueuedMicros)*time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var latencies, queued []time.Duration
+	for i := range results {
+		if results[i].err != nil {
+			return p, fmt.Errorf("client %d: %w", i, results[i].err)
+		}
+		latencies = append(latencies, results[i].latencies...)
+		queued = append(queued, results[i].queued...)
+	}
+
+	hits, misses := s.CacheStats()
+	p = serveThroughputPoint{
+		Clients:         clients,
+		Queries:         len(latencies),
+		QPS:             float64(len(latencies)) / elapsed.Seconds(),
+		P50Micros:       percentileMicros(latencies, 50),
+		P95Micros:       percentileMicros(latencies, 95),
+		P99Micros:       percentileMicros(latencies, 99),
+		QueuedP95Micros: percentileMicros(queued, 95),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		Compiles:        int64(compiles.Load() - compilesBefore),
+		HighWater:       s.Governor().HighWater(),
+	}
+	return p, nil
+}
+
+// loadServeWorkload populates the server's transcript/courses tables and
+// returns the library-computed quotient size as the correctness reference.
+func loadServeWorkload(c *server.Client, students, courses int) (int, error) {
+	rng := rand.New(rand.NewSource(7))
+	transcript := reldiv.NewRelation("transcript",
+		reldiv.Int64Col("student"), reldiv.Int64Col("course"))
+	courseRel := reldiv.NewRelation("courses", reldiv.Int64Col("course"))
+
+	if err := c.CreateTable("transcript", "student", "course"); err != nil {
+		return 0, err
+	}
+	if err := c.CreateTable("courses", "course"); err != nil {
+		return 0, err
+	}
+	var divisorRows, dividendRows [][]int64
+	for cs := 0; cs < courses; cs++ {
+		divisorRows = append(divisorRows, []int64{int64(cs)})
+		courseRel.MustInsert(int64(cs))
+	}
+	for s := 0; s < students; s++ {
+		full := s%4 == 0
+		for cs := 0; cs < courses; cs++ {
+			if full || rng.Intn(2) == 0 {
+				dividendRows = append(dividendRows, []int64{int64(s), int64(cs)})
+				transcript.MustInsert(int64(s), int64(cs))
+			}
+		}
+	}
+	if err := c.Insert("courses", divisorRows); err != nil {
+		return 0, err
+	}
+	if err := c.Insert("transcript", dividendRows); err != nil {
+		return 0, err
+	}
+	want, err := reldiv.Divide(transcript, courseRel, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return want.NumRows(), nil
+}
+
+// percentileMicros is the nearest-rank percentile of the samples, in
+// microseconds; 0 when there are no samples.
+func percentileMicros(samples []time.Duration, pct int) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted) - 1) * pct / 100
+	return sorted[idx].Microseconds()
+}
+
+// serveForever runs the query service on a TCP address until killed.
+func serveForever(addr string, memKB int) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s := server.NewServer(server.Options{MemoryBytes: int64(memKB) << 10})
+	defer s.Close()
+	fmt.Printf("serving on %s (budget %d KB); connect with: divql then 'connect %s'\n",
+		ln.Addr(), memKB, ln.Addr())
+	return s.Serve(ln)
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestServerThroughputSectionPreservesSiblings runs the serve load generator
+// with -json on a reduced workload: previously recorded sections must stay
+// byte-for-byte intact and the server_throughput section must have the
+// expected shape (one point per client count, populated latencies, exactly
+// one compile per point with every repeat a cache hit).
+func TestServerThroughputSectionPreservesSiblings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server throughput smoke in short mode")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	if err := writeJSONSection(benchJSONFile, "table4", map[string]any{"geometry": "paper", "cells": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONSection(benchJSONFile, "memory_pressure", map[string]any{"points": []int{3}}); err != nil {
+		t.Fatal(err)
+	}
+	sections := func() map[string]json.RawMessage {
+		data, err := os.ReadFile(benchJSONFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := map[string]json.RawMessage{}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	before := sections()
+
+	err = runServe([]string{"-clients", "1,2", "-queries", "4", "-s", "120", "-json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sections()
+	for _, sib := range []string{"table4", "memory_pressure"} {
+		if !bytes.Equal(before[sib], after[sib]) {
+			t.Errorf("%s section changed:\nbefore: %s\nafter:  %s", sib, before[sib], after[sib])
+		}
+	}
+	raw, ok := after["server_throughput"]
+	if !ok {
+		t.Fatal("server_throughput section missing")
+	}
+	var section struct {
+		S                int `json:"s"`
+		Q                int `json:"q"`
+		QueriesPerClient int `json:"queries_per_client"`
+		MemKB            int `json:"mem_kb"`
+		GrantKB          int `json:"grant_kb"`
+		GOMAXPROCS       int `json:"gomaxprocs"`
+		Points           []struct {
+			Clients     int     `json:"clients"`
+			Queries     int     `json:"queries"`
+			QPS         float64 `json:"qps"`
+			P50Micros   int64   `json:"p50_us"`
+			P95Micros   int64   `json:"p95_us"`
+			P99Micros   int64   `json:"p99_us"`
+			CacheHits   int64   `json:"cache_hits"`
+			CacheMisses int64   `json:"cache_misses"`
+			Compiles    int64   `json:"compiles"`
+			HighWater   int64   `json:"high_water"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &section); err != nil {
+		t.Fatal(err)
+	}
+	if section.S != 120 || section.QueriesPerClient != 4 ||
+		section.MemKB == 0 || section.GrantKB == 0 || section.GOMAXPROCS == 0 {
+		t.Errorf("section header: %+v", section)
+	}
+	if len(section.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(section.Points))
+	}
+	for _, p := range section.Points {
+		if p.Queries != p.Clients*4 {
+			t.Errorf("point %+v: queries != clients*4", p)
+		}
+		if p.QPS == 0 || p.P50Micros == 0 || p.P95Micros == 0 || p.P99Micros == 0 {
+			t.Errorf("unpopulated latencies in point %+v", p)
+		}
+		// Every point runs one query shape against a fresh server: the first
+		// query compiles, every repeat must hit the plan cache.
+		if p.Compiles != 1 || p.CacheMisses != 1 {
+			t.Errorf("point %+v: want exactly 1 compile and 1 miss", p)
+		}
+		if want := int64(p.Queries - 1); p.CacheHits != want {
+			t.Errorf("point %+v: want %d cache hits", p, want)
+		}
+		if p.HighWater == 0 || p.HighWater > int64(section.MemKB)<<10 {
+			t.Errorf("point %+v: high water outside (0, budget]", p)
+		}
+	}
+}
+
+func TestPercentileMicros(t *testing.T) {
+	if got := percentileMicros(nil, 95); got != 0 {
+		t.Errorf("empty samples gave %d", got)
+	}
+	// 1..100 µs: nearest-rank percentiles land on the obvious values, and the
+	// input order must not matter.
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(100-i) * time.Microsecond
+	}
+	if got := percentileMicros(samples, 50); got != 50 {
+		t.Errorf("p50 = %d, want 50", got)
+	}
+	if got := percentileMicros(samples, 99); got != 99 {
+		t.Errorf("p99 = %d, want 99", got)
+	}
+	if got := percentileMicros(samples, 100); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+}

@@ -9,6 +9,17 @@
 //	> show result
 //	> explain transcript by courses
 //	> quit
+//
+// With a query server running (divbench serve -addr :7171), divql is also its
+// client: "connect" dials the server, "push" uploads a loaded relation, and
+// "rdivide" runs the division remotely under the server's admission control
+// and plan cache.
+//
+//	> connect localhost:7171
+//	> push transcript
+//	> push courses
+//	> rdivide transcript by courses
+//	> show result
 package main
 
 import (
@@ -20,11 +31,17 @@ import (
 	"strings"
 
 	reldiv "repro"
+	"repro/server"
 )
 
 type shell struct {
 	relations map[string]*reldiv.Relation
 	out       *bufio.Writer
+
+	// client is the remote query-server connection when "connect" has been
+	// issued; push/rdivide/tables operate against it.
+	client     *server.Client
+	remoteAddr string
 }
 
 func main() {
@@ -56,6 +73,9 @@ func main() {
 			fmt.Fprintf(sh.out, "error: %v\n", err)
 		}
 	}
+	if sh.client != nil {
+		sh.client.Close()
+	}
 	sh.out.Flush()
 }
 
@@ -86,6 +106,12 @@ func (sh *shell) execute(line string) error {
   select <name> where <col>=<val>|<col>~<substr> [as <name>]
   project <name> <col1,col2> [as <name>]
   algorithms                               list algorithm names
+  connect <host:port>                      dial a query server (divbench serve -addr)
+  disconnect                               drop the server connection
+  tables                                   list the server's tables
+  push <name> [as <table>]                 upload a loaded int relation to the server
+  rdivide <dividend> by <divisor> [on c1,c2] [budget <kb>] [as <name>]
+          divide remotely under the server's admission control and plan cache
   quit`)
 		return nil
 	case "list":
@@ -116,6 +142,16 @@ func (sh *shell) execute(line string) error {
 		return sh.selectRows(fields[1:])
 	case "project":
 		return sh.project(fields[1:])
+	case "connect":
+		return sh.connect(fields[1:])
+	case "disconnect":
+		return sh.disconnect()
+	case "tables":
+		return sh.remoteTables()
+	case "push":
+		return sh.push(fields[1:])
+	case "rdivide":
+		return sh.remoteDivide(fields[1:])
 	default:
 		return fmt.Errorf("unknown command %q (try help)", fields[0])
 	}
@@ -450,6 +486,152 @@ func (sh *shell) explainAnalyze(args []string) error {
 	sh.relations[as] = q
 	fmt.Fprintf(sh.out, "%s: %d rows (stored as %q)\n", q.Name(), q.NumRows(), as)
 	fmt.Fprint(sh.out, prof.Format())
+	return nil
+}
+
+// connect dials a query server; later push/rdivide/tables run against it.
+func (sh *shell) connect(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: connect <host:port>")
+	}
+	if sh.client != nil {
+		return fmt.Errorf("already connected to %s (disconnect first)", sh.remoteAddr)
+	}
+	c, err := server.Dial(args[0])
+	if err != nil {
+		return err
+	}
+	tables, err := c.Tables()
+	if err != nil {
+		c.Close()
+		return err
+	}
+	sh.client = c
+	sh.remoteAddr = args[0]
+	fmt.Fprintf(sh.out, "connected to %s (%d tables)\n", args[0], len(tables))
+	return nil
+}
+
+func (sh *shell) disconnect() error {
+	if sh.client == nil {
+		return fmt.Errorf("not connected")
+	}
+	sh.client.Close()
+	sh.client = nil
+	fmt.Fprintf(sh.out, "disconnected from %s\n", sh.remoteAddr)
+	sh.remoteAddr = ""
+	return nil
+}
+
+func (sh *shell) remote() (*server.Client, error) {
+	if sh.client == nil {
+		return nil, fmt.Errorf("not connected (connect <host:port> first)")
+	}
+	return sh.client, nil
+}
+
+func (sh *shell) remoteTables() error {
+	c, err := sh.remote()
+	if err != nil {
+		return err
+	}
+	tables, err := c.Tables()
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Fprintln(sh.out, t)
+	}
+	return nil
+}
+
+// push uploads a loaded relation to the server. The wire protocol carries
+// int64 columns only; string relations stay local.
+func (sh *shell) push(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: push <name> [as <table>]")
+	}
+	c, err := sh.remote()
+	if err != nil {
+		return err
+	}
+	rel, err := sh.rel(args[0])
+	if err != nil {
+		return err
+	}
+	table := args[0]
+	if len(args) >= 3 && args[1] == "as" {
+		table = args[2]
+	}
+	rows := make([][]int64, rel.NumRows())
+	for i, row := range rel.Rows() {
+		out := make([]int64, len(row))
+		for j, v := range row {
+			n, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("%s.%s is not an int column; the server stores int tables only",
+					args[0], rel.Columns()[j])
+			}
+			out[j] = n
+		}
+		rows[i] = out
+	}
+	if err := c.CreateTable(table, rel.Columns()...); err != nil {
+		return err
+	}
+	if err := c.Insert(table, rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "pushed %s: %d rows as %q\n", args[0], len(rows), table)
+	return nil
+}
+
+// remoteDivide handles: rdivide <dividend> by <divisor> [on c1,c2]
+// [budget kb] [as name] — the tables are server-side names, the quotient
+// comes back as a local relation.
+func (sh *shell) remoteDivide(args []string) error {
+	d, err := parseDivide(args)
+	if err != nil {
+		return fmt.Errorf("usage: rdivide <dividend> by <divisor> [on cols] [budget kb] [as name]")
+	}
+	if d.alg != "" || d.workers != 0 {
+		return fmt.Errorf("rdivide: the server picks the algorithm; using/workers are local-only")
+	}
+	c, err := sh.remote()
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(server.Request{Op: "divide", Dividend: d.dividend, Divisor: d.divisor,
+		On: d.on, MemoryBudget: d.budgetKB * 1024})
+	if err != nil {
+		return err
+	}
+	if err := resp.Err(); err != nil {
+		return err
+	}
+	cols := make([]reldiv.Column, len(resp.Columns))
+	for i, name := range resp.Columns {
+		cols[i] = reldiv.Int64Col(name)
+	}
+	q := reldiv.NewRelation("quotient", cols...)
+	for _, row := range resp.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = v
+		}
+		q.MustInsert(vals...)
+	}
+	as := d.as
+	if as == "" {
+		as = "result"
+	}
+	sh.relations[as] = q
+	cache := "miss"
+	if resp.CacheHit {
+		cache = "hit"
+	}
+	fmt.Fprintf(sh.out, "quotient: %d rows (stored as %q; plan cache %s, queued %dµs)\n",
+		q.NumRows(), as, cache, resp.QueuedMicros)
 	return nil
 }
 

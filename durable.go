@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -305,14 +306,79 @@ func (t *DurableTable) stage(tup tuple.Tuple) (uint64, error) {
 
 // Relation materializes the table as an in-memory Relation, the bridge to
 // Divide and friends.
+//
+// The fence is per-table only: t.mu excludes inserts on THIS table for the
+// duration of the read, but group commit keeps acknowledging rows on other
+// tables the whole time. Two Relation() calls therefore do not observe one
+// point in the store's history — a writer that inserts into A and then into
+// B can land its B row between the two materializations, handing a division
+// a B that is newer than its A. Callers reading several tables for one query
+// must use DurableStore.Snapshot.
 func (t *DurableTable) Relation() (*Relation, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.relationLocked()
+}
+
+// relationLocked materializes the table; caller holds t.mu.
+func (t *DurableTable) relationLocked() (*Relation, error) {
 	tuples, err := t.file.ReadAll()
 	if err != nil {
 		return nil, err
 	}
 	return &Relation{name: t.name, schema: t.schema, tuples: tuples}, nil
+}
+
+// Snapshot materializes the named tables at one consistent cut: every
+// table's insert lock is held simultaneously while all of them are read, so
+// the returned relations reflect a single point in the store's history — no
+// insert acknowledged after the cut appears in any of them, none before it
+// is missing from any. (Holding s.mu would not fence this: stage() takes
+// s.mu only momentarily for the closed check, then inserts under t.mu
+// alone.) Locks are taken in sorted name order so concurrent snapshots over
+// overlapping table sets cannot deadlock; duplicate names collapse to one
+// entry.
+func (s *DurableStore) Snapshot(names ...string) (map[string]*Relation, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrStoreClosed
+	}
+	seen := make(map[string]*DurableTable, len(names))
+	order := make([]string, 0, len(names))
+	for _, name := range names {
+		if _, dup := seen[name]; dup {
+			continue
+		}
+		t, ok := s.tables[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("reldiv: snapshot: no table %q", name)
+		}
+		seen[name] = t
+		order = append(order, name)
+	}
+	s.mu.Unlock()
+
+	sort.Strings(order)
+	for _, name := range order {
+		seen[name].mu.Lock()
+	}
+	defer func() {
+		for _, name := range order {
+			seen[name].mu.Unlock()
+		}
+	}()
+
+	out := make(map[string]*Relation, len(order))
+	for _, name := range order {
+		rel, err := seen[name].relationLocked()
+		if err != nil {
+			return nil, err
+		}
+		out[name] = rel
+	}
+	return out, nil
 }
 
 // applyRecord is the recovery callback: it rebuilds tables and rows from

@@ -1,0 +1,221 @@
+package buffer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNeverFits is wrapped by the *AdmissionError a Governor returns for a
+// request larger than its entire budget: no amount of waiting can admit such
+// a query, so callers should reject it immediately rather than queue it.
+// Test with errors.Is.
+var ErrNeverFits = errors.New("buffer: memory request exceeds the governor's total budget")
+
+// AdmissionError is the typed rejection for a memory request a Governor can
+// never satisfy. It wraps ErrNeverFits.
+type AdmissionError struct {
+	// Need is the requested grant size in bytes.
+	Need int64
+	// Total is the governor's whole budget.
+	Total int64
+}
+
+// Error implements error.
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("buffer: query needs %d bytes but the governor's total budget is %d: %v",
+		e.Need, e.Total, ErrNeverFits)
+}
+
+// Unwrap lets errors.Is(err, ErrNeverFits) see through.
+func (e *AdmissionError) Unwrap() error { return ErrNeverFits }
+
+// GovernorHooks observe admission events. All callbacks are optional and are
+// invoked outside the governor's lock; they must be safe for concurrent use.
+type GovernorHooks struct {
+	// Admitted fires when a grant is handed out (immediately or after
+	// queueing), with the grant size.
+	Admitted func(bytes int64)
+	// Queued fires when a request cannot be admitted immediately and joins
+	// the FIFO admission queue.
+	Queued func()
+	// Rejected fires for a never-fits typed rejection.
+	Rejected func()
+	// Released fires when a grant is returned.
+	Released func(bytes int64)
+}
+
+// Governor is a global memory budget split across in-flight queries: each
+// query acquires a grant covering its buffer-pool share, hash-table budget,
+// and sort space before it runs, and releases it after. Requests that do not
+// fit the remaining budget wait in a strict FIFO admission queue (strict:
+// the head blocks later, smaller requests, so large queries cannot starve);
+// requests larger than the whole budget fail fast with a typed
+// *AdmissionError wrapping ErrNeverFits. Waiting is context-cancellable.
+//
+// The invariant the governor enforces — and tests assert under -race — is
+// that the sum of outstanding grants never exceeds the total budget.
+type Governor struct {
+	total int64
+	hooks GovernorHooks
+
+	mu        sync.Mutex
+	inUse     int64
+	highWater int64
+	queue     []*govWaiter
+}
+
+// govWaiter is one queued admission request.
+type govWaiter struct {
+	bytes int64
+	ready chan struct{} // closed by the releaser that admits it
+}
+
+// NewGovernor creates a governor over total bytes. total must be positive.
+func NewGovernor(total int64) *Governor {
+	if total <= 0 {
+		panic("buffer: governor budget must be positive")
+	}
+	return &Governor{total: total}
+}
+
+// SetHooks installs event callbacks; call before concurrent use.
+func (g *Governor) SetHooks(h GovernorHooks) { g.hooks = h }
+
+// Total returns the whole budget.
+func (g *Governor) Total() int64 { return g.total }
+
+// InUse returns the bytes currently granted.
+func (g *Governor) InUse() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}
+
+// HighWater returns the largest value InUse has reached — the witness for
+// the never-oversubscribed invariant (HighWater() <= Total() always).
+func (g *Governor) HighWater() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.highWater
+}
+
+// Queued returns how many requests are waiting for admission.
+func (g *Governor) Queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}
+
+// Grant is an admitted memory reservation. Release it exactly once; a Grant
+// is not safe for concurrent Release calls.
+type Grant struct {
+	g     *Governor
+	bytes int64
+	done  bool
+}
+
+// Bytes returns the granted size.
+func (gr *Grant) Bytes() int64 { return gr.bytes }
+
+// Release returns the grant to the governor and admits queued requests that
+// now fit, in FIFO order. Releasing twice is a no-op.
+func (gr *Grant) Release() {
+	if gr == nil || gr.done {
+		return
+	}
+	gr.done = true
+	gr.g.release(gr.bytes)
+}
+
+// Acquire reserves bytes, waiting in FIFO order while the budget is
+// oversubscribed. It returns a typed *AdmissionError (wrapping ErrNeverFits)
+// when bytes exceeds the total budget, and ctx.Err() when the context ends
+// before admission. bytes must be positive.
+func (g *Governor) Acquire(ctx context.Context, bytes int64) (*Grant, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("buffer: governor grant must be positive, got %d", bytes)
+	}
+	if bytes > g.total {
+		if g.hooks.Rejected != nil {
+			g.hooks.Rejected()
+		}
+		return nil, &AdmissionError{Need: bytes, Total: g.total}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	g.mu.Lock()
+	// Admit immediately only when nothing is queued ahead — strict FIFO.
+	if len(g.queue) == 0 && g.inUse+bytes <= g.total {
+		g.admitLocked(bytes)
+		g.mu.Unlock()
+		if g.hooks.Admitted != nil {
+			g.hooks.Admitted(bytes)
+		}
+		return &Grant{g: g, bytes: bytes}, nil
+	}
+	w := &govWaiter{bytes: bytes, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+	if g.hooks.Queued != nil {
+		g.hooks.Queued()
+	}
+
+	select {
+	case <-w.ready:
+		// The releaser already charged the grant under its lock.
+		if g.hooks.Admitted != nil {
+			g.hooks.Admitted(bytes)
+		}
+		return &Grant{g: g, bytes: bytes}, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		for i, q := range g.queue {
+			if q == w {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				g.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		// Not in the queue: a releaser admitted us concurrently with the
+		// cancellation. The grant is charged, so hand it back.
+		g.mu.Unlock()
+		<-w.ready
+		g.release(bytes)
+		return nil, ctx.Err()
+	}
+}
+
+// admitLocked charges an admission; caller holds g.mu.
+func (g *Governor) admitLocked(bytes int64) {
+	g.inUse += bytes
+	if g.inUse > g.highWater {
+		g.highWater = g.inUse
+	}
+}
+
+// release returns bytes and admits the queue head(s) that now fit.
+func (g *Governor) release(bytes int64) {
+	g.mu.Lock()
+	g.inUse -= bytes
+	var admitted []*govWaiter
+	for len(g.queue) > 0 {
+		head := g.queue[0]
+		if g.inUse+head.bytes > g.total {
+			break
+		}
+		g.admitLocked(head.bytes)
+		g.queue = g.queue[1:]
+		admitted = append(admitted, head)
+	}
+	g.mu.Unlock()
+	if g.hooks.Released != nil {
+		g.hooks.Released(bytes)
+	}
+	for _, w := range admitted {
+		close(w.ready)
+	}
+}

@@ -1,0 +1,181 @@
+package buffer
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGovernorImmediateAdmission(t *testing.T) {
+	g := NewGovernor(1000)
+	gr, err := g.Acquire(context.Background(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InUse() != 400 {
+		t.Fatalf("InUse = %d, want 400", g.InUse())
+	}
+	gr.Release()
+	if g.InUse() != 0 {
+		t.Fatalf("InUse after release = %d, want 0", g.InUse())
+	}
+	gr.Release() // double release is a no-op
+	if g.InUse() != 0 {
+		t.Fatalf("InUse after double release = %d, want 0", g.InUse())
+	}
+}
+
+func TestGovernorNeverFitsTypedRejection(t *testing.T) {
+	g := NewGovernor(100)
+	_, err := g.Acquire(context.Background(), 101)
+	if err == nil {
+		t.Fatal("want typed rejection, got nil")
+	}
+	if !errors.Is(err, ErrNeverFits) {
+		t.Fatalf("errors.Is(err, ErrNeverFits) = false: %v", err)
+	}
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Need != 101 || ae.Total != 100 {
+		t.Fatalf("AdmissionError fields: %+v", err)
+	}
+	if g.InUse() != 0 || g.Queued() != 0 {
+		t.Fatalf("rejection must not charge or queue: inUse=%d queued=%d", g.InUse(), g.Queued())
+	}
+}
+
+func TestGovernorQueueFIFO(t *testing.T) {
+	g := NewGovernor(100)
+	first, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	acquire := func(id int, bytes int64) {
+		defer wg.Done()
+		<-start
+		// Stagger so the queue order is deterministic.
+		time.Sleep(time.Duration(id) * 20 * time.Millisecond)
+		gr, err := g.Acquire(context.Background(), bytes)
+		if err != nil {
+			t.Errorf("acquire %d: %v", id, err)
+			return
+		}
+		order <- id
+		gr.Release()
+	}
+	wg.Add(2)
+	go acquire(1, 90) // queued first, large
+	go acquire(2, 20) // queued second, smaller — must NOT jump the queue
+	close(start)
+
+	for g.Queued() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	first.Release()
+	wg.Wait()
+	close(order)
+	var got []int
+	for id := range order {
+		got = append(got, id)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("admission order %v, want [1 2] (strict FIFO)", got)
+	}
+}
+
+func TestGovernorAcquireCancellable(t *testing.T) {
+	g := NewGovernor(100)
+	gr, err := g.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx, 50); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire under dead context: %v", err)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("cancelled waiter left in queue: %d", g.Queued())
+	}
+	gr.Release()
+	if g.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", g.InUse())
+	}
+}
+
+// TestGovernorNeverOversubscribed is the budget invariant under churn: many
+// goroutines acquiring random grants, the high-water mark never exceeds the
+// total. Run with -race.
+func TestGovernorNeverOversubscribed(t *testing.T) {
+	const total = 1 << 20
+	g := NewGovernor(total)
+	var admitted atomic.Int64
+	g.SetHooks(GovernorHooks{Admitted: func(int64) { admitted.Add(1) }})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				bytes := int64(rng.Intn(total/2) + 1)
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				gr, err := g.Acquire(ctx, bytes)
+				cancel()
+				if err != nil {
+					continue
+				}
+				if g.HighWater() > total {
+					t.Errorf("high water %d exceeds total %d", g.HighWater(), total)
+				}
+				gr.Release()
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if g.InUse() != 0 {
+		t.Fatalf("InUse after storm = %d, want 0", g.InUse())
+	}
+	if hw := g.HighWater(); hw > total {
+		t.Fatalf("high water %d exceeds total %d", hw, total)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no admissions recorded by hooks")
+	}
+}
+
+// TestGovernorCancelAdmitRace exercises the narrow window where a waiter is
+// admitted concurrently with its context cancellation: the grant must be
+// returned, never leaked.
+func TestGovernorCancelAdmitRace(t *testing.T) {
+	g := NewGovernor(100)
+	for i := 0; i < 200; i++ {
+		gr, err := g.Acquire(context.Background(), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if gr2, err := g.Acquire(ctx, 100); err == nil {
+				gr2.Release()
+			}
+		}()
+		// Race the release against the cancellation.
+		go cancel()
+		gr.Release()
+		<-done
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("InUse after race storm = %d, want 0 (leaked grant)", g.InUse())
+	}
+}

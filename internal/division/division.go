@@ -93,8 +93,16 @@ func (sp Spec) QuotientSchema() *tuple.Schema {
 type Env struct {
 	Pool      *buffer.Pool
 	TempDev   disk.Dev
-	SortBytes int     // external sort budget; 0 = paper default (100 KB)
-	HBS       float64 // target average hash bucket size; 0 = 2 (§4.6)
+	SortBytes int // external sort budget; 0 = paper default (100 KB)
+	// MemoryBudget is the query's governed memory grant in bytes (an
+	// admission controller's, or Options.MemoryBudget's). When set it caps
+	// any default that would otherwise exceed the grant — notably the
+	// external-sort space, which used to fall back to the fixed
+	// buffer.PaperSortBytes regardless of the budget, letting sort-based
+	// division exceed its admission grant under pressure. Zero leaves the
+	// paper defaults untouched.
+	MemoryBudget int
+	HBS          float64 // target average hash bucket size; 0 = 2 (§4.6)
 	// ExpectedDivisor/ExpectedQuotient size the hash tables; 0 picks
 	// defaults and lets the tables grow.
 	ExpectedDivisor  int
@@ -126,9 +134,16 @@ type Env struct {
 	AssumeUniqueInputs bool
 }
 
+// sortBytes resolves the external-sort space: an explicit SortBytes wins,
+// then the governed MemoryBudget caps the paper default. Sorts run one at a
+// time within a query plan, so granting the whole budget (rather than a
+// share) to the active sort keeps the footprint within the grant.
 func (e Env) sortBytes() int {
 	if e.SortBytes > 0 {
 		return e.SortBytes
+	}
+	if e.MemoryBudget > 0 && e.MemoryBudget < buffer.PaperSortBytes {
+		return e.MemoryBudget
 	}
 	return buffer.PaperSortBytes
 }

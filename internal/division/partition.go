@@ -396,6 +396,9 @@ func DivideAdaptiveStats(sp Spec, env Env, budget int, maxGrid int) ([]tuple.Tup
 	if maxGrid < 1 {
 		maxGrid = 64
 	}
+	if env.MemoryBudget == 0 {
+		env.MemoryBudget = budget // the grant governs sorts too, not just tables
+	}
 	op := NewRecursiveHashDivision(sp, env, DivisorPartitioning,
 		HashDivisionOptions{MemoryBudget: budget}, RecursiveOptions{MaxFanOut: maxGrid})
 	qts, err := exec.Collect(op)
@@ -440,6 +443,9 @@ func DivideAdaptive(sp Spec, env Env, budget int, maxGrid int) ([]tuple.Tuple, i
 func DivideWithBudget(sp Spec, env Env, budget int, maxPartitions int) ([]tuple.Tuple, int, error) {
 	if maxPartitions < 1 {
 		maxPartitions = 64
+	}
+	if env.MemoryBudget == 0 {
+		env.MemoryBudget = budget // the grant governs sorts too, not just tables
 	}
 	for k := 1; k <= maxPartitions; k *= 2 {
 		var op exec.Operator

@@ -53,6 +53,22 @@ type RecursiveOptions struct {
 	// defaultMaxFanOut. The actual fan-out of each step is derived from the
 	// overflowing cell's estimated table footprint versus the budget.
 	MaxFanOut int
+	// SeedCandidates seeds the root partitioning decision with the candidate
+	// count a previous execution of the same plan observed (a plan cache's
+	// historical statistics). When the seed projects a table footprint over
+	// the memory budget, the doomed root in-memory attempt is skipped and the
+	// dividend is partitioned immediately with a fan-out derived from the
+	// seed — so repeat queries don't re-pay a wasted first attempt whose only
+	// outcome is re-learning the density the cache already knows. The
+	// fan-out heuristic otherwise derives only from the abandoned attempt's
+	// partial observation, which the root (unknown cell size) can't even
+	// scale. Zero disables seeding; a stale seed costs at most one extra
+	// recursion level, never correctness.
+	SeedCandidates int64
+	// SeedDividend is the dividend cardinality the same previous execution
+	// saw; it refines per-cell projections after the seeded root split.
+	// Zero leaves child projections to the observed-density heuristic.
+	SeedDividend int64
 }
 
 // RecursiveStats describe one recursive division run.
@@ -60,6 +76,9 @@ type RecursiveStats struct {
 	Attempts          int   // in-memory division attempts, including abandoned ones
 	Overflowed        int   // attempts abandoned because the tables exceeded the budget
 	WastedTuples      int64 // dividend tuples absorbed by abandoned attempts
+	SkippedAttempts   int   // doomed attempts skipped thanks to seeded statistics
+	Candidates        int64 // quotient candidates across completed cells (feed back as RecursiveOptions.SeedCandidates)
+	DividendTuples    int64 // dividend tuples across completed cells (feed back as RecursiveOptions.SeedDividend)
 	Repartitions      int   // cells that had to be re-partitioned
 	MaxDepth          int   // deepest recursion level reached (0 = nothing re-partitioned)
 	Cells             int   // leaf cells divided in memory
@@ -112,6 +131,11 @@ type RecursiveHashDivision struct {
 // everything: 0 (or negative) disables partitioning entirely and the
 // operator degenerates to plain hash-division.
 func NewRecursiveHashDivision(sp Spec, env Env, strategy PartitionStrategy, hdOpts HashDivisionOptions, ropts RecursiveOptions) *RecursiveHashDivision {
+	if env.MemoryBudget == 0 {
+		// The table budget is the query's grant: any sort the plan runs must
+		// stay within it too (see Env.MemoryBudget).
+		env.MemoryBudget = hdOpts.MemoryBudget
+	}
 	return &RecursiveHashDivision{
 		sp: sp, env: env, strategy: strategy, hdOpts: hdOpts, ropts: ropts,
 		qs: sp.QuotientSchema(), qCols: sp.QuotientCols(),
@@ -378,6 +402,21 @@ func (r *RecursiveHashDivision) quotientFanOut(c rcell, divisorCount int, st Has
 	return f
 }
 
+// seedProjection estimates the root cell's table footprint from the
+// historical seed; a second value of false means no usable seed. Unlike the
+// density heuristic (which only sizes a fan-out after an attempt has already
+// been paid for), this projection decides whether to attempt at all, so it
+// counts the bucket arrays too — 8 bytes per element is their upper bound
+// under growth doubling — erring toward "won't fit".
+func (r *RecursiveHashDivision) seedProjection(divisorCount int) (int64, bool) {
+	if r.ropts.SeedCandidates <= 0 || r.budget() <= 0 {
+		return 0, false
+	}
+	perCand := int64(r.qs.Width() + hashElemOverhead + 8 + (divisorCount+63)/64*8)
+	divBytes := int64(divisorCount) * int64(r.sp.Divisor.Schema().Width()+hashElemOverhead+8)
+	return r.ropts.SeedCandidates*perCand + divBytes, true
+}
+
 // divideQuotientCell divides one dividend cell by the (entire, in-memory)
 // divisor, re-partitioning on the quotient attributes whenever the tables
 // overflow the budget. Completed quotient tuples go to emit; the return
@@ -385,6 +424,31 @@ func (r *RecursiveHashDivision) quotientFanOut(c rcell, divisorCount int, st Has
 func (r *RecursiveHashDivision) divideQuotientCell(c rcell, divisor []tuple.Tuple, depth int, parent *obs.Span, emit func(tuple.Tuple) error) (leaves int, err error) {
 	ds := r.sp.Dividend.Schema()
 	ss := r.sp.Divisor.Schema()
+
+	// The root cell with a historical seed predicting overflow skips the
+	// in-memory attempt: it would only re-learn the candidate density the
+	// seed already records, at the cost of a full scan plus a budget's worth
+	// of abandoned table build.
+	if c.op != nil {
+		if est, ok := r.seedProjection(len(divisor)); ok && est > int64(r.budget()) {
+			// Target half the budget per child, not the whole of it: a split
+			// whose cells land at the budget's edge would overflow on any
+			// model error or skew and re-pay exactly the attempt the seed
+			// exists to avoid.
+			fanOut := int(2*est/int64(r.budget())) + 1
+			if fanOut < 2 {
+				fanOut = 2
+			}
+			if maxF := r.maxFanOut(); fanOut > maxF {
+				fanOut = maxF
+			}
+			r.stats.SkippedAttempts++
+			obs.Default.Counter("division.attempts.seed_skipped").Inc()
+			r.env.progressf("recursive: seed (%d candidates) projects %d bytes over budget %d; skipping root attempt, partitioning into %d",
+				r.ropts.SeedCandidates, est, r.budget(), fanOut)
+			return r.repartitionQuotientCell(c, divisor, depth, parent, fanOut, emit)
+		}
+	}
 
 	// Attempt the cell in memory first. The attempt aborts as soon as the
 	// tables cross the budget, so an abandoned attempt burns at most one
@@ -420,7 +484,10 @@ func (r *RecursiveHashDivision) divideQuotientCell(c rcell, divisor []tuple.Tupl
 	r.stats.Attempts++
 	qts, err := exec.Collect(obs.Instrument(hd, span, r.env.Counters))
 	if err == nil {
+		st := hd.Stats()
 		r.stats.Cells++
+		r.stats.Candidates += st.Candidates
+		r.stats.DividendTuples += st.DividendTuples
 		if c.op == nil && c.file == nil {
 			r.stats.MemResidentCells++
 		}
@@ -441,12 +508,20 @@ func (r *RecursiveHashDivision) divideQuotientCell(c rcell, divisor []tuple.Tupl
 	obs.Default.Counter("division.attempts.overflowed").Inc()
 	obs.Default.Counter("division.attempts.wasted_tuples").Add(st.DividendTuples)
 
-	// Re-partition THIS cell only, with a fresh salt for this depth.
+	fanOut := r.quotientFanOut(c, len(divisor), st)
+	r.env.progressf("recursive: cell of %d tuples overflowed budget %d at depth %d (%d candidates after %d tuples); re-partitioning into %d",
+		c.n, r.budget(), depth, st.Candidates, st.DividendTuples, fanOut)
+	return r.repartitionQuotientCell(c, divisor, depth, parent, fanOut, emit)
+}
+
+// repartitionQuotientCell re-partitions THIS cell only, with a fresh salt for
+// this depth, and divides the children recursively.
+func (r *RecursiveHashDivision) repartitionQuotientCell(c rcell, divisor []tuple.Tuple, depth int, parent *obs.Span, fanOut int, emit func(tuple.Tuple) error) (leaves int, err error) {
+	ds := r.sp.Dividend.Schema()
 	if depth >= r.maxDepth() {
 		return 0, fmt.Errorf("division: cell of %d tuples still exceeds budget %d at depth %d (quotient skew): %w",
 			c.n, r.budget(), depth, ErrPartitionDepth)
 	}
-	fanOut := r.quotientFanOut(c, len(divisor), st)
 	salt := depthSalt(depth)
 	qCols := r.qCols
 	route := func(t tuple.Tuple) int {
@@ -456,8 +531,6 @@ func (r *RecursiveHashDivision) divideQuotientCell(c rcell, divisor []tuple.Tupl
 	if parent != nil {
 		pspan = parent.Child(fmt.Sprintf("repartition depth=%d fan=%d", depth+1, fanOut), "recursive-partition")
 	}
-	r.env.progressf("recursive: cell of %d tuples overflowed budget %d at depth %d (%d candidates after %d tuples); re-partitioning into %d",
-		c.n, r.budget(), depth, st.Candidates, st.DividendTuples, fanOut)
 	children, err := r.partitionCell(c.operator(ds), ds, route, fanOut)
 	if err != nil {
 		return 0, err
@@ -611,12 +684,17 @@ func (r *RecursiveHashDivision) run() error {
 			span = parent.Child("hash-division", "hash-division")
 			env.ProfileSpan = span
 		}
-		qts, err := exec.Collect(obs.Instrument(NewHashDivision(r.sp, env, r.hdOpts), span, r.env.Counters))
+		hd := NewHashDivision(r.sp, env, r.hdOpts)
+		qts, err := exec.Collect(obs.Instrument(hd, span, r.env.Counters))
 		if err != nil {
 			return err
 		}
 		r.results = qts
-		r.stats = RecursiveStats{Attempts: 1, Cells: 1, MemResidentCells: 1, DivisorLeaves: 1, MaxQuotientCells: 1}
+		st := hd.Stats()
+		r.stats = RecursiveStats{
+			Attempts: 1, Cells: 1, MemResidentCells: 1, DivisorLeaves: 1, MaxQuotientCells: 1,
+			Candidates: st.Candidates, DividendTuples: st.DividendTuples,
+		}
 		return nil
 	}
 

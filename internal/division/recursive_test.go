@@ -226,3 +226,61 @@ func TestAdaptiveShimMatchesStats(t *testing.T) {
 		t.Fatal("shim and stats quotients differ")
 	}
 }
+
+// TestRecursiveSeededRerunSkipsDoomedAttempt pins the plan-cache feedback
+// loop: an unseeded run over an input whose tables exceed the budget must
+// abandon its first in-memory attempt (paying a full scan for nothing), but a
+// rerun seeded with that run's observed statistics must skip the doomed
+// attempt entirely — no overflow, no wasted tuples, identical quotient.
+func TestRecursiveSeededRerunSkipsDoomedAttempt(t *testing.T) {
+	dividend, divisor := skewedWorkload(400, 25, 10, 3, 7)
+	budget := len(dividend) * transcriptSchema.Width() / 8
+	sp := func() Spec { return makeSpec(dividend, divisor) }
+	ref, err := Reference(sp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := sp().QuotientSchema()
+
+	cold, st1, err := DivideRecursive(sp(), testEnv(), QuotientPartitioning,
+		HashDivisionOptions{MemoryBudget: budget}, RecursiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualTupleSets(qs, cold, ref) {
+		t.Fatalf("cold run quotient mismatch (stats %+v)", st1)
+	}
+	if st1.Overflowed == 0 || st1.WastedTuples == 0 {
+		t.Fatalf("workload not sized to overflow the root attempt: %+v", st1)
+	}
+	if st1.Candidates == 0 || st1.DividendTuples == 0 {
+		t.Fatalf("cold run recorded no feedback statistics: %+v", st1)
+	}
+
+	warm, st2, err := DivideRecursive(sp(), testEnv(), QuotientPartitioning,
+		HashDivisionOptions{MemoryBudget: budget},
+		RecursiveOptions{SeedCandidates: st1.Candidates, SeedDividend: st1.DividendTuples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualTupleSets(qs, warm, ref) {
+		t.Fatalf("seeded run quotient mismatch (stats %+v)", st2)
+	}
+	if st2.SkippedAttempts == 0 {
+		t.Fatalf("seeded run did not skip the doomed root attempt: %+v", st2)
+	}
+	if st2.Overflowed != 0 || st2.WastedTuples != 0 {
+		t.Fatalf("seeded run still wasted an attempt: %+v", st2)
+	}
+
+	// A seed that predicts a comfortable fit must leave the run untouched.
+	fit, st3, err := DivideRecursive(sp(), testEnv(), QuotientPartitioning,
+		HashDivisionOptions{MemoryBudget: 64 << 20},
+		RecursiveOptions{SeedCandidates: st1.Candidates, SeedDividend: st1.DividendTuples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualTupleSets(qs, fit, ref) || st3.SkippedAttempts != 0 || st3.Overflowed != 0 {
+		t.Fatalf("fitting seed changed behavior: %+v", st3)
+	}
+}

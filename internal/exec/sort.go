@@ -63,6 +63,11 @@ type Sort struct {
 	opened bool
 	runSeq int
 
+	// peakBytes is the high-water mark of tuple bytes buffered for run
+	// formation — the witness that the sort stayed within its governed
+	// memory grant (see PeakMemoryBytes).
+	peakBytes int
+
 	// cmp is the comparator compiled for the sort keys at construction,
 	// the paper's "functions ... compiled prior to execution and passed to
 	// the processing algorithms by means of pointers" (§5.1).
@@ -152,6 +157,7 @@ func (s *Sort) fanIn() int {
 // spilling sorted runs otherwise (via quicksort batches or replacement
 // selection). It reports whether anything spilled.
 func (s *Sort) formRuns(maxTuples int) (spilled bool, err error) {
+	width := s.schema.Width()
 	var cur []tuple.Tuple
 	for {
 		t, err := s.input.Next()
@@ -162,6 +168,9 @@ func (s *Sort) formRuns(maxTuples int) (spilled bool, err error) {
 			return spilled, err
 		}
 		cur = append(cur, t.Clone())
+		if b := len(cur) * width; b > s.peakBytes {
+			s.peakBytes = b
+		}
 		if len(cur) >= maxTuples {
 			if s.cfg.ReplacementSelection {
 				// Hand the full buffer to the replacement-selection heap,
@@ -590,3 +599,11 @@ func (s *Sort) Close() error {
 // SpilledRuns reports how many run files the sort created (0 for in-memory
 // sorts), for tests and diagnostics.
 func (s *Sort) SpilledRuns() int { return s.runSeq }
+
+// PeakMemoryBytes reports the high-water mark of tuple bytes the sort
+// buffered in memory for run formation. An input larger than MemoryBytes
+// spills instead of growing the buffer, so the peak never exceeds the
+// configured budget by more than one tuple — the regression witness that a
+// governed sort stays within its admission grant instead of silently
+// reverting to the fixed paper sort space.
+func (s *Sort) PeakMemoryBytes() int { return s.peakBytes }

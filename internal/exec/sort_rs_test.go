@@ -173,3 +173,30 @@ func BenchmarkRunFormation(b *testing.B) {
 		})
 	}
 }
+
+// TestSortPeakWithinBudget is the regression test for the governed-budget
+// bypass: a sort whose input dwarfs its MemoryBytes grant must spill runs
+// instead of buffering past the grant, and the buffered high-water mark must
+// stay within one tuple of the budget — never silently revert to the fixed
+// 100 KB paper sort space.
+func TestSortPeakWithinBudget(t *testing.T) {
+	const budget = 4096
+	in := randomPairs(5000, 7) // 5000 × 16 bytes = 80000 bytes of input
+	for _, rs := range []bool{false, true} {
+		s := rsSort(in, rs, budget)
+		got := rows(t, s)
+		if len(got) != len(in) {
+			t.Fatalf("rs=%v: lost tuples: %d of %d", rs, len(got), len(in))
+		}
+		if s.SpilledRuns() == 0 {
+			t.Errorf("rs=%v: input over budget did not spill", rs)
+		}
+		width := pairSchema.Width()
+		if peak := s.PeakMemoryBytes(); peak > budget+width {
+			t.Errorf("rs=%v: peak buffered bytes %d exceeds budget %d", rs, peak, budget)
+		}
+		if peak := s.PeakMemoryBytes(); peak == 0 {
+			t.Errorf("rs=%v: peak tracking recorded nothing", rs)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import "repro/internal/buffer"
+
+// InstrumentGovernor binds a memory governor's admission events to registry
+// counters:
+//
+//	governor.admitted      — grants handed out (immediately or after queueing)
+//	governor.admitted_bytes— bytes granted, summed
+//	governor.queued        — requests that had to wait in the admission queue
+//	governor.rejected      — typed never-fits rejections
+//	governor.released      — grants returned
+//
+// Like InstrumentPool, instrument long-lived governors (a server's), not
+// per-query throwaways: the registry aggregates for the life of the process.
+func InstrumentGovernor(r *Registry, g *buffer.Governor) {
+	admitted := r.Counter("governor.admitted")
+	admittedBytes := r.Counter("governor.admitted_bytes")
+	queued := r.Counter("governor.queued")
+	rejected := r.Counter("governor.rejected")
+	released := r.Counter("governor.released")
+	g.SetHooks(buffer.GovernorHooks{
+		Admitted: func(bytes int64) {
+			admitted.Inc()
+			admittedBytes.Add(bytes)
+		},
+		Queued:   queued.Inc,
+		Rejected: rejected.Inc,
+		Released: func(int64) { released.Inc() },
+	})
+}

@@ -214,12 +214,61 @@ func matchForAll(c *CountEqCard) (*Division, bool) {
 	return &Division{Dividend: j.Left, Divisor: j.Right, DivisorCols: j.LeftCols}, true
 }
 
+// Shape returns a normalized key for the plan: node kinds, base-relation
+// names and schemas, and column bindings — everything that determines how
+// the plan compiles, and nothing that depends on relation contents. Two
+// queries with equal shapes compile to structurally identical plans, so a
+// prepared-plan cache keyed on Shape can reuse one Compile across repeat
+// traffic. The key is stable across processes (no pointers, no ordering
+// dependent on map iteration).
+func Shape(n Node) string {
+	var b strings.Builder
+	writeShape(&b, n)
+	return b.String()
+}
+
+func writeShape(b *strings.Builder, n Node) {
+	switch t := n.(type) {
+	case *Rel:
+		fmt.Fprintf(b, "rel(%s%s)", t.Name, t.schema)
+	case *SemiJoin:
+		fmt.Fprintf(b, "semijoin[%v=%v](", t.LeftCols, t.RightCols)
+		writeShape(b, t.Left)
+		b.WriteByte(',')
+		writeShape(b, t.Right)
+		b.WriteByte(')')
+	case *GroupCount:
+		fmt.Fprintf(b, "groupcount[%v](", t.GroupCols)
+		writeShape(b, t.Input)
+		b.WriteByte(')')
+	case *CountEqCard:
+		b.WriteString("counteqcard(")
+		writeShape(b, t.Input)
+		b.WriteByte(',')
+		writeShape(b, t.Of)
+		b.WriteByte(')')
+	case *Division:
+		fmt.Fprintf(b, "division[%v](", t.DivisorCols)
+		writeShape(b, t.Dividend)
+		b.WriteByte(',')
+		writeShape(b, t.Divisor)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "%T", n)
+	}
+}
+
 // Compile lowers a logical plan to a physical operator tree. Division nodes
 // become hash-division; the un-rewritten aggregate pattern becomes the
 // hash-aggregation-with-semi-join plan of §2.2.2 — exactly the two plans the
 // paper's §5.2 remark compares. When env carries a Trace, every compiled node
 // records into its own span, nested to mirror the plan tree.
+//
+// Every call bumps the obs.Default counter "rewrite.compiles": a prepared-
+// plan cache that claims to skip compilation can be held to it (the server's
+// -check gate asserts the counter stays flat across cache hits).
 func Compile(n Node, env division.Env) (exec.Operator, error) {
+	obs.Default.Counter("rewrite.compiles").Inc()
 	return compile(n, env, env.ProfileParent())
 }
 

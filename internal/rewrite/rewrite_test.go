@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/division"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -247,4 +248,51 @@ func BenchmarkRewrittenVsOriginal(b *testing.B) {
 			}
 		}
 	})
+}
+
+func TestShapeStableAndContentIndependent(t *testing.T) {
+	// Same tables, same columns, different contents: one shape.
+	planA, _, _ := forAllQuery(noisyInstance(t, 1))
+	planB, _, _ := forAllQuery(noisyInstance(t, 2))
+	if Shape(planA) != Shape(planB) {
+		t.Errorf("shape depends on relation contents:\nA: %s\nB: %s", Shape(planA), Shape(planB))
+	}
+	// The rewritten plan has a different shape than the aggregation encoding.
+	rewritten, changed := Rewrite(planB)
+	if !changed {
+		t.Fatal("pattern not detected")
+	}
+	if Shape(planA) == Shape(rewritten) {
+		t.Error("rewritten plan shares the aggregation encoding's shape")
+	}
+	// Shape must be deterministic.
+	if Shape(rewritten) != Shape(rewritten) {
+		t.Error("shape not deterministic")
+	}
+	// A different relation name is a different shape.
+	inst := noisyInstance(t, 1)
+	other := NewRel("transcript2", workload.TranscriptSchema, func() exec.Operator {
+		return exec.NewMemScan(workload.TranscriptSchema, inst.Dividend)
+	})
+	planC, _, _ := forAllQuery(inst)
+	planC.(*CountEqCard).Input.(*GroupCount).Input.(*SemiJoin).Left = other
+	if Shape(planA) == Shape(planC) {
+		t.Error("shape ignores base relation names")
+	}
+}
+
+func TestCompileBumpsObsCounter(t *testing.T) {
+	inst := noisyInstance(t, 3)
+	plan, _, _ := forAllQuery(inst)
+	before := obs.Default.Get("rewrite.compiles")
+	op, err := Compile(plan, division.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(op); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Default.Get("rewrite.compiles"); got != before+1 {
+		t.Errorf("rewrite.compiles advanced by %d, want 1", got-before)
+	}
 }

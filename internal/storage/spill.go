@@ -39,4 +39,3 @@ func NewSpillFile(pool *buffer.Pool, dev disk.Dev, schema *tuple.Schema, name st
 func (f *File) BytesOnDevice() int64 {
 	return int64(len(f.pages)) * int64(f.dev.PageSize())
 }
-

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// prepared is one cached plan: which table generations it was prepared
+// against, and the statistics its executions observed — fed back into the
+// next execution as partitioning seeds, so a repeat query whose tables
+// overflow the memory grant skips the doomed first in-memory attempt.
+type prepared struct {
+	gens           map[string]uint64
+	seedCandidates int64
+	seedDividend   int64
+}
+
+// planCache maps normalized query shapes (rewrite.Shape of the rewritten
+// plan) to prepared plans. A hit skips rewrite.Compile entirely — the
+// "rewrite.compiles" obs counter stays flat across hits, which the serve
+// -check gate asserts. Entries die when any table they reference is dropped
+// (invalidateTable) or re-created under the same name (generation mismatch
+// at lookup).
+type planCache struct {
+	mu           sync.Mutex
+	plans        map[string]*prepared
+	hits, misses int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{plans: make(map[string]*prepared)}
+}
+
+// lookup returns the cached seeds for key when the entry exists and was
+// prepared against the same table generations. A generation mismatch deletes
+// the stale entry and misses.
+func (c *planCache) lookup(key string, gens map[string]uint64) (seedCandidates, seedDividend int64, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.plans[key]
+	if ok {
+		for name, gen := range gens {
+			if p.gens[name] != gen {
+				delete(c.plans, key)
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		c.misses++
+		obs.Default.Counter("server.cache_misses").Inc()
+		return 0, 0, false
+	}
+	c.hits++
+	obs.Default.Counter("server.cache_hits").Inc()
+	return p.seedCandidates, p.seedDividend, true
+}
+
+// store records a freshly prepared plan.
+func (c *planCache) store(key string, gens map[string]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans[key] = &prepared{gens: gens}
+}
+
+// updateSeeds feeds one execution's observed statistics back into the entry
+// (if it still exists — a concurrent drop may have removed it).
+func (c *planCache) updateSeeds(key string, candidates, dividend int64) {
+	if candidates <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.plans[key]; ok {
+		p.seedCandidates = candidates
+		p.seedDividend = dividend
+	}
+}
+
+// invalidateTable drops every plan prepared against the named table.
+func (c *planCache) invalidateTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, p := range c.plans {
+		if _, uses := p.gens[name]; uses {
+			delete(c.plans, key)
+		}
+	}
+}
+
+func (c *planCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,213 @@
+// Package server promotes the library into a long-lived concurrent query
+// service: sessions over a network (or in-process) connection issue division
+// queries against shared tables, a global memory governor admission-controls
+// them against one budget, and a prepared-plan cache lets repeat query shapes
+// skip logical-plan compilation. See DESIGN.md §13.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrameBytes bounds one wire frame; a peer announcing more is broken or
+// hostile and the connection is dropped rather than the allocation attempted.
+const maxFrameBytes = 16 << 20
+
+// Request is one client frame. Op selects the operation; the other fields
+// apply per op as noted.
+type Request struct {
+	// Op is one of "ping", "tables", "create", "drop", "insert", "divide".
+	Op string `json:"op"`
+
+	// Table names the target of create/drop/insert.
+	Table string `json:"table,omitempty"`
+	// Cols declares the int64 columns of create.
+	Cols []string `json:"cols,omitempty"`
+	// Rows carries the rows of insert (one slice per row, schema order).
+	Rows [][]int64 `json:"rows,omitempty"`
+
+	// Dividend and Divisor name the inputs of divide.
+	Dividend string `json:"dividend,omitempty"`
+	Divisor  string `json:"divisor,omitempty"`
+	// On names the dividend columns matched against the divisor; empty
+	// matches the divisor's column names (as in reldiv.Divide).
+	On []string `json:"on,omitempty"`
+	// MemoryBudget asks for a specific admission grant in bytes; 0 takes the
+	// server's default per-query share.
+	MemoryBudget int `json:"memory_budget,omitempty"`
+}
+
+// Error codes a Response may carry.
+const (
+	// CodeBadRequest: the request itself is malformed (unknown op, missing
+	// table, schema mismatch).
+	CodeBadRequest = "bad_request"
+	// CodeNeverFits: the requested memory grant exceeds the server's whole
+	// budget — queueing would never help, the query is rejected immediately.
+	CodeNeverFits = "never_fits"
+	// CodeCancelled: the session or server went away while the query was
+	// queued or running.
+	CodeCancelled = "cancelled"
+	// CodeInternal: the query failed while executing.
+	CodeInternal = "internal"
+)
+
+// Response is one server frame.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+
+	// Tables answers "tables".
+	Tables []string `json:"tables,omitempty"`
+	// Columns and Rows carry a divide's quotient.
+	Columns []string  `json:"columns,omitempty"`
+	Rows    [][]int64 `json:"rows,omitempty"`
+
+	// CacheHit reports whether the divide reused a prepared plan.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// QueuedMicros is how long the divide waited for its admission grant.
+	QueuedMicros int64 `json:"queued_micros,omitempty"`
+}
+
+// ServerError is the typed client-side view of a failed Response.
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server: %s (%s)", e.Msg, e.Code)
+}
+
+// Err converts a Response into a *ServerError (nil when OK).
+func (r *Response) Err() error {
+	if r.OK {
+		return nil
+	}
+	code := r.Code
+	if code == "" {
+		code = CodeInternal
+	}
+	return &ServerError{Code: code, Msg: r.Error}
+}
+
+// writeFrame writes one length-prefixed JSON frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrameBytes {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame into v.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return fmt.Errorf("server: peer announced %d-byte frame", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return json.Unmarshal(body, v)
+}
+
+// Client is a synchronous client for one server connection. It is safe for
+// concurrent use; requests serialize on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a serving address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (net.Pipe ends work too).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Do sends one request and reads its response. A transport error poisons the
+// connection; the typed failure of a well-formed exchange is in the Response.
+func (c *Client) Do(req Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close closes the connection; an in-flight query on the server side is
+// cancelled.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// CreateTable creates an int64-column table.
+func (c *Client) CreateTable(name string, cols ...string) error {
+	return c.simple(Request{Op: "create", Table: name, Cols: cols})
+}
+
+// DropTable removes a table (and invalidates plans referencing it).
+func (c *Client) DropTable(name string) error {
+	return c.simple(Request{Op: "drop", Table: name})
+}
+
+// Insert appends rows to a table.
+func (c *Client) Insert(table string, rows [][]int64) error {
+	return c.simple(Request{Op: "insert", Table: table, Rows: rows})
+}
+
+// Tables lists the catalog.
+func (c *Client) Tables() ([]string, error) {
+	resp, err := c.Do(Request{Op: "tables"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, resp.Err()
+}
+
+// Divide runs dividend ÷ divisor and returns the full response (quotient
+// rows plus cache/queue telemetry).
+func (c *Client) Divide(dividend, divisor string, on []string) (*Response, error) {
+	resp, err := c.Do(Request{Op: "divide", Dividend: dividend, Divisor: divisor, On: on})
+	if err != nil {
+		return nil, err
+	}
+	return resp, resp.Err()
+}
+
+func (c *Client) simple(req Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
