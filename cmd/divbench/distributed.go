@@ -1,0 +1,267 @@
+package main
+
+// divbench distributed: the §6 shared-nothing sweep over a real transport.
+// Workers are separate processes (-forked, each one `divbench distributed
+// -worker` dialing back to the coordinator) or goroutine-hosted TCP
+// listeners (the default, CI-safe). Each cell divides the same skewed
+// workload twice per strategy — bit-vector filtering off, then on — and
+// records what the filter did to dividend bytes-on-wire. -check gates on
+// the paper's claim: the filter plus its shipping cost must still beat the
+// unfiltered wire, with the quotient exactly matching the serial reference.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	osexec "os/exec"
+	"runtime"
+	"time"
+
+	"repro/internal/division"
+	"repro/internal/exec"
+	"repro/internal/netexchange"
+	"repro/internal/workload"
+)
+
+// networkScalingPoint is one (cell, strategy, filter) measurement in the
+// network_scaling section.
+type networkScalingPoint struct {
+	S        int    `json:"s"`
+	Q        int    `json:"q"`
+	R        int    `json:"r"`
+	Strategy string `json:"strategy"`
+	Workers  int    `json:"workers"`
+	Filtered bool   `json:"filtered"`
+
+	DividendBytes  int64 `json:"dividend_bytes"` // dividend batch frames alone
+	FilterBytes    int64 `json:"filter_bytes"`   // bit-vector frames (0 unfiltered)
+	BytesShipped   int64 `json:"bytes_shipped"`  // all frames, both directions
+	TuplesShipped  int64 `json:"tuples_shipped"`
+	TuplesFiltered int64 `json:"tuples_filtered"`
+	RoundTrips     int64 `json:"round_trips"` // per-link protocol rounds, summed
+	Ns             int64 `json:"ns"`          // min wall clock over reps
+}
+
+func runDistributed(args []string) error {
+	fs := flag.NewFlagSet("distributed", flag.ContinueOnError)
+	sizesFlag := fs.String("sizes", "25,100,400", "comma-separated |S|/|Q| grid sizes")
+	noise := fs.Int("noise", 5, "non-matching tuples per candidate (what the filter drops)")
+	zipf := fs.Float64("zipf", 1.5, "Zipf s for course skew (>1 unbalances divisor partitioning)")
+	workers := fs.Int("workers", 4, "worker count")
+	reps := fs.Int("reps", 3, "repetitions per point; minimum wall clock wins")
+	forked := fs.Bool("forked", false, "spawn workers as separate OS processes instead of goroutine-hosted listeners")
+	jsonOut := fs.Bool("json", false, "merge a network_scaling section into "+benchJSONFile)
+	check := fs.Bool("check", false, "exit nonzero unless filtering cuts dividend bytes-on-wire with exact quotient parity (skipped when GOMAXPROCS < 2)")
+	workerMode := fs.Bool("worker", false, "internal: run as a forked worker process")
+	connect := fs.String("connect", "", "internal: coordinator address a forked worker dials")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workerMode {
+		return runForkedWorker(*connect)
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	if *check && runtime.GOMAXPROCS(0) < 2 {
+		fmt.Println("(distributed -check skipped: GOMAXPROCS < 2, no parallelism available)")
+		return nil
+	}
+
+	conns, cleanup, err := startWorkers(*workers, *forked)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	mode := "goroutine-hosted"
+	if *forked {
+		mode = "forked processes"
+	}
+	fmt.Printf("Distributed division over TCP (§6 + DESIGN.md §14): workers=%d (%s), zipf=%.2f, noise=%d\n",
+		*workers, mode, *zipf, *noise)
+	fmt.Printf("%-6s %-6s %-8s %-24s %-8s %12s %12s %12s %10s\n",
+		"|S|", "|Q|", "filter", "strategy", "drops", "dividend B", "filter B", "total B", "elapsed")
+
+	strategies := []division.PartitionStrategy{
+		division.QuotientPartitioning, division.DivisorPartitioning,
+	}
+	var points []networkScalingPoint
+	var checkErrs []string
+	for _, size := range sizes {
+		inst, err := workload.Generate(workload.Config{
+			DivisorTuples:      size,
+			QuotientCandidates: size,
+			FullFraction:       0.5,
+			MatchFraction:      0.8,
+			NoisePerCandidate:  *noise,
+			CourseZipfS:        *zipf,
+			Shuffle:            true,
+			Seed:               int64(size),
+		})
+		if err != nil {
+			return err
+		}
+		spec := func() division.Spec {
+			return division.Spec{
+				Dividend:    exec.NewMemScan(workload.TranscriptSchema, inst.Dividend),
+				Divisor:     exec.NewMemScan(workload.CourseSchema, inst.Divisor),
+				DivisorCols: []int{1},
+			}
+		}
+		ref, err := division.Reference(spec())
+		if err != nil {
+			return err
+		}
+		qs := spec().QuotientSchema()
+
+		for _, strategy := range strategies {
+			var unfiltered, filtered *networkScalingPoint
+			for _, useFilter := range []bool{false, true} {
+				var best *netexchange.Result
+				for r := 0; r < *reps; r++ {
+					res, err := netexchange.Divide(context.Background(), spec(), netexchange.Config{
+						Strategy:        strategy,
+						BitVectorFilter: useFilter,
+					}, conns)
+					if err != nil {
+						return fmt.Errorf("size %d, %s, filter=%v: %w", size, strategy, useFilter, err)
+					}
+					if !division.EqualTupleSets(qs, res.Quotient, ref) {
+						return fmt.Errorf("size %d, %s, filter=%v: quotient diverges from serial reference (%d vs %d tuples)",
+							size, strategy, useFilter, len(res.Quotient), len(ref))
+					}
+					if best == nil || res.Elapsed < best.Elapsed {
+						best = res
+					}
+				}
+				var rounds int64
+				for _, l := range best.Links {
+					rounds += l.RoundTrips
+				}
+				p := networkScalingPoint{
+					S: size, Q: size, R: len(inst.Dividend),
+					Strategy: strategy.String(), Workers: *workers, Filtered: useFilter,
+					DividendBytes:  best.DividendBytes,
+					FilterBytes:    best.FilterBytes,
+					BytesShipped:   best.Network.BytesShipped,
+					TuplesShipped:  best.Network.TuplesShipped,
+					TuplesFiltered: best.Network.TuplesFiltered,
+					RoundTrips:     rounds,
+					Ns:             best.Elapsed.Nanoseconds(),
+				}
+				points = append(points, p)
+				if useFilter {
+					filtered = &p
+				} else {
+					unfiltered = &p
+				}
+				fmt.Printf("%-6d %-6d %-8v %-24s %-8d %12d %12d %12d %10s\n",
+					size, size, useFilter, p.Strategy, p.TuplesFiltered,
+					p.DividendBytes, p.FilterBytes, p.BytesShipped,
+					best.Elapsed.Round(time.Microsecond))
+			}
+			saved := unfiltered.DividendBytes - filtered.DividendBytes - filtered.FilterBytes
+			fmt.Printf("%47s net dividend wire saved by filter: %d bytes (%.1f%%)\n", "",
+				saved, 100*float64(saved)/float64(unfiltered.DividendBytes))
+			if saved <= 0 {
+				checkErrs = append(checkErrs, fmt.Sprintf(
+					"size %d, %s: filter saved %d bytes (dividend %d → %d + %d filter)",
+					size, strategy, saved, unfiltered.DividendBytes,
+					filtered.DividendBytes, filtered.FilterBytes))
+			}
+		}
+	}
+
+	if *jsonOut {
+		section := map[string]any{
+			"workers":    *workers,
+			"forked":     *forked,
+			"zipf":       *zipf,
+			"noise":      *noise,
+			"reps":       *reps,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"points":     points,
+		}
+		if err := writeJSONSection(benchJSONFile, "network_scaling", section); err != nil {
+			return err
+		}
+		fmt.Printf("(wrote network_scaling section to %s)\n", benchJSONFile)
+	}
+
+	if *check {
+		if len(checkErrs) > 0 {
+			for _, e := range checkErrs {
+				fmt.Fprintf(os.Stderr, "distributed -check: %s\n", e)
+			}
+			return fmt.Errorf("distributed -check: bit-vector filtering failed to cut the wire at %d cell(s)", len(checkErrs))
+		}
+		fmt.Println("distributed -check passed: filtering cut dividend bytes-on-wire at every cell, quotients exact")
+	}
+	return nil
+}
+
+// startWorkers provides n worker connections: goroutine-hosted listeners in
+// this process, or forked `divbench distributed -worker` processes dialing
+// back over TCP. cleanup closes the links and reaps whatever was started.
+func startWorkers(n int, forked bool) (conns []net.Conn, cleanup func(), err error) {
+	if !forked {
+		cl, err := netexchange.StartLocalCluster(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cl.Conns(), cl.Close, nil
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	var cmds []*osexec.Cmd
+	cleanup = func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		for _, cmd := range cmds {
+			cmd.Wait()
+		}
+		ln.Close()
+	}
+	for i := 0; i < n; i++ {
+		cmd := osexec.Command(exe, "distributed", "-worker", "-connect", ln.Addr().String())
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		cmds = append(cmds, cmd)
+		conn, err := ln.Accept()
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		conns = append(conns, conn)
+	}
+	return conns, cleanup, nil
+}
+
+// runForkedWorker is the hidden worker mode: dial the coordinator and serve
+// exchange jobs on that one link until it closes.
+func runForkedWorker(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("distributed -worker needs -connect address")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return netexchange.ServeWorker(conn)
+}

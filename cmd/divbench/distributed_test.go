@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestNetworkScalingSectionPreservesSiblings checks that writing the
+// network_scaling section leaves previously recorded sections byte-for-byte
+// intact and that the section has the expected shape: both strategies, a
+// filtered and an unfiltered point per cell, and the filtered point cheaper
+// on the dividend wire.
+func TestNetworkScalingSectionPreservesSiblings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed sweep smoke in short mode")
+	}
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	// Seed the results file with stand-in sibling sections.
+	if err := writeJSONSection(benchJSONFile, "table4", map[string]any{"geometry": "paper", "cells": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONSection(benchJSONFile, "parallel_scaling", map[string]any{"s": 20, "points": []int{3}}); err != nil {
+		t.Fatal(err)
+	}
+	sections := func() map[string]json.RawMessage {
+		data, err := os.ReadFile(benchJSONFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := map[string]json.RawMessage{}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	before := sections()
+
+	if err := runDistributed([]string{"-sizes", "25", "-workers", "2", "-reps", "1", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	after := sections()
+	for _, name := range []string{"table4", "parallel_scaling"} {
+		if !bytes.Equal(before[name], after[name]) {
+			t.Errorf("section %q changed:\nbefore: %s\nafter:  %s", name, before[name], after[name])
+		}
+	}
+	raw, ok := after["network_scaling"]
+	if !ok {
+		t.Fatal("network_scaling section missing")
+	}
+
+	var section struct {
+		Workers int `json:"workers"`
+		Points  []struct {
+			Strategy       string `json:"strategy"`
+			Filtered       bool   `json:"filtered"`
+			DividendBytes  int64  `json:"dividend_bytes"`
+			FilterBytes    int64  `json:"filter_bytes"`
+			TuplesFiltered int64  `json:"tuples_filtered"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &section); err != nil {
+		t.Fatal(err)
+	}
+	if section.Workers != 2 {
+		t.Errorf("workers = %d, want 2", section.Workers)
+	}
+	// One cell × two strategies × {unfiltered, filtered}.
+	if len(section.Points) != 4 {
+		t.Fatalf("%d points, want 4", len(section.Points))
+	}
+	byKey := map[[2]any]int64{}
+	for _, p := range section.Points {
+		byKey[[2]any{p.Strategy, p.Filtered}] = p.DividendBytes + p.FilterBytes
+		if p.Filtered && p.TuplesFiltered == 0 {
+			t.Errorf("%s filtered point dropped no tuples", p.Strategy)
+		}
+		if !p.Filtered && p.FilterBytes != 0 {
+			t.Errorf("%s unfiltered point reports %d filter bytes", p.Strategy, p.FilterBytes)
+		}
+	}
+	for _, strategy := range []string{"quotient-partitioning", "divisor-partitioning"} {
+		plain, filtered := byKey[[2]any{strategy, false}], byKey[[2]any{strategy, true}]
+		if plain == 0 || filtered == 0 {
+			t.Fatalf("%s: missing point pair (plain=%d filtered=%d)", strategy, plain, filtered)
+		}
+		if filtered >= plain {
+			t.Errorf("%s: filtered wire %d ≥ unfiltered %d", strategy, filtered, plain)
+		}
+	}
+}

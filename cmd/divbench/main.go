@@ -10,6 +10,7 @@
 //	divbench sweep  [flags]          # §4.6 dilution speculation
 //	divbench overflow [flags]        # §3.4 hash table overflow escalation
 //	divbench parallel [flags]        # §6 multi-processor scaling
+//	divbench distributed [flags]     # §6 shared-nothing division over real transport
 //	divbench spill [flags]           # out-of-core memory-pressure sweep
 //	divbench serve [flags]           # concurrent query server / load generator
 //	divbench example                 # Figure 2 worked example, step by step
@@ -109,6 +110,8 @@ func main() {
 		err = runOverflow(args)
 	case "parallel":
 		err = runParallel(args)
+	case "distributed":
+		err = runDistributed(args)
 	case "io":
 		err = runIO(args)
 	case "wal":
@@ -146,6 +149,8 @@ commands:
   crossover analytic cost-vs-|R| series and overflow cost model
   overflow  hash table overflow / partition escalation
   parallel  multi-processor scaling (-workers, -reps, -json, -check)
+  distributed shared-nothing division over real TCP transport with bit-vector
+            wire filtering (-sizes, -workers, -zipf, -noise, -forked, -json, -check)
   io        buffer-pool sharding and read-ahead overlap (-pages, -shards, -json, -check)
   wal       WAL group-commit throughput sweep (-appenders, -windows, -json, -check)
   spill     out-of-core memory-pressure sweep (-budgets, -strategy, -reps, -json, -check)

@@ -1,8 +1,9 @@
 package reldiv
 
-// Fuzz coverage for the untrusted-bytes decoders: the CSV loader and the WAL
-// record codec. Arbitrary input bytes must either parse into a well-formed
-// value or return a typed error — never panic, whatever the shape.
+// Fuzz coverage for the untrusted-bytes decoders: the CSV loader, the WAL
+// record codec, and the distributed-exchange frame codec. Arbitrary input
+// bytes must either parse into a well-formed value or return a typed error —
+// never panic, whatever the shape.
 
 import (
 	"bytes"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/netexchange"
 	"repro/internal/wal"
 )
 
@@ -44,6 +46,62 @@ func FuzzFromCSV(f *testing.F) {
 					t.Fatalf("oversized string %q accepted past declared width", s)
 				}
 			}
+		}
+	})
+}
+
+// FuzzExchangeFrame drives the exchange wire codec the same way the WAL
+// fuzzer drives its record codec: a fresh encoding must round-trip exactly
+// (header and payload both), a single flipped bit anywhere in the frame must
+// surface as netexchange.ErrCorruptFrame — the checksum covers everything
+// after the length prefix, and a corrupted prefix changes the checksummed
+// range — and raw garbage must come back typed or as the clean all-zero
+// end-of-stream, never a panic.
+func FuzzExchangeFrame(f *testing.F) {
+	f.Add([]byte("a batch of tuples"), byte(5), uint16(0), uint32(2), uint16(0))
+	f.Add([]byte{}, byte(3), uint16(0), uint32(0), uint16(7))                        // control frame, empty payload
+	f.Add(bytes.Repeat([]byte{0xFF}, 64), byte(9), uint16(3), uint32(4), uint16(91)) // phase-tagged collect
+	f.Add([]byte("\x00\x00\x00\x00"), byte(13), uint16(0), uint32(0), uint16(33))
+	f.Fuzz(func(t *testing.T, payload []byte, typ byte, phase uint16, count uint32, flip uint16) {
+		h := netexchange.FrameHeader{Type: typ, Phase: phase, Count: count}
+		enc := netexchange.EncodeFrame(nil, h, payload)
+
+		// Round trip: header fields and payload come back exactly, and the
+		// whole encoding is consumed.
+		got, gotPayload, n, err := netexchange.DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("decode of fresh encoding: %v", err)
+		}
+		if got != h || n != len(enc) || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip: header %+v want %+v, consumed %d of %d, payload match %v",
+				got, h, n, len(enc), bytes.Equal(gotPayload, payload))
+		}
+
+		// Corruption: flipping any single bit must be detected as the typed
+		// sentinel. Unlike the WAL codec there is no silent end-of-stream
+		// escape here — the buffer is always long enough to hold a prefix, so
+		// every flip must error.
+		bad := bytes.Clone(enc)
+		pos := int(flip) % len(bad)
+		bad[pos] ^= 1 << (flip % 8)
+		if _, _, _, err := netexchange.DecodeFrame(bad); !errors.Is(err, netexchange.ErrCorruptFrame) {
+			t.Fatalf("flipped bit at byte %d: got %v, want ErrCorruptFrame", pos, err)
+		}
+
+		// Raw garbage: never panic, errors always typed, and the no-error
+		// no-progress case is reserved for all-zero padding.
+		if _, _, n, err := netexchange.DecodeFrame(payload); err != nil {
+			if !errors.Is(err, netexchange.ErrCorruptFrame) {
+				t.Fatalf("garbage decode returned untyped error %v", err)
+			}
+		} else if n == 0 {
+			for _, b := range payload {
+				if b != 0 {
+					t.Fatalf("decode of %d nonzero bytes made no progress without error", len(payload))
+				}
+			}
+		} else if n > len(payload) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(payload))
 		}
 	})
 }

@@ -179,6 +179,35 @@ func (b *Bitmap) FirstZero() int {
 	return -1
 }
 
+// Words exposes the packed backing words, little-endian within each word
+// (bit i lives in words[i/64]). The distributed exchange serializes the
+// divisor-match bit vector by shipping exactly these words; mutating the
+// returned slice mutates the bitmap.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// FromWords reconstructs an n-bit map adopting a copy of the packed words —
+// the receive half of the bit-vector wire format. It fails when the word
+// count does not match n, and rejects set bits past n (a corrupt or hostile
+// encoding could otherwise smuggle in bits Set could never produce, breaking
+// the PopCount == AllSet equivalences).
+func FromWords(n int, words []uint64) (*Bitmap, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("bitmap: negative size %d", n)
+	}
+	want := (n + wordBits - 1) / wordBits
+	if len(words) != want {
+		return nil, fmt.Errorf("bitmap: %d words cannot back %d bits (want %d)", len(words), n, want)
+	}
+	if rem := n % wordBits; rem != 0 && len(words) > 0 {
+		if words[len(words)-1]&^((uint64(1)<<rem)-1) != 0 {
+			return nil, fmt.Errorf("bitmap: set bits past length %d", n)
+		}
+	}
+	b := &Bitmap{words: make([]uint64, want), n: n}
+	copy(b.words, words)
+	return b, nil
+}
+
 // Or folds other into b (b |= other). Both maps must have the same length.
 // The parallel collection site uses this when merging replicated-divisor
 // partial results.

@@ -156,6 +156,14 @@ func (b *Batch) Unalias() {
 	b.aliased = false
 }
 
+// Raw returns the batch's tuples as one contiguous byte slice of exactly
+// Len()*width bytes — the zero-copy wire form of the batch. The slice aliases
+// batch storage under the same lifetime rules as Tuple: valid until the
+// producer's next NextBatch, Reset, or Close. The network exchange writes
+// this slice straight to the socket (no per-tuple encoding) and the receive
+// side aliases its read buffer back into a batch with SetAlias.
+func (b *Batch) Raw() []byte { return b.data[:b.n*b.width] }
+
 // Truncate shortens the batch to its first n tuples (no-op when n >= Len).
 // The fault injector uses this to cut a stream at an exact tuple count.
 func (b *Batch) Truncate(n int) {

@@ -1,0 +1,352 @@
+package netexchange
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/bitmap"
+	"repro/internal/exec"
+	"repro/internal/hashtab"
+	"repro/internal/tuple"
+)
+
+// RemoteError is a failure reported by the peer through a frameError frame:
+// the remote side's own description of why it abandoned the job.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "netexchange: remote failure: " + e.Msg }
+
+// frameBatcher packs tuples into exec.Batch arenas and flushes each full
+// arena as one zero-copy frame — the write-combining stage of both the
+// coordinator's dividend shuffle and the worker's result emission.
+type frameBatcher struct {
+	w     io.Writer
+	b     *exec.Batch
+	typ   byte
+	phase uint16
+	size  int
+
+	frames int64
+	tuples int64
+	bytes  int64
+}
+
+func newFrameBatcher(w io.Writer, schema *tuple.Schema, typ byte, phase uint16, size int) *frameBatcher {
+	return &frameBatcher{w: w, b: exec.NewBatch(schema, size), typ: typ, phase: phase, size: size}
+}
+
+func (fb *frameBatcher) add(t tuple.Tuple) error {
+	fb.b.Append(t)
+	if fb.b.Len() >= fb.size {
+		return fb.flush()
+	}
+	return nil
+}
+
+func (fb *frameBatcher) flush() error {
+	if fb.b.Len() == 0 {
+		return nil
+	}
+	n, err := writeRawFrame(fb.w, FrameHeader{Type: fb.typ, Phase: fb.phase, Count: uint32(fb.b.Len())}, fb.b.Raw())
+	if err != nil {
+		return err
+	}
+	fb.frames++
+	fb.tuples += int64(fb.b.Len())
+	fb.bytes += n
+	fb.b.Reset()
+	return nil
+}
+
+func (fb *frameBatcher) release() { fb.b.Release() }
+
+// ServeWorker runs the worker half of the exchange protocol on conn: a loop
+// of jobs, each a strictly phased conversation (open, divisor, filter,
+// dividend, candidates/collect, quotient). It returns nil on a clean peer
+// close between jobs and the terminal error otherwise; conn is closed either
+// way, so a coordinator dying mid-job unwinds the worker promptly — the
+// blocked read fails — with no goroutine left behind. Internal failures are
+// reported to the peer with a best-effort frameError before returning.
+func ServeWorker(conn net.Conn) error {
+	defer conn.Close()
+	fr := &frameReader{r: conn}
+	for {
+		h, payload, _, err := fr.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if h.Type != frameOpen {
+			return fmt.Errorf("%w: expected open, got frame type %d", ErrCorruptFrame, h.Type)
+		}
+		j, err := decodeJobHeader(payload)
+		if err != nil {
+			return err
+		}
+		if err := runJob(conn, fr, j); err != nil {
+			writeControlFrame(conn, FrameHeader{Type: frameError}, []byte(err.Error())) //nolint:errcheck // already failing
+			return err
+		}
+	}
+}
+
+// aliasBatch validates a batch frame's payload against the schema width and
+// points b at it without copying.
+func aliasBatch(b *exec.Batch, schema *tuple.Schema, h FrameHeader, payload []byte) error {
+	if int64(h.Count)*int64(schema.Width()) != int64(len(payload)) {
+		return fmt.Errorf("%w: %d tuples of width %d cannot fill %d payload bytes",
+			ErrCorruptFrame, h.Count, schema.Width(), len(payload))
+	}
+	b.SetAlias(payload, int(h.Count))
+	return nil
+}
+
+// runJob executes one division job: the worker's side of DESIGN.md §14's
+// phase sequence.
+func runJob(conn net.Conn, fr *frameReader, j jobHeader) (err error) {
+	defer exec.RecoverPanic(&err)
+	ds := j.Dividend
+	ss := j.Divisor
+	qCols := ds.Complement(j.DivisorCols)
+	if len(qCols) == 0 {
+		return fmt.Errorf("%w: divisor columns cover the whole dividend", ErrCorruptFrame)
+	}
+	qs := ds.Project(qCols)
+
+	// Phase: absorb the divisor into the local table, numbering distinct
+	// tuples, and hash every one into the Babb filter when asked.
+	divisorTable := hashtab.NewForExpected(ss, 256, j.HBS)
+	var divisorCount int64
+	var bv *bitmap.Bitmap
+	if j.BitVector {
+		if j.FilterBits <= 0 {
+			return fmt.Errorf("%w: bit vector requested with %d bits", ErrCorruptFrame, j.FilterBits)
+		}
+		bv = bitmap.New(j.FilterBits)
+	}
+	recv := exec.NewBatch(ss, j.BatchSize)
+divisor:
+	for {
+		h, payload, _, err := fr.next()
+		if err != nil {
+			recv.Release()
+			return err
+		}
+		switch h.Type {
+		case frameDivisorBatch:
+			if err := aliasBatch(recv, ss, h, payload); err != nil {
+				recv.Release()
+				return err
+			}
+			for i, n := 0, recv.Len(); i < n; i++ {
+				t := recv.Tuple(i)
+				if e, created := divisorTable.GetOrInsert(t); created {
+					e.Num = divisorCount
+					divisorCount++
+					if bv != nil {
+						bv.Set(int(tuple.HashBytes(t) % uint64(j.FilterBits)))
+					}
+				}
+			}
+		case frameDivisorEnd:
+			break divisor
+		case frameError:
+			recv.Release()
+			return &RemoteError{Msg: string(payload)}
+		default:
+			recv.Release()
+			return fmt.Errorf("%w: frame type %d during divisor phase", ErrCorruptFrame, h.Type)
+		}
+	}
+	recv.Release()
+
+	// Phase: ship the filter back so the coordinator can drop dividend
+	// tuples before they are ever serialized — the semi-join reduction.
+	if j.SendFilter {
+		if bv == nil {
+			return fmt.Errorf("%w: filter requested without a bit vector", ErrCorruptFrame)
+		}
+		if _, err := writeControlFrame(conn, FrameHeader{Type: frameFilter},
+			appendFilter(nil, j.FilterBits, bv.Words())); err != nil {
+			return err
+		}
+	}
+
+	// Phase: absorb the dividend stream straight off the read buffer — each
+	// frame's payload is aliased into a batch, probed against the divisor
+	// table, and folded into the quotient table before the next read reuses
+	// the buffer.
+	quotientTable := hashtab.NewForExpected(qs, 256, j.HBS)
+	var dividendTuples int64
+	recvD := exec.NewBatch(ds, j.BatchSize)
+dividend:
+	for {
+		h, payload, _, err := fr.next()
+		if err != nil {
+			recvD.Release()
+			return err
+		}
+		switch h.Type {
+		case frameDividendBatch:
+			if err := aliasBatch(recvD, ds, h, payload); err != nil {
+				recvD.Release()
+				return err
+			}
+			n := recvD.Len()
+			dividendTuples += int64(n)
+			for i := 0; i < n; i++ {
+				t := recvD.Tuple(i)
+				de := divisorTable.LookupProjected(t, ds, j.DivisorCols)
+				if de == nil {
+					continue
+				}
+				qe, created := quotientTable.GetOrInsertProjected(t, ds, qCols)
+				if created {
+					qe.Bits = bitmap.New(int(divisorCount))
+				}
+				qe.Bits.Set(int(de.Num))
+			}
+		case frameDividendEnd:
+			break dividend
+		case frameError:
+			recvD.Release()
+			return &RemoteError{Msg: string(payload)}
+		default:
+			recvD.Release()
+			return fmt.Errorf("%w: frame type %d during dividend phase", ErrCorruptFrame, h.Type)
+		}
+	}
+	recvD.Release()
+
+	if j.Strategy == strategyQuotient {
+		return emitQuotient(conn, quotientTable, divisorCount, dividendTuples, j)
+	}
+	return runDivisorCollection(conn, fr, quotientTable, qs, divisorCount, dividendTuples, j)
+}
+
+// emitQuotient scans the quotient table for complete candidates and ships
+// them, closing the job with a stats-bearing quotientEnd. Used directly by
+// quotient partitioning, where every worker's local result is final.
+func emitQuotient(conn net.Conn, quotientTable *hashtab.Table, divisorCount, dividendTuples int64, j jobHeader) error {
+	fb := newFrameBatcher(conn, quotientTable.Schema(), frameQuotientBatch, 0, j.BatchSize)
+	defer fb.release()
+	if divisorCount > 0 {
+		err := quotientTable.Iterate(func(e *hashtab.Element) error {
+			if e.Bits.AllSet() {
+				return fb.add(e.Tuple)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := fb.flush(); err != nil {
+			return err
+		}
+	}
+	_, err := writeControlFrame(conn, FrameHeader{Type: frameQuotientEnd},
+		appendWorkerStats(nil, dividendTuples, divisorCount, fb.tuples))
+	return err
+}
+
+// runDivisorCollection is divisor partitioning's second distributed round.
+// The worker first ships its local candidates (tuples complete against its
+// divisor cluster, tagged with its phase index); the coordinator repartitions
+// all candidates on the quotient attributes and ships them back as collect
+// frames. This worker then acts as a collection site for its share: a
+// candidate belongs to the quotient iff every active phase reported it —
+// "divide the set of all incoming tuples over the set of processor network
+// addresses" (§3.4), with the address set carried as per-frame phase tags.
+func runDivisorCollection(conn net.Conn, fr *frameReader, quotientTable *hashtab.Table,
+	qs *tuple.Schema, divisorCount, dividendTuples int64, j jobHeader) error {
+	phase := uint16(0)
+	if j.Phase >= 0 {
+		phase = uint16(j.Phase)
+	}
+	fb := newFrameBatcher(conn, qs, frameCandidate, phase, j.BatchSize)
+	defer fb.release()
+	if divisorCount > 0 {
+		err := quotientTable.Iterate(func(e *hashtab.Element) error {
+			if e.Bits.AllSet() {
+				return fb.add(e.Tuple)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if err := fb.flush(); err != nil {
+			return err
+		}
+	}
+	if _, err := writeControlFrame(conn, FrameHeader{Type: frameCandidateEnd}, nil); err != nil {
+		return err
+	}
+
+	if j.NumPhases <= 0 {
+		return fmt.Errorf("%w: divisor partitioning with %d phases", ErrCorruptFrame, j.NumPhases)
+	}
+	collection := hashtab.NewForExpected(qs, 256, j.HBS)
+	recv := exec.NewBatch(qs, j.BatchSize)
+collect:
+	for {
+		h, payload, _, err := fr.next()
+		if err != nil {
+			recv.Release()
+			return err
+		}
+		switch h.Type {
+		case frameCollectBatch:
+			if int(h.Phase) >= j.NumPhases {
+				recv.Release()
+				return fmt.Errorf("%w: collect phase %d of %d", ErrCorruptFrame, h.Phase, j.NumPhases)
+			}
+			if err := aliasBatch(recv, qs, h, payload); err != nil {
+				recv.Release()
+				return err
+			}
+			for i, n := 0, recv.Len(); i < n; i++ {
+				e, created := collection.GetOrInsert(recv.Tuple(i))
+				if created {
+					e.Bits = bitmap.New(j.NumPhases)
+				}
+				e.Bits.Set(int(h.Phase))
+			}
+		case frameCollectEnd:
+			break collect
+		case frameError:
+			recv.Release()
+			return &RemoteError{Msg: string(payload)}
+		default:
+			recv.Release()
+			return fmt.Errorf("%w: frame type %d during collect phase", ErrCorruptFrame, h.Type)
+		}
+	}
+	recv.Release()
+
+	out := newFrameBatcher(conn, qs, frameQuotientBatch, 0, j.BatchSize)
+	defer out.release()
+	err := collection.Iterate(func(e *hashtab.Element) error {
+		if e.Bits.AllSet() {
+			return out.add(e.Tuple)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := out.flush(); err != nil {
+		return err
+	}
+	_, err = writeControlFrame(conn, FrameHeader{Type: frameQuotientEnd},
+		appendWorkerStats(nil, dividendTuples, divisorCount, out.tuples))
+	return err
+}
+
+// errRemote converts a frameError payload on the coordinator side.
+func errRemote(payload []byte) error { return &RemoteError{Msg: string(payload)} }

@@ -1,40 +1,67 @@
 package server
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/obs"
 )
+
+// DefaultPlanCacheEntries caps the plan cache when Options does not choose a
+// size. Entries are a few hundred bytes (a shape string, a generation map,
+// two seeds), so the default bounds the cache to roughly 100 KB while still
+// covering far more distinct query shapes than any workload in the repo.
+const DefaultPlanCacheEntries = 256
 
 // prepared is one cached plan: which table generations it was prepared
 // against, and the statistics its executions observed — fed back into the
 // next execution as partitioning seeds, so a repeat query whose tables
 // overflow the memory grant skips the doomed first in-memory attempt.
 type prepared struct {
+	key            string
 	gens           map[string]uint64
 	seedCandidates int64
 	seedDividend   int64
+	elem           *list.Element // position in the cache's recency list
 }
 
 // planCache maps normalized query shapes (rewrite.Shape of the rewritten
-// plan) to prepared plans. A hit skips rewrite.Compile entirely — the
-// "rewrite.compiles" obs counter stays flat across hits, which the serve
-// -check gate asserts. Entries die when any table they reference is dropped
-// (invalidateTable) or re-created under the same name (generation mismatch
-// at lookup).
+// plan) to prepared plans, capped at max entries with LRU eviction. A hit
+// skips rewrite.Compile entirely — the "rewrite.compiles" obs counter stays
+// flat across hits, which the serve -check gate asserts. Entries die when
+// any table they reference is dropped (invalidateTable) or re-created under
+// the same name (generation mismatch at lookup), or when a store pushes the
+// cache past its cap and the least-recently-used entry is evicted
+// ("server.cache.evictions").
 type planCache struct {
 	mu           sync.Mutex
 	plans        map[string]*prepared
+	order        *list.List // front = most recently used; values are *prepared
+	max          int
 	hits, misses int64
+	evictions    int64
 }
 
-func newPlanCache() *planCache {
-	return &planCache{plans: make(map[string]*prepared)}
+func newPlanCache(maxEntries int) *planCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultPlanCacheEntries
+	}
+	return &planCache{
+		plans: make(map[string]*prepared),
+		order: list.New(),
+		max:   maxEntries,
+	}
+}
+
+// removeLocked deletes an entry from both the map and the recency list.
+func (c *planCache) removeLocked(p *prepared) {
+	delete(c.plans, p.key)
+	c.order.Remove(p.elem)
 }
 
 // lookup returns the cached seeds for key when the entry exists and was
-// prepared against the same table generations. A generation mismatch deletes
-// the stale entry and misses.
+// prepared against the same table generations, marking it most recently
+// used. A generation mismatch deletes the stale entry and misses.
 func (c *planCache) lookup(key string, gens map[string]uint64) (seedCandidates, seedDividend int64, hit bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -42,7 +69,7 @@ func (c *planCache) lookup(key string, gens map[string]uint64) (seedCandidates, 
 	if ok {
 		for name, gen := range gens {
 			if p.gens[name] != gen {
-				delete(c.plans, key)
+				c.removeLocked(p)
 				ok = false
 				break
 			}
@@ -53,20 +80,33 @@ func (c *planCache) lookup(key string, gens map[string]uint64) (seedCandidates, 
 		obs.Default.Counter("server.cache_misses").Inc()
 		return 0, 0, false
 	}
+	c.order.MoveToFront(p.elem)
 	c.hits++
 	obs.Default.Counter("server.cache_hits").Inc()
 	return p.seedCandidates, p.seedDividend, true
 }
 
-// store records a freshly prepared plan.
+// store records a freshly prepared plan at the front of the recency list,
+// evicting from the back when the cap is exceeded.
 func (c *planCache) store(key string, gens map[string]uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.plans[key] = &prepared{gens: gens}
+	if old, ok := c.plans[key]; ok {
+		c.removeLocked(old)
+	}
+	p := &prepared{key: key, gens: gens}
+	p.elem = c.order.PushFront(p)
+	c.plans[key] = p
+	for len(c.plans) > c.max {
+		lru := c.order.Back().Value.(*prepared)
+		c.removeLocked(lru)
+		c.evictions++
+		obs.Default.Counter("server.cache.evictions").Inc()
+	}
 }
 
 // updateSeeds feeds one execution's observed statistics back into the entry
-// (if it still exists — a concurrent drop may have removed it).
+// (if it still exists — a concurrent drop or eviction may have removed it).
 func (c *planCache) updateSeeds(key string, candidates, dividend int64) {
 	if candidates <= 0 {
 		return
@@ -83,9 +123,9 @@ func (c *planCache) updateSeeds(key string, candidates, dividend int64) {
 func (c *planCache) invalidateTable(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for key, p := range c.plans {
+	for _, p := range c.plans {
 		if _, uses := p.gens[name]; uses {
-			delete(c.plans, key)
+			c.removeLocked(p)
 		}
 	}
 }
@@ -94,4 +134,18 @@ func (c *planCache) stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// evicted reports how many entries LRU eviction has dropped.
+func (c *planCache) evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// size reports the current entry count (for tests).
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.plans)
 }

@@ -21,7 +21,7 @@ import (
 // consult the prepared-plan cache, and execute a budget-governed recursive
 // hash-division whose pool, hash-table, and sort budgets all come out of the
 // one grant.
-func (s *Server) divide(ctx context.Context, req Request) *Response {
+func (s *Server) divide(ctx context.Context, req Request, quota *spillQuota) *Response {
 	if req.Dividend == "" || req.Divisor == "" {
 		return badRequest("divide needs dividend and divisor tables")
 	}
@@ -107,10 +107,19 @@ func (s *Server) divide(ctx context.Context, req Request) *Response {
 		tableBytes = poolBytes
 	}
 
+	// The session spill quota wraps the query's temp device: the first
+	// write to each page charges the session ceiling, Free credits it, and
+	// whatever the query leaves behind is credited back when it ends.
 	seq := atomic.AddUint64(&s.querySeq, 1)
+	tempDev := s.tempDev(fmt.Sprintf("q%d-temp", seq))
+	if quota != nil {
+		qd := newQuotaDev(tempDev, quota)
+		defer qd.releaseAll()
+		tempDev = qd
+	}
 	env := division.Env{
 		Pool:            buffer.New(poolBytes),
-		TempDev:         s.tempDev(fmt.Sprintf("q%d-temp", seq)),
+		TempDev:         tempDev,
 		ExpectedDivisor: len(svRows),
 	}
 	sp := division.Spec{
@@ -127,7 +136,11 @@ func (s *Server) divide(ctx context.Context, req Request) *Response {
 		division.RecursiveOptions{SeedCandidates: seedCandidates, SeedDividend: seedDividend})
 	if err != nil {
 		code := CodeInternal
-		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		var sqe *SpillQuotaError
+		switch {
+		case errors.As(err, &sqe):
+			code = CodeSpillQuota
+		case ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			code = CodeCancelled
 		}
 		return &Response{Error: err.Error(), Code: code}

@@ -55,6 +55,10 @@ const (
 	CodeCancelled = "cancelled"
 	// CodeInternal: the query failed while executing.
 	CodeInternal = "internal"
+	// CodeSpillQuota: the query's spill footprint would push the session
+	// past Options.SessionSpillBytes; the query fails instead of growing
+	// temp space without bound.
+	CodeSpillQuota = "spill_quota"
 )
 
 // Response is one server frame.

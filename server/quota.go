@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/disk"
+	"repro/internal/obs"
+)
+
+// SpillQuotaError reports a query whose spill footprint would push its
+// session past the configured ceiling. It is a permanent error — never
+// disk.IsTransient — so the buffer pool's retry policy fails the write fast
+// instead of retrying a limit that cannot recover on its own.
+type SpillQuotaError struct {
+	Dev   string // temp device that took the over-limit write
+	Limit int64  // session ceiling in bytes
+	Used  int64  // bytes already on device when the write was refused
+}
+
+func (e *SpillQuotaError) Error() string {
+	return fmt.Sprintf("server: session spill quota exhausted on %s: %d of %d bytes in use",
+		e.Dev, e.Used, e.Limit)
+}
+
+// spillQuota is one session's spill-byte budget, shared by every query the
+// session runs. Queries charge it page-by-page as their temp footprint
+// grows (storage.File.BytesOnDevice-style accounting: whole pages on the
+// device, headers and slack included) and credit it as pages are freed, so
+// the ceiling bounds live temp bytes, not cumulative traffic.
+type spillQuota struct {
+	limit int64
+	used  atomic.Int64
+}
+
+func newSpillQuota(limit int64) *spillQuota {
+	if limit <= 0 {
+		return nil // no ceiling configured
+	}
+	return &spillQuota{limit: limit}
+}
+
+// charge reserves n bytes, failing with a typed error when the ceiling
+// would be crossed.
+func (q *spillQuota) charge(n int64, dev string) error {
+	for {
+		cur := q.used.Load()
+		if cur+n > q.limit {
+			obs.Default.Counter("server.spill_quota_rejections").Inc()
+			return &SpillQuotaError{Dev: dev, Limit: q.limit, Used: cur}
+		}
+		if q.used.CompareAndSwap(cur, cur+n) {
+			return nil
+		}
+	}
+}
+
+func (q *spillQuota) credit(n int64) { q.used.Add(-n) }
+
+// quotaDev wraps one query's temp device with session spill accounting.
+// disk.Dev.Alloc cannot fail, so the charge lands on the first Write to
+// each page — the moment bytes actually reach the device — and Free credits
+// it back. releaseAll returns whatever is still charged when the query ends
+// (the temp device dies with the query, freed or not).
+type quotaDev struct {
+	disk.Dev
+	quota *spillQuota
+
+	mu      sync.Mutex
+	charged map[disk.PageID]struct{}
+}
+
+func newQuotaDev(dev disk.Dev, q *spillQuota) *quotaDev {
+	return &quotaDev{Dev: dev, quota: q, charged: make(map[disk.PageID]struct{})}
+}
+
+func (d *quotaDev) Write(p disk.PageID, buf []byte) error {
+	d.mu.Lock()
+	if _, ok := d.charged[p]; !ok {
+		if err := d.quota.charge(int64(d.PageSize()), d.Name()); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		d.charged[p] = struct{}{}
+	}
+	d.mu.Unlock()
+	return d.Dev.Write(p, buf)
+}
+
+func (d *quotaDev) Free(p disk.PageID) error {
+	d.mu.Lock()
+	if _, ok := d.charged[p]; ok {
+		delete(d.charged, p)
+		d.quota.credit(int64(d.PageSize()))
+	}
+	d.mu.Unlock()
+	return d.Dev.Free(p)
+}
+
+// releaseAll credits every page still charged — called when the query ends,
+// successfully or not, so one query's abandoned temp pages can never eat the
+// session's remaining budget.
+func (d *quotaDev) releaseAll() {
+	d.mu.Lock()
+	n := int64(len(d.charged)) * int64(d.PageSize())
+	d.charged = make(map[disk.PageID]struct{})
+	d.mu.Unlock()
+	if n > 0 {
+		d.quota.credit(n)
+	}
+}

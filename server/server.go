@@ -24,6 +24,14 @@ type Options struct {
 	// TempDevFactory supplies the temp device a query spills to; fault
 	// injection wraps here. Nil uses a fresh plain disk.Device per query.
 	TempDevFactory func(name string) disk.Dev
+	// PlanCacheEntries caps the prepared-plan cache; past the cap the least
+	// recently used entry is evicted ("server.cache.evictions").
+	// DefaultPlanCacheEntries if zero.
+	PlanCacheEntries int
+	// SessionSpillBytes ceilings each session's live temp-device footprint.
+	// A query whose spill would cross it fails with CodeSpillQuota instead
+	// of growing temp space without bound. Zero means no ceiling.
+	SessionSpillBytes int64
 }
 
 // Memory defaults. The floor keeps a grant large enough for the minimal
@@ -83,7 +91,7 @@ func NewServer(opts Options) *Server {
 		opts:   opts,
 		gov:    buffer.NewGovernor(opts.MemoryBytes),
 		tables: make(map[string]*table),
-		cache:  newPlanCache(),
+		cache:  newPlanCache(opts.PlanCacheEntries),
 		ctx:    ctx,
 		cancel: cancel,
 		conns:  make(map[net.Conn]struct{}),
@@ -192,6 +200,7 @@ func (s *Server) session(conn net.Conn) {
 
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
+	quota := newSpillQuota(s.opts.SessionSpillBytes)
 
 	// The channel is buffered so the reader re-enters conn.Read while a
 	// query executes: a killed connection then fails the pending Read at
@@ -215,7 +224,7 @@ func (s *Server) session(conn net.Conn) {
 	}()
 
 	for req := range reqs {
-		resp := s.execute(ctx, req)
+		resp := s.execute(ctx, req, quota)
 		if err := writeFrame(conn, resp); err != nil {
 			cancel()
 			return
@@ -224,7 +233,7 @@ func (s *Server) session(conn net.Conn) {
 }
 
 // execute dispatches one request.
-func (s *Server) execute(ctx context.Context, req Request) *Response {
+func (s *Server) execute(ctx context.Context, req Request, quota *spillQuota) *Response {
 	switch req.Op {
 	case "ping":
 		return &Response{OK: true}
@@ -238,7 +247,7 @@ func (s *Server) execute(ctx context.Context, req Request) *Response {
 		return s.insert(req)
 	case "divide":
 		obs.Default.Counter("server.queries").Inc()
-		resp := s.divide(ctx, req)
+		resp := s.divide(ctx, req, quota)
 		if !resp.OK {
 			obs.Default.Counter("server.query_errors").Inc()
 		}
