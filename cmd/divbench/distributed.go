@@ -4,36 +4,51 @@ package main
 // Workers are separate processes (-forked, each one `divbench distributed
 // -worker` dialing back to the coordinator) or goroutine-hosted TCP
 // listeners (the default, CI-safe). Each cell divides the same skewed
-// workload twice per strategy — bit-vector filtering off, then on — and
-// records what the filter did to dividend bytes-on-wire. -check gates on
-// the paper's claim: the filter plus its shipping cost must still beat the
-// unfiltered wire, with the quotient exactly matching the serial reference.
+// workload under every combination of partitioning strategy, shipping
+// engine (pipelined vs strictly phased), and bit-vector filtering, with the
+// links optionally priced by the paper's cost model (-latency scales). Two
+// gates ride on -check: the filter plus its shipping cost must beat the
+// unfiltered wire at every cell, and at latency scale >= 1 the pipelined
+// filtered plan must beat the phased unfiltered one on wall clock by >= 1.5x
+// — the overlap the morsel producers and per-link shippers exist to buy.
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	osexec "os/exec"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/disk"
 	"repro/internal/division"
 	"repro/internal/exec"
 	"repro/internal/netexchange"
 	"repro/internal/workload"
 )
 
-// networkScalingPoint is one (cell, strategy, filter) measurement in the
-// network_scaling section.
+// wallSpeedupFloor is what -check demands of pipelined+filtered over
+// phased+unfiltered at latency scale >= 1 (p50 over reps).
+const wallSpeedupFloor = 1.5
+
+// networkScalingPoint is one (cell, latency, strategy, ship, filter)
+// measurement in the network_scaling section.
 type networkScalingPoint struct {
-	S        int    `json:"s"`
-	Q        int    `json:"q"`
-	R        int    `json:"r"`
-	Strategy string `json:"strategy"`
-	Workers  int    `json:"workers"`
-	Filtered bool   `json:"filtered"`
+	S            int     `json:"s"`
+	Q            int     `json:"q"`
+	R            int     `json:"r"`
+	Strategy     string  `json:"strategy"`
+	Workers      int     `json:"workers"`
+	Filtered     bool    `json:"filtered"`
+	Ship         string  `json:"ship"`
+	LatencyScale float64 `json:"latency_scale"`
+	Gomaxprocs   int     `json:"gomaxprocs"`
 
 	DividendBytes  int64 `json:"dividend_bytes"` // dividend batch frames alone
 	FilterBytes    int64 `json:"filter_bytes"`   // bit-vector frames (0 unfiltered)
@@ -42,6 +57,44 @@ type networkScalingPoint struct {
 	TuplesFiltered int64 `json:"tuples_filtered"`
 	RoundTrips     int64 `json:"round_trips"` // per-link protocol rounds, summed
 	Ns             int64 `json:"ns"`          // min wall clock over reps
+	P50Ns          int64 `json:"p50_ns"`      // median wall clock over reps
+	P95Ns          int64 `json:"p95_ns"`      // p95 wall clock over reps
+}
+
+// quantileNs picks the q-quantile from sorted wall-clock samples.
+func quantileNs(sorted []time.Duration, q float64) int64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx].Nanoseconds()
+}
+
+func parseLatencies(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -latency scale %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseShips(s string) ([]netexchange.ShipMode, error) {
+	var out []netexchange.ShipMode
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "pipelined":
+			out = append(out, netexchange.ShipPipelined)
+		case "phased":
+			out = append(out, netexchange.ShipPhased)
+		default:
+			return nil, fmt.Errorf("bad -ship mode %q (want pipelined or phased)", part)
+		}
+	}
+	return out, nil
 }
 
 func runDistributed(args []string) error {
@@ -50,10 +103,13 @@ func runDistributed(args []string) error {
 	noise := fs.Int("noise", 5, "non-matching tuples per candidate (what the filter drops)")
 	zipf := fs.Float64("zipf", 1.5, "Zipf s for course skew (>1 unbalances divisor partitioning)")
 	workers := fs.Int("workers", 4, "worker count")
-	reps := fs.Int("reps", 3, "repetitions per point; minimum wall clock wins")
+	reps := fs.Int("reps", 3, "repetitions per point; minimum wall clock wins, p50/p95 reported")
+	latencyFlag := fs.String("latency", "0", "comma-separated link latency scales (0 = raw loopback; 1 = the paper's cost model per frame and byte)")
+	shipFlag := fs.String("ship", "pipelined,phased", "comma-separated shipping engines to sweep")
+	budget := fs.Int64("budget", 0, "per-worker memory budget in bytes (0 = unbounded in-memory tables)")
 	forked := fs.Bool("forked", false, "spawn workers as separate OS processes instead of goroutine-hosted listeners")
 	jsonOut := fs.Bool("json", false, "merge a network_scaling section into "+benchJSONFile)
-	check := fs.Bool("check", false, "exit nonzero unless filtering cuts dividend bytes-on-wire with exact quotient parity (skipped when GOMAXPROCS < 2)")
+	check := fs.Bool("check", false, "exit nonzero unless filtering cuts dividend bytes-on-wire and, at latency >= 1, pipelined+filtered beats phased+unfiltered by >= 1.5x; quotients must match the serial reference exactly (skipped when GOMAXPROCS < 2)")
 	workerMode := fs.Bool("worker", false, "internal: run as a forked worker process")
 	connect := fs.String("connect", "", "internal: coordinator address a forked worker dials")
 	if err := fs.Parse(args); err != nil {
@@ -66,12 +122,20 @@ func runDistributed(args []string) error {
 	if err != nil {
 		return err
 	}
+	latencies, err := parseLatencies(*latencyFlag)
+	if err != nil {
+		return err
+	}
+	ships, err := parseShips(*shipFlag)
+	if err != nil {
+		return err
+	}
 	if *check && runtime.GOMAXPROCS(0) < 2 {
 		fmt.Println("(distributed -check skipped: GOMAXPROCS < 2, no parallelism available)")
 		return nil
 	}
 
-	conns, cleanup, err := startWorkers(*workers, *forked)
+	baseConns, cleanup, err := startWorkers(*workers, *forked)
 	if err != nil {
 		return err
 	}
@@ -81,10 +145,11 @@ func runDistributed(args []string) error {
 	if *forked {
 		mode = "forked processes"
 	}
-	fmt.Printf("Distributed division over TCP (§6 + DESIGN.md §14): workers=%d (%s), zipf=%.2f, noise=%d\n",
-		*workers, mode, *zipf, *noise)
-	fmt.Printf("%-6s %-6s %-8s %-24s %-8s %12s %12s %12s %10s\n",
-		"|S|", "|Q|", "filter", "strategy", "drops", "dividend B", "filter B", "total B", "elapsed")
+	fmt.Printf("Distributed division over TCP (§6 + DESIGN.md §14–15): workers=%d (%s), zipf=%.2f, noise=%d, budget=%d\n",
+		*workers, mode, *zipf, *noise, *budget)
+	fmt.Printf("%-6s %-6s %-5s %-10s %-8s %-24s %-8s %12s %12s %12s %10s %10s\n",
+		"|S|", "|Q|", "lat", "ship", "filter", "strategy", "drops",
+		"dividend B", "filter B", "total B", "p50", "p95")
 
 	strategies := []division.PartitionStrategy{
 		division.QuotientPartitioning, division.DivisorPartitioning,
@@ -118,60 +183,106 @@ func runDistributed(args []string) error {
 		}
 		qs := spec().QuotientSchema()
 
-		for _, strategy := range strategies {
-			var unfiltered, filtered *networkScalingPoint
-			for _, useFilter := range []bool{false, true} {
-				var best *netexchange.Result
-				for r := 0; r < *reps; r++ {
-					res, err := netexchange.Divide(context.Background(), spec(), netexchange.Config{
-						Strategy:        strategy,
-						BitVectorFilter: useFilter,
-					}, conns)
-					if err != nil {
-						return fmt.Errorf("size %d, %s, filter=%v: %w", size, strategy, useFilter, err)
-					}
-					if !division.EqualTupleSets(qs, res.Quotient, ref) {
-						return fmt.Errorf("size %d, %s, filter=%v: quotient diverges from serial reference (%d vs %d tuples)",
-							size, strategy, useFilter, len(res.Quotient), len(ref))
-					}
-					if best == nil || res.Elapsed < best.Elapsed {
-						best = res
-					}
-				}
-				var rounds int64
-				for _, l := range best.Links {
-					rounds += l.RoundTrips
-				}
-				p := networkScalingPoint{
-					S: size, Q: size, R: len(inst.Dividend),
-					Strategy: strategy.String(), Workers: *workers, Filtered: useFilter,
-					DividendBytes:  best.DividendBytes,
-					FilterBytes:    best.FilterBytes,
-					BytesShipped:   best.Network.BytesShipped,
-					TuplesShipped:  best.Network.TuplesShipped,
-					TuplesFiltered: best.Network.TuplesFiltered,
-					RoundTrips:     rounds,
-					Ns:             best.Elapsed.Nanoseconds(),
-				}
-				points = append(points, p)
-				if useFilter {
-					filtered = &p
-				} else {
-					unfiltered = &p
-				}
-				fmt.Printf("%-6d %-6d %-8v %-24s %-8d %12d %12d %12d %10s\n",
-					size, size, useFilter, p.Strategy, p.TuplesFiltered,
-					p.DividendBytes, p.FilterBytes, p.BytesShipped,
-					best.Elapsed.Round(time.Microsecond))
+		for _, scale := range latencies {
+			// One wrapper layer per scale: frame counting always on, the
+			// frame and byte delays priced from the paper's cost model.
+			conns := make([]net.Conn, len(baseConns))
+			for i, c := range baseConns {
+				conns[i] = netexchange.LatencyConnFromCost(c, disk.PaperCost(), scale)
 			}
-			saved := unfiltered.DividendBytes - filtered.DividendBytes - filtered.FilterBytes
-			fmt.Printf("%47s net dividend wire saved by filter: %d bytes (%.1f%%)\n", "",
-				saved, 100*float64(saved)/float64(unfiltered.DividendBytes))
-			if saved <= 0 {
-				checkErrs = append(checkErrs, fmt.Sprintf(
-					"size %d, %s: filter saved %d bytes (dividend %d → %d + %d filter)",
-					size, strategy, saved, unfiltered.DividendBytes,
-					filtered.DividendBytes, filtered.FilterBytes))
+			for _, strategy := range strategies {
+				type cellKey struct {
+					ship     string
+					filtered bool
+				}
+				cell := make(map[cellKey]networkScalingPoint)
+				for _, ship := range ships {
+					for _, useFilter := range []bool{false, true} {
+						var best *netexchange.Result
+						samples := make([]time.Duration, 0, *reps)
+						for r := 0; r < *reps; r++ {
+							res, err := netexchange.Divide(context.Background(), spec(), netexchange.Config{
+								Strategy:        strategy,
+								BitVectorFilter: useFilter,
+								Ship:            ship,
+								WorkerBudget:    *budget,
+							}, conns)
+							if err != nil {
+								return fmt.Errorf("size %d, lat %g, %s, %v, filter=%v: %w",
+									size, scale, strategy, ship, useFilter, err)
+							}
+							if !division.EqualTupleSets(qs, res.Quotient, ref) {
+								return fmt.Errorf("size %d, lat %g, %s, %v, filter=%v: quotient diverges from serial reference (%d vs %d tuples)",
+									size, scale, strategy, ship, useFilter, len(res.Quotient), len(ref))
+							}
+							samples = append(samples, res.Elapsed)
+							if best == nil || res.Elapsed < best.Elapsed {
+								best = res
+							}
+						}
+						sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+						var rounds int64
+						for _, l := range best.Links {
+							rounds += l.RoundTrips
+						}
+						p := networkScalingPoint{
+							S: size, Q: size, R: len(inst.Dividend),
+							Strategy: strategy.String(), Workers: *workers, Filtered: useFilter,
+							Ship: ship.String(), LatencyScale: scale,
+							Gomaxprocs:     runtime.GOMAXPROCS(0),
+							DividendBytes:  best.DividendBytes,
+							FilterBytes:    best.FilterBytes,
+							BytesShipped:   best.Network.BytesShipped,
+							TuplesShipped:  best.Network.TuplesShipped,
+							TuplesFiltered: best.Network.TuplesFiltered,
+							RoundTrips:     rounds,
+							Ns:             samples[0].Nanoseconds(),
+							P50Ns:          quantileNs(samples, 0.5),
+							P95Ns:          quantileNs(samples, 0.95),
+						}
+						points = append(points, p)
+						cell[cellKey{p.Ship, useFilter}] = p
+						fmt.Printf("%-6d %-6d %-5g %-10s %-8v %-24s %-8d %12d %12d %12d %10s %10s\n",
+							size, size, scale, p.Ship, useFilter, p.Strategy, p.TuplesFiltered,
+							p.DividendBytes, p.FilterBytes, p.BytesShipped,
+							time.Duration(p.P50Ns).Round(time.Microsecond),
+							time.Duration(p.P95Ns).Round(time.Microsecond))
+					}
+				}
+				// Gate 1, per shipping engine: the filter plus its own wire
+				// cost must cut dividend bytes.
+				for _, ship := range ships {
+					unfiltered, okU := cell[cellKey{ship.String(), false}]
+					filtered, okF := cell[cellKey{ship.String(), true}]
+					if !okU || !okF {
+						continue
+					}
+					saved := unfiltered.DividendBytes - filtered.DividendBytes - filtered.FilterBytes
+					fmt.Printf("%47s %s net dividend wire saved by filter: %d bytes (%.1f%%)\n", "",
+						ship, saved, 100*float64(saved)/float64(unfiltered.DividendBytes))
+					if saved <= 0 {
+						checkErrs = append(checkErrs, fmt.Sprintf(
+							"size %d, lat %g, %s, %v: filter saved %d bytes (dividend %d → %d + %d filter)",
+							size, scale, strategy, ship, saved, unfiltered.DividendBytes,
+							filtered.DividendBytes, filtered.FilterBytes))
+					}
+				}
+				// Gate 2, the overlap claim: once the links cost real time,
+				// pipelined+filtered must beat phased+unfiltered on p50 wall
+				// clock by the floor. Needs both engines in the sweep.
+				phased, okP := cell[cellKey{netexchange.ShipPhased.String(), false}]
+				piped, okPi := cell[cellKey{netexchange.ShipPipelined.String(), true}]
+				if scale >= 1 && okP && okPi {
+					speedup := float64(phased.P50Ns) / float64(piped.P50Ns)
+					fmt.Printf("%47s pipelined+filtered vs phased+unfiltered: %.2fx\n", "", speedup)
+					if speedup < wallSpeedupFloor {
+						checkErrs = append(checkErrs, fmt.Sprintf(
+							"size %d, lat %g, %s: pipelined+filtered %.2fx over phased+unfiltered, want >= %.1fx (%s vs %s)",
+							size, scale, strategy, speedup, wallSpeedupFloor,
+							time.Duration(piped.P50Ns).Round(time.Microsecond),
+							time.Duration(phased.P50Ns).Round(time.Microsecond)))
+					}
+				}
 			}
 		}
 	}
@@ -183,6 +294,7 @@ func runDistributed(args []string) error {
 			"zipf":       *zipf,
 			"noise":      *noise,
 			"reps":       *reps,
+			"budget":     *budget,
 			"gomaxprocs": runtime.GOMAXPROCS(0),
 			"points":     points,
 		}
@@ -197,9 +309,9 @@ func runDistributed(args []string) error {
 			for _, e := range checkErrs {
 				fmt.Fprintf(os.Stderr, "distributed -check: %s\n", e)
 			}
-			return fmt.Errorf("distributed -check: bit-vector filtering failed to cut the wire at %d cell(s)", len(checkErrs))
+			return fmt.Errorf("distributed -check: %d gate failure(s)", len(checkErrs))
 		}
-		fmt.Println("distributed -check passed: filtering cut dividend bytes-on-wire at every cell, quotients exact")
+		fmt.Println("distributed -check passed: filtering cut dividend bytes-on-wire at every cell, pipelined overlap held where priced, quotients exact")
 	}
 	return nil
 }

@@ -9,9 +9,10 @@ import (
 
 // TestNetworkScalingSectionPreservesSiblings checks that writing the
 // network_scaling section leaves previously recorded sections byte-for-byte
-// intact and that the section has the expected shape: both strategies, a
-// filtered and an unfiltered point per cell, and the filtered point cheaper
-// on the dividend wire.
+// intact and that the section has the expected shape: both strategies, both
+// shipping engines, a filtered and an unfiltered point per cell, identical
+// wire accounting across engines, and the filtered point cheaper on the
+// dividend wire.
 func TestNetworkScalingSectionPreservesSiblings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("distributed sweep smoke in short mode")
@@ -63,11 +64,17 @@ func TestNetworkScalingSectionPreservesSiblings(t *testing.T) {
 	var section struct {
 		Workers int `json:"workers"`
 		Points  []struct {
-			Strategy       string `json:"strategy"`
-			Filtered       bool   `json:"filtered"`
-			DividendBytes  int64  `json:"dividend_bytes"`
-			FilterBytes    int64  `json:"filter_bytes"`
-			TuplesFiltered int64  `json:"tuples_filtered"`
+			Strategy       string  `json:"strategy"`
+			Filtered       bool    `json:"filtered"`
+			Ship           string  `json:"ship"`
+			LatencyScale   float64 `json:"latency_scale"`
+			Gomaxprocs     int     `json:"gomaxprocs"`
+			DividendBytes  int64   `json:"dividend_bytes"`
+			FilterBytes    int64   `json:"filter_bytes"`
+			TuplesFiltered int64   `json:"tuples_filtered"`
+			Ns             int64   `json:"ns"`
+			P50Ns          int64   `json:"p50_ns"`
+			P95Ns          int64   `json:"p95_ns"`
 		} `json:"points"`
 	}
 	if err := json.Unmarshal(raw, &section); err != nil {
@@ -76,27 +83,50 @@ func TestNetworkScalingSectionPreservesSiblings(t *testing.T) {
 	if section.Workers != 2 {
 		t.Errorf("workers = %d, want 2", section.Workers)
 	}
-	// One cell × two strategies × {unfiltered, filtered}.
-	if len(section.Points) != 4 {
-		t.Fatalf("%d points, want 4", len(section.Points))
+	// One cell × two strategies × two shipping engines × {unfiltered,
+	// filtered}.
+	if len(section.Points) != 8 {
+		t.Fatalf("%d points, want 8", len(section.Points))
 	}
-	byKey := map[[2]any]int64{}
+	byKey := map[[3]any]int64{}
 	for _, p := range section.Points {
-		byKey[[2]any{p.Strategy, p.Filtered}] = p.DividendBytes + p.FilterBytes
+		if p.Ship != "pipelined" && p.Ship != "phased" {
+			t.Fatalf("point has ship %q", p.Ship)
+		}
+		if p.LatencyScale != 0 {
+			t.Errorf("default sweep priced a link: latency_scale %g", p.LatencyScale)
+		}
+		if p.Gomaxprocs <= 0 {
+			t.Errorf("point missing gomaxprocs stamp: %d", p.Gomaxprocs)
+		}
+		if p.P50Ns <= 0 || p.P95Ns < p.P50Ns || p.Ns > p.P50Ns {
+			t.Errorf("%s/%s wall-clock stats out of order: min %d, p50 %d, p95 %d",
+				p.Strategy, p.Ship, p.Ns, p.P50Ns, p.P95Ns)
+		}
+		byKey[[3]any{p.Strategy, p.Ship, p.Filtered}] = p.DividendBytes + p.FilterBytes
 		if p.Filtered && p.TuplesFiltered == 0 {
-			t.Errorf("%s filtered point dropped no tuples", p.Strategy)
+			t.Errorf("%s/%s filtered point dropped no tuples", p.Strategy, p.Ship)
 		}
 		if !p.Filtered && p.FilterBytes != 0 {
-			t.Errorf("%s unfiltered point reports %d filter bytes", p.Strategy, p.FilterBytes)
+			t.Errorf("%s/%s unfiltered point reports %d filter bytes", p.Strategy, p.Ship, p.FilterBytes)
 		}
 	}
 	for _, strategy := range []string{"quotient-partitioning", "divisor-partitioning"} {
-		plain, filtered := byKey[[2]any{strategy, false}], byKey[[2]any{strategy, true}]
-		if plain == 0 || filtered == 0 {
-			t.Fatalf("%s: missing point pair (plain=%d filtered=%d)", strategy, plain, filtered)
+		for _, ship := range []string{"pipelined", "phased"} {
+			plain, filtered := byKey[[3]any{strategy, ship, false}], byKey[[3]any{strategy, ship, true}]
+			if plain == 0 || filtered == 0 {
+				t.Fatalf("%s/%s: missing point pair (plain=%d filtered=%d)", strategy, ship, plain, filtered)
+			}
+			if filtered >= plain {
+				t.Errorf("%s/%s: filtered wire %d ≥ unfiltered %d", strategy, ship, filtered, plain)
+			}
 		}
-		if filtered >= plain {
-			t.Errorf("%s: filtered wire %d ≥ unfiltered %d", strategy, filtered, plain)
+		// DESIGN.md §15 parity: the engines must agree on wire accounting.
+		for _, f := range []bool{false, true} {
+			if byKey[[3]any{strategy, "pipelined", f}] != byKey[[3]any{strategy, "phased", f}] {
+				t.Errorf("%s filtered=%v: wire bytes differ across shipping engines (%d vs %d)",
+					strategy, f, byKey[[3]any{strategy, "pipelined", f}], byKey[[3]any{strategy, "phased", f}])
+			}
 		}
 	}
 }

@@ -225,10 +225,65 @@ func NewHashAggregation(sp Spec, env Env, withJoin bool) exec.Operator {
 		// temp device is available so the with-join variant pays the
 		// second pass the analysis and experiments charge it.
 		if materialize {
-			out := storage.NewFile(env.Pool, env.TempDev, sp.Dividend.Schema(), "semijoin-out")
-			aggInput = env.instrument(exec.NewMaterialize(aggInput, out, env.Counters), matSpan)
+			// The materialized semi-join output is query scratch space like
+			// any partition spill: spillMaterialize routes it through the
+			// live-spill gauge and retires it when the chain closes (or the
+			// open fails). Materialize itself never drops its file.
+			aggInput = &spillMaterialize{
+				env:    env,
+				input:  aggInput,
+				schema: sp.Dividend.Schema(),
+				span:   matSpan,
+			}
 		}
 	}
 	counts := env.instrument(exec.NewHashGroupCount(aggInput, qCols, env.expectedQuotient(), env.hbs(), env.Counters), groupSpan)
 	return newCountFilter(counts, distinctDivisorCount(sp.Divisor, env, parent), env)
+}
+
+// spillMaterialize is exec.Materialize with spill-file lifetime owned here:
+// the file is created at Open (never at plan-build time, so a query that
+// fails before this operator runs leaves no live spill file), dropped when
+// the chain closes, and self-cleaned when Open itself fails — the same
+// contract sort runs follow. Re-Open re-materializes into a fresh file.
+type spillMaterialize struct {
+	env    Env
+	input  exec.Operator
+	schema *tuple.Schema
+	span   *obs.Span
+
+	inner exec.Operator
+	file  *storage.File
+}
+
+func (m *spillMaterialize) Schema() *tuple.Schema { return m.input.Schema() }
+
+func (m *spillMaterialize) Open() error {
+	m.file = storage.NewSpillFile(m.env.Pool, m.env.TempDev, m.schema, "semijoin-out")
+	m.inner = m.env.instrument(exec.NewMaterialize(m.input, m.file, m.env.Counters), m.span)
+	if err := m.inner.Open(); err != nil {
+		m.file.Drop()
+		m.file, m.inner = nil, nil
+		return err
+	}
+	return nil
+}
+
+func (m *spillMaterialize) Next() (tuple.Tuple, error) {
+	if m.inner == nil {
+		return nil, errNotOpen("spillMaterialize")
+	}
+	return m.inner.Next()
+}
+
+func (m *spillMaterialize) Close() error {
+	if m.inner == nil {
+		return nil
+	}
+	err := m.inner.Close()
+	if derr := m.file.Drop(); err == nil {
+		err = derr
+	}
+	m.file, m.inner = nil, nil
+	return err
 }

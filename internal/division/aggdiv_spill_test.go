@@ -1,0 +1,37 @@
+package division
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestHashAggJoinMaterializeIsSpillAccounted pins the semi-join
+// materialization file of AlgHashAggJoin to the live-spill gauge: it is
+// query scratch space like any sort run or partition spill, so a completed
+// query — success path through the dropOnClose wrapper — must leave the
+// gauge where it found it.
+func TestHashAggJoinMaterializeIsSpillAccounted(t *testing.T) {
+	base := storage.LiveSpillFiles()
+	dividend := make([][2]int64, 0, 600)
+	for s := int64(1); s <= 100; s++ {
+		for c := int64(101); c <= 106; c++ {
+			if s%3 == 0 && c == 106 {
+				continue // two-thirds of students take every course
+			}
+			dividend = append(dividend, [2]int64{s, c})
+		}
+	}
+	divisor := []int64{101, 102, 103, 104, 105, 106}
+	sp := makeSpec(dividend, divisor)
+	got, err := Run(AlgHashAggJoin, sp, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("empty quotient from a workload with full students")
+	}
+	if after := storage.LiveSpillFiles(); after != base {
+		t.Fatalf("semijoin materialization leaked: gauge %d before, %d after", base, after)
+	}
+}

@@ -1,0 +1,65 @@
+package exec
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestSortRunsAreSpillAccounted pins the run files of an external sort to
+// the process-wide live-spill gauge: runs must be visible while the sort is
+// open (storage.NewSpillFile, not bare NewFile) and fully retired by Close,
+// so leak assertions in the chaos suites see sort scratch space like any
+// partition spill.
+func TestSortRunsAreSpillAccounted(t *testing.T) {
+	base := storage.LiveSpillFiles()
+	in := randomPairs(3000, 31)
+	s := rsSort(in, false, 1024)
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SpilledRuns() == 0 {
+		t.Fatal("sort did not spill; shrink the budget or grow the input")
+	}
+	if live := storage.LiveSpillFiles(); live <= base {
+		t.Fatalf("spilling sort left gauge at %d (base %d): run files bypass spill accounting", live, base)
+	}
+	n := 0
+	for {
+		if _, err := s.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 3000 {
+		t.Fatalf("sort returned %d of 3000 tuples", n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if live := storage.LiveSpillFiles(); live != base {
+		t.Fatalf("gauge %d after Close, want base %d: run files leaked", live, base)
+	}
+}
+
+// TestSortSpillGaugeClearedOnAbandon closes a spilled sort before draining
+// it; the gauge must still return to base.
+func TestSortSpillGaugeClearedOnAbandon(t *testing.T) {
+	base := storage.LiveSpillFiles()
+	s := rsSort(randomPairs(3000, 32), true, 1024)
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SpilledRuns() == 0 {
+		t.Fatal("sort did not spill")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if live := storage.LiveSpillFiles(); live != base {
+		t.Fatalf("gauge %d after abandoning open sort, want base %d", live, base)
+	}
+}

@@ -38,7 +38,9 @@ func waitGoroutines(t *testing.T, before int) {
 
 // hookScan wraps an operator and fires hook once, just before tuple `at` is
 // returned — the deterministic way to injure the exchange exactly mid-
-// dividend, since the single shipper scans and ships on the same goroutine.
+// dividend. hookScan is not Splittable, so the pipelined engine falls back
+// to its single-producer path and the scan that fires the hook feeds the
+// shippers directly; injected failures land mid-dividend as intended.
 type hookScan struct {
 	exec.Operator
 	at   int

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,8 +25,31 @@ const (
 	strategyDivisor  = byte(1)
 )
 
+// ShipMode selects the dividend shipping engine for phase C.
+type ShipMode int
+
+const (
+	// ShipPipelined (the default) overlaps the dividend scan, frame
+	// serialization, and the wire: morsel-driven producers feed per-link
+	// double-buffered shipper goroutines, so worker absorption runs
+	// concurrently with the coordinator's scan (DESIGN.md §15).
+	ShipPipelined ShipMode = iota
+	// ShipPhased is the strictly sequential single-goroutine shipper: one
+	// scan serializes and writes every link in turn. Kept as the measured
+	// baseline the latency sweep compares against.
+	ShipPhased
+)
+
+func (m ShipMode) String() string {
+	if m == ShipPhased {
+		return "phased"
+	}
+	return "pipelined"
+}
+
 // Config tunes a distributed division. The zero value of every field is
-// "use the default"; Strategy defaults to quotient partitioning.
+// "use the default"; Strategy defaults to quotient partitioning and Ship to
+// pipelined shipping.
 type Config struct {
 	Strategy division.PartitionStrategy
 	// BitVectorFilter ships the divisor-probe bit vector back from the
@@ -39,6 +63,22 @@ type Config struct {
 	BatchSize int
 	// HBS sizes worker hash tables (default 2).
 	HBS float64
+	// Ship selects the phase C engine; both modes produce identical
+	// per-link frame and byte totals (asserted by TestPipelinedMatchesPhased),
+	// only the overlap differs.
+	Ship ShipMode
+	// Producers bounds the morsel-scan goroutines of pipelined shipping;
+	// 0 picks GOMAXPROCS capped at 8.
+	Producers int
+	// MorselTuples is the work-queue grain of pipelined shipping; 0 picks
+	// 4× the batch size.
+	MorselTuples int
+	// WorkerBudget, when positive, is shipped in every job header: each
+	// worker bounds its local division to this many bytes, spooling its
+	// partition through division.DivideRecursive instead of building
+	// unbounded in-memory tables. Budget and depth-cap failures come back
+	// as WorkerError wrapping the typed division sentinels.
+	WorkerBudget int64
 	// Progress, when set, receives human-readable summary lines.
 	Progress func(format string, args ...any)
 }
@@ -365,6 +405,18 @@ func Divide(ctx context.Context, sp division.Spec, cfg Config, conns []net.Conn)
 	if cfg.HBS <= 0 {
 		cfg.HBS = 2
 	}
+	if cfg.MorselTuples <= 0 {
+		cfg.MorselTuples = 4 * cfg.BatchSize
+	}
+	if cfg.Producers <= 0 {
+		cfg.Producers = runtime.GOMAXPROCS(0)
+		if cfg.Producers > 8 {
+			cfg.Producers = 8
+		}
+	}
+	if cfg.WorkerBudget < 0 {
+		cfg.WorkerBudget = 0
+	}
 	cfg.Progress = obs.SerializeProgress(cfg.Progress)
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -461,6 +513,7 @@ func Divide(ctx context.Context, sp division.Spec, cfg Config, conns []net.Conn)
 			FilterBits:  filterBits,
 			BatchSize:   cfg.BatchSize,
 			HBS:         cfg.HBS,
+			Budget:      cfg.WorkerBudget,
 			Dividend:    ds,
 			Divisor:     ss,
 			DivisorCols: sp.DivisorCols,
@@ -492,51 +545,24 @@ func Divide(ctx context.Context, sp division.Spec, cfg Config, conns []net.Conn)
 		}
 	}
 
-	// Phase C, single shipper: scan the dividend once, drop filtered tuples
-	// before serialization, and write-combine the rest into per-link frames.
-	// Routing matches the in-process partitioner: quotient partitioning
-	// routes on the quotient attributes, divisor partitioning reuses the
-	// divisor hash that clustered the divisor.
+	// Phase C: ship the dividend. Routing matches the in-process
+	// partitioner in both engines: quotient partitioning routes on the
+	// quotient attributes, divisor partitioning reuses the divisor hash
+	// that clustered the divisor. Pipelined shipping (the default)
+	// overlaps scan, serialization, and the wire; the phased engine keeps
+	// the strictly sequential shipper as the measured baseline. Per-link
+	// stats folding happens behind the engine's barrier either way, so
+	// LinkStats and NetworkStats are identical across the two.
 	routeCols := sp.QuotientCols()
 	if strategy == strategyDivisor {
 		routeCols = nil
 	}
-	shippers := make([]*frameBatcher, nw)
-	for i, l := range links {
-		shippers[i] = newFrameBatcher(l.conn, ds, frameDividendBatch, 0, cfg.BatchSize)
-	}
 	var filtered int64
-	shipErr := exec.ForEach(exec.NewContextScan(ctx, sp.Dividend), func(t tuple.Tuple) error {
-		h := ds.Hash(t, sp.DivisorCols)
-		if bv != nil && !bv.Test(int(h%uint64(filterBits))) {
-			filtered++
-			return nil
-		}
-		dest := h
-		if len(routeCols) > 0 {
-			dest = ds.Hash(t, routeCols)
-		}
-		d := int(dest % uint64(nw))
-		if err := shippers[d].add(t); err != nil {
-			return links[d].wrap(err)
-		}
-		return nil
-	})
-	for i, l := range links {
-		if shipErr == nil {
-			if err := shippers[i].flush(); err != nil {
-				shipErr = l.wrap(err)
-			}
-		}
-		l.foldBatcher(shippers[i])
-		l.divBytes = shippers[i].bytes
-		res.DividendBytes += shippers[i].bytes
-		shippers[i].release()
-		if shipErr == nil {
-			if err := l.control(FrameHeader{Type: frameDividendEnd}, nil); err != nil {
-				shipErr = l.wrap(err)
-			}
-		}
+	var shipErr error
+	if cfg.Ship == ShipPhased {
+		filtered, shipErr = shipDividendPhased(ctx, sp, cfg, links, bv, filterBits, routeCols, res)
+	} else {
+		filtered, shipErr = shipDividendPipelined(ctx, sp, cfg, links, bv, filterBits, routeCols, res, fe)
 	}
 	if shipErr != nil {
 		fe.set(shipErr)
@@ -620,6 +646,312 @@ func Divide(ctx context.Context, sp division.Spec, cfg Config, conns []net.Conn)
 	finished.Store(true)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// shipDividendPhased is the strictly sequential phase C engine: one
+// goroutine scans the dividend, drops filtered tuples before serialization,
+// and write-combines the rest into per-link frames — PR 9's shipper, kept
+// verbatim as the overlap-free baseline. Arenas are released on every exit,
+// error paths included.
+func shipDividendPhased(ctx context.Context, sp division.Spec, cfg Config, links []*link,
+	bv *bitmap.Bitmap, filterBits int, routeCols []int, res *Result) (int64, error) {
+	ds := sp.Dividend.Schema()
+	nw := len(links)
+	shippers := make([]*frameBatcher, nw)
+	for i, l := range links {
+		shippers[i] = newFrameBatcher(l.conn, ds, frameDividendBatch, 0, cfg.BatchSize)
+	}
+	var filtered int64
+	shipErr := exec.ForEach(exec.NewContextScan(ctx, sp.Dividend), func(t tuple.Tuple) error {
+		h := ds.Hash(t, sp.DivisorCols)
+		if bv != nil && !bv.Test(int(h%uint64(filterBits))) {
+			filtered++
+			return nil
+		}
+		dest := h
+		if len(routeCols) > 0 {
+			dest = ds.Hash(t, routeCols)
+		}
+		d := int(dest % uint64(nw))
+		if err := shippers[d].add(t); err != nil {
+			return links[d].wrap(err)
+		}
+		return nil
+	})
+	for i, l := range links {
+		if shipErr == nil {
+			if err := shippers[i].flush(); err != nil {
+				shipErr = l.wrap(err)
+			}
+		}
+		l.foldBatcher(shippers[i])
+		l.divBytes = shippers[i].bytes
+		res.DividendBytes += shippers[i].bytes
+		shippers[i].release()
+		if shipErr == nil {
+			if err := l.control(FrameHeader{Type: frameDividendEnd}, nil); err != nil {
+				shipErr = l.wrap(err)
+			}
+		}
+	}
+	return filtered, shipErr
+}
+
+// linkShipper is one link's write pipeline in pipelined shipping: producers
+// append routed tuples into the current arena under a short lock; a full
+// arena is handed to the writer goroutine through a depth-1 channel while
+// the spare arena (double buffering) takes over, so serialization of the
+// next frame overlaps the wire write of the previous one. The writer is the
+// only goroutine touching the connection, preserving the single-writer
+// discipline of the phased protocol; its byte/frame/tuple totals fold into
+// the link only after it has been joined. Exactly like the phased batcher,
+// a full arena carries BatchSize tuples and the trailing partial ships
+// last, so frames-per-link and bytes-per-link are identical across engines.
+type linkShipper struct {
+	l    *link
+	size int
+
+	mu     sync.Mutex
+	cur    *exec.Batch
+	stalls int64 // arena hand-offs that blocked on the writer (backpressure)
+
+	full chan *exec.Batch
+	free chan *exec.Batch
+	wg   sync.WaitGroup
+
+	failed atomic.Bool
+	bytes  int64 // writer-goroutine private until wg.Wait
+	frames int64
+	tuples int64
+}
+
+func newLinkShipper(l *link, schema *tuple.Schema, size int) *linkShipper {
+	s := &linkShipper{
+		l:    l,
+		size: size,
+		cur:  exec.NewBatch(schema, size),
+		full: make(chan *exec.Batch, 1),
+		// Capacity 2 so the writer can always recycle both arenas without
+		// blocking, even after finish() has pushed the trailing partial.
+		free: make(chan *exec.Batch, 2),
+	}
+	s.free <- exec.NewBatch(schema, size)
+	return s
+}
+
+// start launches the writer goroutine. After a write error the writer keeps
+// draining and recycling arenas — producers must never hang on the free
+// channel — but stops touching the broken connection. A write failure after
+// the shared context was cancelled reports the cancellation, not the
+// poisoned-deadline noise the watchdog induced.
+func (s *linkShipper) start(ctx context.Context, fe *firstErr) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for b := range s.full {
+			if !s.failed.Load() && b.Len() > 0 {
+				n, err := writeRawFrame(s.l.conn, FrameHeader{
+					Type: frameDividendBatch, Count: uint32(b.Len()),
+				}, b.Raw())
+				if err != nil {
+					s.failed.Store(true)
+					if cerr := ctx.Err(); cerr != nil {
+						fe.set(cerr)
+					} else {
+						fe.set(s.l.wrap(err))
+					}
+				} else {
+					s.bytes += n
+					s.frames++
+					s.tuples += int64(b.Len())
+				}
+			}
+			b.Reset()
+			s.free <- b
+		}
+	}()
+}
+
+// add appends one routed tuple, handing the arena to the writer when full.
+// Safe for concurrent producers; a hand-off blocks only while both arenas
+// are ahead of the writer, which is the backpressure bounding coordinator
+// memory at two arenas per link.
+func (s *linkShipper) add(t tuple.Tuple) {
+	s.mu.Lock()
+	s.cur.Append(t)
+	if s.cur.Len() >= s.size {
+		b := s.cur
+		select {
+		case s.full <- b:
+		default:
+			s.stalls++
+			s.full <- b
+		}
+		s.cur = <-s.free
+	}
+	s.mu.Unlock()
+}
+
+// finish pushes the trailing partial arena and closes the pipeline. Call
+// only after every producer has stopped.
+func (s *linkShipper) finish() {
+	s.mu.Lock()
+	b := s.cur
+	s.cur = nil
+	s.mu.Unlock()
+	if b != nil {
+		s.full <- b
+	}
+	close(s.full)
+}
+
+// wait joins the writer; the shipper's totals are stable afterwards.
+func (s *linkShipper) wait() { s.wg.Wait() }
+
+// release returns the arenas to the batch pool. Call after wait.
+func (s *linkShipper) release() {
+	if s.cur != nil {
+		s.cur.Release()
+		s.cur = nil
+	}
+	for {
+		select {
+		case b := <-s.free:
+			b.Release()
+		default:
+			return
+		}
+	}
+}
+
+// shipDividendPipelined is the overlapped phase C engine: morsel producers
+// (exec.SplitMorsels over the dividend, with a single-scanner fallback for
+// sources that hide splitting) route tuples into per-link linkShippers whose
+// writer goroutines overlap serialization with the wire. Stats folding —
+// and the dividendEnd control frames — happen behind the producers+writers
+// barrier, so the accounting stays byte-identical to the phased engine.
+func shipDividendPipelined(ctx context.Context, sp division.Spec, cfg Config, links []*link,
+	bv *bitmap.Bitmap, filterBits int, routeCols []int, res *Result, fe *firstErr) (int64, error) {
+	ds := sp.Dividend.Schema()
+	nw := len(links)
+	shippers := make([]*linkShipper, nw)
+	for i, l := range links {
+		shippers[i] = newLinkShipper(l, ds, cfg.BatchSize)
+		shippers[i].start(ctx, fe)
+	}
+
+	perTuple := func(t tuple.Tuple, dropped *int64) {
+		h := ds.Hash(t, sp.DivisorCols)
+		if bv != nil && !bv.Test(int(h%uint64(filterBits))) {
+			*dropped++
+			return
+		}
+		dest := h
+		if len(routeCols) > 0 {
+			dest = ds.Hash(t, routeCols)
+		}
+		shippers[int(dest%uint64(nw))].add(t)
+	}
+
+	var filtered atomic.Int64
+	var producers sync.WaitGroup
+	nProducers := 1
+	morsels, splittable := exec.SplitMorsels(sp.Dividend, cfg.MorselTuples)
+	if splittable {
+		nProducers = cfg.Producers
+		if nProducers > len(morsels) {
+			nProducers = len(morsels)
+		}
+		if nProducers < 1 {
+			nProducers = 1
+		}
+		var next atomic.Int64
+		for p := 0; p < nProducers; p++ {
+			producers.Add(1)
+			go func() {
+				defer producers.Done()
+				scratch := exec.NewBatch(ds, cfg.BatchSize)
+				defer scratch.Release()
+				var dropped int64
+				defer func() { filtered.Add(dropped) }()
+				for {
+					if err := ctx.Err(); err != nil {
+						fe.set(err)
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(morsels) {
+						return
+					}
+					if i+1 < len(morsels) {
+						if pf, ok := morsels[i+1].(exec.Prefetchable); ok {
+							pf.Prefetch()
+						}
+					}
+					err := exec.DrainMorsel(morsels[i], scratch, func(b *exec.Batch) error {
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+						for k, bn := 0, b.Len(); k < bn; k++ {
+							perTuple(b.Tuple(k), &dropped)
+						}
+						return nil
+					})
+					if err != nil {
+						fe.set(err)
+						return
+					}
+				}
+			}()
+		}
+	} else {
+		// Wrappers that hide operator capabilities (instrumentation probes,
+		// fault injectors) fall back to one scanning producer; the per-link
+		// writers still overlap serialization with the wire.
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			var dropped int64
+			defer func() { filtered.Add(dropped) }()
+			err := exec.ForEach(exec.NewContextScan(ctx, sp.Dividend), func(t tuple.Tuple) error {
+				perTuple(t, &dropped)
+				return nil
+			})
+			fe.set(err)
+		}()
+	}
+	producers.Wait()
+
+	// Barrier: producers are done. Push the trailing partials, join every
+	// writer, then fold each shipper into its link — single-goroutine stats
+	// arithmetic, exactly like the phased engine's fold.
+	for _, s := range shippers {
+		s.finish()
+	}
+	var stalls int64
+	for i, s := range shippers {
+		s.wait()
+		l := links[i]
+		l.stats.BytesOut += s.bytes
+		l.stats.FramesOut += s.frames
+		l.tuplesOut += s.tuples
+		l.divBytes = s.bytes
+		res.DividendBytes += s.bytes
+		stalls += s.stalls
+		s.release()
+	}
+	if err := fe.get(); err != nil {
+		return filtered.Load(), err
+	}
+	for _, l := range links {
+		if err := l.control(FrameHeader{Type: frameDividendEnd}, nil); err != nil {
+			return filtered.Load(), l.wrap(err)
+		}
+	}
+	obs.Default.Counter("net.pipeline.producers").Add(int64(nProducers))
+	obs.Default.Counter("net.pipeline.morsels").Add(int64(len(morsels)))
+	obs.Default.Counter("net.pipeline.stalls").Add(stalls)
+	return filtered.Load(), nil
 }
 
 // Cluster is a set of goroutine-hosted workers reachable over TCP loopback —

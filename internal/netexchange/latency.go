@@ -1,0 +1,128 @@
+package netexchange
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/disk"
+)
+
+// LatencyConn is the disk.Latency trick applied to a net.Conn: every frame
+// crossing the wrapper pays a fixed per-frame delay (the network's
+// "rotational latency") plus a per-byte bandwidth cost, in both directions.
+// The base transports are loopback sockets, so transfers complete in
+// microseconds and the overlap pipelined shipping buys is invisible;
+// LatencyConn makes it measurable (divbench distributed -latency) without
+// touching the byte and frame accounting, which still counts real frames on
+// the real socket underneath.
+//
+// Charging is per *protocol frame*, not per Write call: the wrapper runs a
+// small state machine over the u32 big-endian length prefix of the frame
+// codec (wire.go), so a frame split across many Writes — net.Buffers falls
+// back to one Write per buffer on wrapped conns — is charged once, and a
+// single Write carrying several coalesced frames is charged once per frame.
+// The sleep happens on the calling goroutine, which is exactly what prices
+// serialized protocols against pipelined ones: concurrent links overlap
+// their delays, a single sequential shipper sums them.
+type LatencyConn struct {
+	net.Conn
+	FrameDelay time.Duration // per complete frame, each direction
+	PerByte    time.Duration // bandwidth model, each direction
+
+	wmu       sync.Mutex
+	wparse    frameParser
+	framesOut atomic.Int64
+
+	rmu      sync.Mutex
+	rparse   frameParser
+	framesIn atomic.Int64
+}
+
+// LatencyConnFromCost derives the link pricing from the paper's Table 3
+// cost model, mirroring disk.LatencyFromCost: rotational latency per frame
+// and the per-KB transfer rate spread over bytes, both scaled by scale
+// (1.0 = the paper's milliseconds; 0 disables the delays but keeps frame
+// counting).
+func LatencyConnFromCost(conn net.Conn, c disk.CostParams, scale float64) *LatencyConn {
+	l := &LatencyConn{Conn: conn}
+	if scale > 0 {
+		l.FrameDelay = time.Duration(c.RotationalMS * scale * float64(time.Millisecond))
+		l.PerByte = time.Duration(c.TransferMSPerKB * scale * float64(time.Millisecond) / 1024)
+	}
+	return l
+}
+
+// FramesOut reports complete protocol frames written through the wrapper.
+func (l *LatencyConn) FramesOut() int64 { return l.framesOut.Load() }
+
+// FramesIn reports complete protocol frames read through the wrapper.
+func (l *LatencyConn) FramesIn() int64 { return l.framesIn.Load() }
+
+func (l *LatencyConn) delay(frames int, bytes int) {
+	d := time.Duration(frames)*l.FrameDelay + time.Duration(bytes)*l.PerByte
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Write prices b and passes it through. The delay is taken before the
+// underlying write, so a poisoned deadline (the exchange watchdog) still
+// fails the write itself promptly.
+func (l *LatencyConn) Write(b []byte) (int, error) {
+	l.wmu.Lock()
+	frames := l.wparse.feed(b)
+	l.wmu.Unlock()
+	l.framesOut.Add(int64(frames))
+	l.delay(frames, len(b))
+	return l.Conn.Write(b)
+}
+
+// Read passes through and prices whatever arrived.
+func (l *LatencyConn) Read(b []byte) (int, error) {
+	n, err := l.Conn.Read(b)
+	if n > 0 {
+		l.rmu.Lock()
+		frames := l.rparse.feed(b[:n])
+		l.rmu.Unlock()
+		l.framesIn.Add(int64(frames))
+		l.delay(frames, n)
+	}
+	return n, err
+}
+
+// frameParser tracks frame boundaries across arbitrarily fragmented byte
+// runs: accumulate the 4-byte big-endian body-length prefix, then skip the
+// checksum and body. A frame counts the moment its prefix completes.
+type frameParser struct {
+	prefix  [4]byte
+	havePre int
+	remain  int // checksum + body bytes still pending for the current frame
+}
+
+// feed consumes b and returns how many frame prefixes completed inside it.
+func (p *frameParser) feed(b []byte) (frames int) {
+	for len(b) > 0 {
+		if p.remain > 0 {
+			n := p.remain
+			if n > len(b) {
+				n = len(b)
+			}
+			p.remain -= n
+			b = b[n:]
+			continue
+		}
+		n := copy(p.prefix[p.havePre:], b)
+		p.havePre += n
+		b = b[n:]
+		if p.havePre == len(p.prefix) {
+			// frameOverhead is prefix + checksum; the prefix is consumed.
+			p.remain = (frameOverhead - 4) + int(binary.BigEndian.Uint32(p.prefix[:]))
+			p.havePre = 0
+			frames++
+		}
+	}
+	return frames
+}

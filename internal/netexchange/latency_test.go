@@ -1,0 +1,180 @@
+package netexchange
+
+import (
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/division"
+)
+
+// sinkConn is a write-only net.Conn: Writes succeed and vanish, Reads report
+// EOF. It lets LatencyConn's frame accounting be tested without a peer.
+type sinkConn struct{}
+
+func (sinkConn) Read(b []byte) (int, error)       { return 0, io.EOF }
+func (sinkConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (sinkConn) Close() error                     { return nil }
+func (sinkConn) LocalAddr() net.Addr              { return nil }
+func (sinkConn) RemoteAddr() net.Addr             { return nil }
+func (sinkConn) SetDeadline(time.Time) error      { return nil }
+func (sinkConn) SetReadDeadline(time.Time) error  { return nil }
+func (sinkConn) SetWriteDeadline(time.Time) error { return nil }
+
+// rawFrame builds a minimal wire frame: u32 BE body length, 8-byte checksum
+// placeholder, then the body. LatencyConn only parses the length prefix, so
+// the checksum content is irrelevant here.
+func rawFrame(bodyLen int) []byte {
+	buf := make([]byte, frameOverhead+bodyLen)
+	binary.BigEndian.PutUint32(buf, uint32(bodyLen))
+	return buf
+}
+
+// TestLatencyConnCountsFrames exercises the frame parser across every
+// fragmentation shape the exchange produces: a frame split across many
+// Writes must be charged once, and a Write carrying several coalesced
+// frames must be charged once per frame.
+func TestLatencyConnCountsFrames(t *testing.T) {
+	t.Run("SplitAcrossWrites", func(t *testing.T) {
+		l := LatencyConnFromCost(sinkConn{}, disk.PaperCost(), 0)
+		f := rawFrame(100)
+		// Dribble the frame 7 bytes at a time — splits the length prefix too.
+		for len(f) > 0 {
+			n := 7
+			if n > len(f) {
+				n = len(f)
+			}
+			if _, err := l.Write(f[:n]); err != nil {
+				t.Fatal(err)
+			}
+			f = f[n:]
+		}
+		if got := l.FramesOut(); got != 1 {
+			t.Fatalf("split frame charged %d times, want 1", got)
+		}
+	})
+	t.Run("CoalescedInOneWrite", func(t *testing.T) {
+		l := LatencyConnFromCost(sinkConn{}, disk.PaperCost(), 0)
+		var buf []byte
+		buf = append(buf, rawFrame(16)...)
+		buf = append(buf, rawFrame(0)...)
+		buf = append(buf, rawFrame(300)...)
+		if _, err := l.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.FramesOut(); got != 3 {
+			t.Fatalf("3 coalesced frames charged %d times, want 3", got)
+		}
+	})
+	t.Run("ReadDirection", func(t *testing.T) {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		l := LatencyConnFromCost(b, disk.PaperCost(), 0)
+		frame := rawFrame(64)
+		go func() {
+			a.Write(frame)
+			a.Close()
+		}()
+		buf := make([]byte, 16)
+		for {
+			if _, err := l.Read(buf); err != nil {
+				break
+			}
+		}
+		if got := l.FramesIn(); got != 1 {
+			t.Fatalf("read side charged %d frames, want 1", got)
+		}
+	})
+}
+
+// TestLatencyConnChargesPerFrameNotPerWrite is the pricing regression: a
+// wrapped conn sees net.Buffers as one Write per buffer (2 per frame), so a
+// per-Write charge would bill every frame at least twice, and a fragmented
+// frame five times. The elapsed time must show exactly one FrameDelay for
+// one frame regardless of Write fragmentation.
+func TestLatencyConnChargesPerFrameNotPerWrite(t *testing.T) {
+	l := &LatencyConn{Conn: sinkConn{}, FrameDelay: 50 * time.Millisecond}
+	f := rawFrame(200)
+	fifth := len(f) / 5
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		chunk := f[i*fifth:]
+		if i < 4 {
+			chunk = chunk[:fifth]
+		}
+		if _, err := l.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("one frame under-charged: %v < one FrameDelay", elapsed)
+	}
+	if elapsed >= 150*time.Millisecond {
+		t.Fatalf("frame over-charged: %v suggests per-Write billing across 5 writes", elapsed)
+	}
+	if got := l.FramesOut(); got != 1 {
+		t.Fatalf("counted %d frames, want 1", got)
+	}
+}
+
+// TestLatencyConnFrameCountMatchesLinkStats runs a real division through
+// LatencyConn wrappers at scale 0 (no delay, full accounting) and requires
+// the wrapper's independent frame counts to equal the exchange's own
+// LinkStats — two implementations of the same protocol arithmetic.
+func TestLatencyConnFrameCountMatchesLinkStats(t *testing.T) {
+	inst := noisyInstance(t, 55)
+	cl, err := StartLocalCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	wrapped := make([]net.Conn, len(cl.Conns()))
+	lat := make([]*LatencyConn, len(cl.Conns()))
+	for i, c := range cl.Conns() {
+		lat[i] = LatencyConnFromCost(c, disk.PaperCost(), 0)
+		wrapped[i] = lat[i]
+	}
+	res, err := Divide(context.Background(), instanceSpec(inst), Config{
+		Strategy:        division.DivisorPartitioning,
+		BitVectorFilter: true,
+	}, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, inst, res)
+	for i, ls := range res.Links {
+		if got := lat[i].FramesOut(); got != ls.FramesOut {
+			t.Errorf("link %d: wrapper counted %d frames out, LinkStats %d", i, got, ls.FramesOut)
+		}
+		if got := lat[i].FramesIn(); got != ls.FramesIn {
+			t.Errorf("link %d: wrapper counted %d frames in, LinkStats %d", i, got, ls.FramesIn)
+		}
+	}
+}
+
+// TestLatencyConnZeroScaleAddsNoDelay pins the scale-0 contract: counting
+// stays on, delays stay off.
+func TestLatencyConnZeroScaleAddsNoDelay(t *testing.T) {
+	l := LatencyConnFromCost(sinkConn{}, disk.PaperCost(), 0)
+	if l.FrameDelay != 0 || l.PerByte != 0 {
+		t.Fatalf("scale 0 produced delays: frame=%v byte=%v", l.FrameDelay, l.PerByte)
+	}
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if _, err := l.Write(rawFrame(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("scale-0 writes took %v", elapsed)
+	}
+	if got := l.FramesOut(); got != 100 {
+		t.Fatalf("counted %d frames, want 100", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"net"
 
+	"repro/internal/division"
 	"repro/internal/tuple"
 )
 
@@ -369,6 +370,7 @@ type jobHeader struct {
 	FilterBits  int
 	BatchSize   int     // tuples per emitted batch frame
 	HBS         float64 // hash table sizing knob
+	Budget      int64   // worker memory budget in bytes; 0 = unbounded in-memory tables
 	Dividend    *tuple.Schema
 	Divisor     *tuple.Schema
 	DivisorCols []int
@@ -396,6 +398,7 @@ func appendJobHeader(dst []byte, j jobHeader) []byte {
 	dst = appendU32(dst, uint32(j.FilterBits))
 	dst = appendU32(dst, uint32(j.BatchSize))
 	dst = appendU64(dst, math.Float64bits(j.HBS))
+	dst = appendU64(dst, uint64(j.Budget))
 	dst = appendU16(dst, uint16(len(j.DivisorCols)))
 	for _, col := range j.DivisorCols {
 		dst = appendU16(dst, uint16(col))
@@ -419,6 +422,7 @@ func decodeJobHeader(payload []byte) (jobHeader, error) {
 	j.FilterBits = int(c.u32())
 	j.BatchSize = int(c.u32())
 	j.HBS = math.Float64frombits(c.u64())
+	j.Budget = int64(c.u64())
 	nCols := int(c.u16())
 	if c.err == nil && nCols > maxWireFields {
 		return j, fmt.Errorf("%w: %d divisor columns", ErrCorruptFrame, nCols)
@@ -450,6 +454,9 @@ func decodeJobHeader(payload []byte) (jobHeader, error) {
 	if j.HBS <= 0 || math.IsNaN(j.HBS) || math.IsInf(j.HBS, 0) {
 		j.HBS = 2
 	}
+	if j.Budget < 0 {
+		j.Budget = 0
+	}
 	return j, nil
 }
 
@@ -475,6 +482,39 @@ func appendFilter(dst []byte, bits int, words []uint64) []byte {
 		dst = appendU64(dst, w)
 	}
 	return dst
+}
+
+// frameError payload codes: the first payload byte classifies the failure so
+// the receiving side can rebuild a typed error (errors.Is against the
+// division sentinels) from what is otherwise an opaque remote string. The
+// remaining bytes are the human-readable message.
+const (
+	errCodeGeneric = byte(0)
+	errCodeBudget  = byte(1) // wraps division.ErrMemoryBudget
+	errCodeDepth   = byte(2) // wraps division.ErrPartitionDepth
+)
+
+// appendErrorPayload encodes err as a frameError payload: classification
+// byte, then the message.
+func appendErrorPayload(dst []byte, err error) []byte {
+	code := errCodeGeneric
+	switch {
+	case errors.Is(err, division.ErrMemoryBudget):
+		code = errCodeBudget
+	case errors.Is(err, division.ErrPartitionDepth):
+		code = errCodeDepth
+	}
+	dst = append(dst, code)
+	return append(dst, err.Error()...)
+}
+
+// errRemote rebuilds the peer's failure from a frameError payload. Legacy
+// empty payloads decode as a generic remote failure.
+func errRemote(payload []byte) error {
+	if len(payload) == 0 {
+		return &RemoteError{Msg: "(no detail)"}
+	}
+	return &RemoteError{Code: payload[0], Msg: string(payload[1:])}
 }
 
 func decodeFilter(payload []byte) (bits int, words []uint64, err error) {

@@ -6,18 +6,38 @@ import (
 	"net"
 
 	"repro/internal/bitmap"
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/division"
 	"repro/internal/exec"
 	"repro/internal/hashtab"
+	"repro/internal/obs"
+	"repro/internal/storage"
 	"repro/internal/tuple"
 )
 
 // RemoteError is a failure reported by the peer through a frameError frame:
-// the remote side's own description of why it abandoned the job.
+// the remote side's own description of why it abandoned the job. Code
+// carries the peer's classification byte, so budget and recursion-depth
+// failures inside a remote worker stay matchable with errors.Is against the
+// division sentinels on this side of the wire.
 type RemoteError struct {
-	Msg string
+	Code byte
+	Msg  string
 }
 
 func (e *RemoteError) Error() string { return "netexchange: remote failure: " + e.Msg }
+
+// Unwrap maps the wire classification back onto the local sentinel, if any.
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case errCodeBudget:
+		return division.ErrMemoryBudget
+	case errCodeDepth:
+		return division.ErrPartitionDepth
+	}
+	return nil
+}
 
 // frameBatcher packs tuples into exec.Batch arenas and flushes each full
 // arena as one zero-copy frame — the write-combining stage of both the
@@ -89,7 +109,7 @@ func ServeWorker(conn net.Conn) error {
 			return err
 		}
 		if err := runJob(conn, fr, j); err != nil {
-			writeControlFrame(conn, FrameHeader{Type: frameError}, []byte(err.Error())) //nolint:errcheck // already failing
+			writeControlFrame(conn, FrameHeader{Type: frameError}, appendErrorPayload(nil, err)) //nolint:errcheck // already failing
 			return err
 		}
 	}
@@ -107,7 +127,8 @@ func aliasBatch(b *exec.Batch, schema *tuple.Schema, h FrameHeader, payload []by
 }
 
 // runJob executes one division job: the worker's side of DESIGN.md §14's
-// phase sequence.
+// phase sequence. A positive job budget routes the local division through
+// the recursive out-of-core operator instead of unbounded in-memory tables.
 func runJob(conn net.Conn, fr *frameReader, j jobHeader) (err error) {
 	defer exec.RecoverPanic(&err)
 	ds := j.Dividend
@@ -117,6 +138,9 @@ func runJob(conn net.Conn, fr *frameReader, j jobHeader) (err error) {
 		return fmt.Errorf("%w: divisor columns cover the whole dividend", ErrCorruptFrame)
 	}
 	qs := ds.Project(qCols)
+	if j.Budget > 0 {
+		return runBudgetJob(conn, fr, j, qs)
+	}
 
 	// Phase: absorb the divisor into the local table, numbering distinct
 	// tuples, and hash every one into the Babb filter when asked.
@@ -157,7 +181,7 @@ divisor:
 			break divisor
 		case frameError:
 			recv.Release()
-			return &RemoteError{Msg: string(payload)}
+			return errRemote(payload)
 		default:
 			recv.Release()
 			return fmt.Errorf("%w: frame type %d during divisor phase", ErrCorruptFrame, h.Type)
@@ -215,7 +239,7 @@ dividend:
 			break dividend
 		case frameError:
 			recvD.Release()
-			return &RemoteError{Msg: string(payload)}
+			return errRemote(payload)
 		default:
 			recvD.Release()
 			return fmt.Errorf("%w: frame type %d during dividend phase", ErrCorruptFrame, h.Type)
@@ -287,7 +311,15 @@ func runDivisorCollection(conn net.Conn, fr *frameReader, quotientTable *hashtab
 	if _, err := writeControlFrame(conn, FrameHeader{Type: frameCandidateEnd}, nil); err != nil {
 		return err
 	}
+	return collectAndEmit(conn, fr, qs, divisorCount, dividendTuples, j)
+}
 
+// collectAndEmit is the collection-site half of divisor partitioning's
+// second round: absorb the coordinator's repartitioned, phase-tagged
+// candidates and emit those reported by every active phase. Collection
+// tables are deliberately outside any job budget — candidate sets are
+// bounded by the quotient, not the dividend the budget exists to govern.
+func collectAndEmit(conn net.Conn, fr *frameReader, qs *tuple.Schema, divisorCount, dividendTuples int64, j jobHeader) error {
 	if j.NumPhases <= 0 {
 		return fmt.Errorf("%w: divisor partitioning with %d phases", ErrCorruptFrame, j.NumPhases)
 	}
@@ -321,7 +353,7 @@ collect:
 			break collect
 		case frameError:
 			recv.Release()
-			return &RemoteError{Msg: string(payload)}
+			return errRemote(payload)
 		default:
 			recv.Release()
 			return fmt.Errorf("%w: frame type %d during collect phase", ErrCorruptFrame, h.Type)
@@ -348,5 +380,189 @@ collect:
 	return err
 }
 
-// errRemote converts a frameError payload on the coordinator side.
-func errRemote(payload []byte) error { return &RemoteError{Msg: string(payload)} }
+// spoolFrames absorbs one batch phase into a spill file, calling perTuple on
+// every tuple, until the matching end frame arrives. The appender is closed
+// on every exit so no buffered page outlives a failed phase.
+func spoolFrames(fr *frameReader, file *storage.File, schema *tuple.Schema,
+	batchType, endType byte, batchSize int, perTuple func(tuple.Tuple)) (int64, error) {
+	recv := exec.NewBatch(schema, batchSize)
+	defer recv.Release()
+	ap := file.NewAppender()
+	var count int64
+	for {
+		h, payload, _, err := fr.next()
+		if err != nil {
+			ap.Close()
+			return count, err
+		}
+		switch h.Type {
+		case batchType:
+			if err := aliasBatch(recv, schema, h, payload); err != nil {
+				ap.Close()
+				return count, err
+			}
+			for i, n := 0, recv.Len(); i < n; i++ {
+				t := recv.Tuple(i)
+				if _, err := ap.Append(t); err != nil {
+					ap.Close()
+					return count, err
+				}
+				if perTuple != nil {
+					perTuple(t)
+				}
+				count++
+			}
+		case endType:
+			return count, ap.Close()
+		case frameError:
+			ap.Close()
+			return count, errRemote(payload)
+		default:
+			ap.Close()
+			return count, fmt.Errorf("%w: frame type %d while spooling type-%d frames",
+				ErrCorruptFrame, h.Type, batchType)
+		}
+	}
+}
+
+// runBudgetJob is runJob under a memory grant (jobHeader.Budget): both input
+// streams are spooled to spill files on a per-job temp device as they arrive,
+// and the local division runs through division.DivideRecursive with the
+// grant split exactly like server/executor.go splits a session grant — a
+// quarter buffers spill I/O, the rest bounds the hash tables. A partition
+// larger than the grant re-partitions recursively instead of growing the
+// tables without bound; only past the recursion depth cap does the job fail,
+// with the typed sentinel classified onto the wire for the coordinator.
+func runBudgetJob(conn net.Conn, fr *frameReader, j jobHeader, qs *tuple.Schema) (err error) {
+	obs.Default.Counter("net.worker.budget_jobs").Inc()
+	ds := j.Dividend
+	ss := j.Divisor
+
+	poolBytes := int(j.Budget / 4)
+	if min := 8 * disk.PaperRunPageSize; poolBytes < min {
+		poolBytes = min
+	}
+	tableBytes := int(j.Budget) - poolBytes
+	if tableBytes < 1 {
+		// A grant below the pool floor: every in-memory attempt overflows
+		// immediately and the recursion's depth cap converts the impossible
+		// budget into the typed ErrPartitionDepth.
+		tableBytes = 1
+	}
+	dev := disk.NewDevice(fmt.Sprintf("netexchange-w%d-temp", j.WorkerID), disk.PaperRunPageSize)
+	pool := buffer.New(poolBytes)
+
+	divisorFile := storage.NewSpillFile(pool, dev, ss, "divisor-in")
+	dividendFile := storage.NewSpillFile(pool, dev, ds, "dividend-in")
+	defer func() {
+		if derr := dividendFile.Drop(); derr != nil && err == nil {
+			err = derr
+		}
+		if derr := divisorFile.Drop(); derr != nil && err == nil {
+			err = derr
+		}
+	}()
+
+	var bv *bitmap.Bitmap
+	if j.BitVector {
+		if j.FilterBits <= 0 {
+			return fmt.Errorf("%w: bit vector requested with %d bits", ErrCorruptFrame, j.FilterBits)
+		}
+		bv = bitmap.New(j.FilterBits)
+	}
+
+	// The coordinator ships the divisor already distinct (collectDistinct),
+	// so the spooled count is the distinct count the stats report.
+	divisorCount, err := spoolFrames(fr, divisorFile, ss, frameDivisorBatch, frameDivisorEnd,
+		j.BatchSize, func(t tuple.Tuple) {
+			if bv != nil {
+				bv.Set(int(tuple.HashBytes(t) % uint64(j.FilterBits)))
+			}
+		})
+	if err != nil {
+		return err
+	}
+
+	if j.SendFilter {
+		if bv == nil {
+			return fmt.Errorf("%w: filter requested without a bit vector", ErrCorruptFrame)
+		}
+		if _, err := writeControlFrame(conn, FrameHeader{Type: frameFilter},
+			appendFilter(nil, j.FilterBits, bv.Words())); err != nil {
+			return err
+		}
+	}
+
+	dividendTuples, err := spoolFrames(fr, dividendFile, ds, frameDividendBatch, frameDividendEnd,
+		j.BatchSize, nil)
+	if err != nil {
+		return err
+	}
+
+	var local []tuple.Tuple
+	if divisorCount > 0 {
+		sp := division.Spec{
+			Dividend:    exec.NewTableScan(dividendFile, false),
+			Divisor:     exec.NewTableScan(divisorFile, false),
+			DivisorCols: j.DivisorCols,
+		}
+		env := division.Env{
+			Pool:            pool,
+			TempDev:         dev,
+			MemoryBudget:    tableBytes,
+			HBS:             j.HBS,
+			BatchSize:       j.BatchSize,
+			ExpectedDivisor: int(divisorCount),
+		}
+		var st division.RecursiveStats
+		local, st, err = division.DivideRecursive(sp, env, division.QuotientPartitioning,
+			division.HashDivisionOptions{MemoryBudget: tableBytes}, division.RecursiveOptions{})
+		if err != nil {
+			return err
+		}
+		obs.Default.Counter("net.worker.budget_spilled_partitions").Add(int64(st.SpilledPartitions))
+		obs.Default.Counter("net.worker.budget_spill_bytes").Add(st.SpillBytes)
+	}
+
+	if j.Strategy == strategyQuotient {
+		shipped, err := shipTuples(conn, qs, frameQuotientBatch, 0, j.BatchSize, local)
+		if err != nil {
+			return err
+		}
+		_, err = writeControlFrame(conn, FrameHeader{Type: frameQuotientEnd},
+			appendWorkerStats(nil, dividendTuples, divisorCount, shipped))
+		return err
+	}
+
+	// Divisor partitioning: the local quotient against this worker's
+	// cluster is its candidate set; ship it phase-tagged and fall into the
+	// unchanged collection round.
+	phase := uint16(0)
+	if j.Phase >= 0 {
+		phase = uint16(j.Phase)
+	}
+	if _, err := shipTuples(conn, qs, frameCandidate, phase, j.BatchSize, local); err != nil {
+		return err
+	}
+	if _, err := writeControlFrame(conn, FrameHeader{Type: frameCandidateEnd}, nil); err != nil {
+		return err
+	}
+	return collectAndEmit(conn, fr, qs, divisorCount, dividendTuples, j)
+}
+
+// shipTuples write-combines a tuple slice into batch frames of the given
+// type, releasing the arena on every exit.
+func shipTuples(conn net.Conn, schema *tuple.Schema, typ byte, phase uint16,
+	batchSize int, tuples []tuple.Tuple) (int64, error) {
+	fb := newFrameBatcher(conn, schema, typ, phase, batchSize)
+	defer fb.release()
+	for _, t := range tuples {
+		if err := fb.add(t); err != nil {
+			return fb.tuples, err
+		}
+	}
+	if err := fb.flush(); err != nil {
+		return fb.tuples, err
+	}
+	return fb.tuples, nil
+}
